@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the substrate crates: the hot paths of the
+//! simulation (event calendar, CPU model, fair-share recomputation) and
+//! of the protocol engines (ClassAd evaluation, LDAP search, SQL
+//! execution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_engine_event_churn(c: &mut Criterion) {
+    use simcore::{Engine, SimDuration, SimTime};
+    c.bench_function("simcore/engine_10k_events", |b| {
+        b.iter(|| {
+            struct W {
+                count: u64,
+            }
+            let mut eng: Engine<W> = Engine::new(1);
+            let mut w = W { count: 0 };
+            fn tick(w: &mut W, eng: &mut Engine<W>) {
+                w.count += 1;
+                if w.count < 10_000 {
+                    eng.schedule_in(SimDuration(10), tick);
+                }
+            }
+            eng.schedule_at(SimTime(0), tick);
+            eng.run_to_completion(&mut w);
+            criterion::black_box(w.count)
+        })
+    });
+}
+
+fn bench_ps_cpu(c: &mut Criterion) {
+    use simcore::{PsCpu, SimTime};
+    c.bench_function("simcore/ps_cpu_1k_tasks", |b| {
+        b.iter(|| {
+            let mut cpu = PsCpu::new(2, 1.0);
+            let mut now = SimTime(0);
+            let mut done = 0usize;
+            for i in 0..1_000u64 {
+                cpu.submit(now, 500.0, i);
+                if let Some(next) = cpu.next_completion(now) {
+                    now = next;
+                    done += cpu.advance(now).len();
+                }
+            }
+            while let Some(next) = cpu.next_completion(now) {
+                now = next;
+                done += cpu.advance(now).len();
+            }
+            criterion::black_box(done)
+        })
+    });
+}
+
+fn bench_classad(c: &mut Criterion) {
+    use classad::{eval, matchmaker, parse_expr, ClassAd};
+    let machine = ClassAd::parse(
+        "Machine = \"lucky4\"\nOpSys = \"LINUX\"\nCpuLoad = 62.5\n\
+         Memory = 512\nRequirements = TRUE\nRank = Memory / 64\n",
+    )
+    .unwrap();
+    let expr = parse_expr("CpuLoad > 50 && OpSys == \"LINUX\" && Memory >= 256").unwrap();
+    c.bench_function("classad/parse_expr", |b| {
+        b.iter(|| parse_expr("TARGET.CpuLoad > 50 && TARGET.OpSys == \"LINUX\"").unwrap())
+    });
+    c.bench_function("classad/eval_constraint", |b| {
+        b.iter(|| criterion::black_box(eval(&expr, &machine, None)))
+    });
+    let trigger = ClassAd::parse("Requirements = TARGET.CpuLoad > 50\n").unwrap();
+    c.bench_function("classad/symmetric_match", |b| {
+        b.iter(|| criterion::black_box(matchmaker::symmetric_match(&trigger, &machine)))
+    });
+}
+
+fn bench_ldap(c: &mut Criterion) {
+    use ldapdir::{Dit, Dn, Entry, Filter, Scope};
+    let suffix = Dn::parse("o=grid").unwrap();
+    let mut dit = Dit::new(suffix.clone());
+    for i in 0..500 {
+        let dn = suffix.child("host", &format!("h{i}"));
+        let mut e = Entry::new(dn);
+        e.add("objectclass", "MdsHost")
+            .add("mds-cpu-total", format!("{}", i % 8))
+            .add("mds-memory-mb", format!("{}", 128 * (i % 16)));
+        dit.add(e).unwrap();
+    }
+    let filter = Filter::parse("(&(objectclass=mdshost)(mds-cpu-total>=4))").unwrap();
+    c.bench_function("ldap/filter_parse", |b| {
+        b.iter(|| Filter::parse("(&(objectclass=mdshost)(mds-cpu-total>=4))").unwrap())
+    });
+    c.bench_function("ldap/sub_search_500", |b| {
+        b.iter(|| criterion::black_box(dit.search(&suffix, Scope::Sub, &filter).len()))
+    });
+}
+
+fn bench_relsql(c: &mut Criterion) {
+    use relsql::Database;
+    c.bench_function("relsql/insert_500", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            db.execute("CREATE TABLE m (id INT PRIMARY KEY, v REAL)").unwrap();
+            for i in 0..500 {
+                db.execute(&format!("INSERT INTO m VALUES ({i}, {}.5)", i % 97))
+                    .unwrap();
+            }
+            criterion::black_box(db)
+        })
+    });
+    let mut db = Database::new();
+    db.execute("CREATE TABLE m (id INT PRIMARY KEY, v REAL)").unwrap();
+    for i in 0..500 {
+        db.execute(&format!("INSERT INTO m VALUES ({i}, {}.5)", i % 97))
+            .unwrap();
+    }
+    c.bench_function("relsql/indexed_point_query", |b| {
+        b.iter(|| criterion::black_box(db.execute("SELECT v FROM m WHERE id = 250").unwrap()))
+    });
+    c.bench_function("relsql/scan_with_order_by", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                db.execute("SELECT id FROM m WHERE v >= 50 ORDER BY v DESC LIMIT 10")
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine_event_churn,
+    bench_ps_cpu,
+    bench_classad,
+    bench_ldap,
+    bench_relsql
+);
+criterion_main!(benches);

@@ -1,0 +1,224 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--profile paper|quick|bench] [--seed N] [--out DIR] [TARGET...]
+//!
+//! TARGET:  table1 | set1..set4 | fig5..fig20 | ext | all   (default: all)
+//!
+//! `ext` runs the future-work extension studies (WAN sweep, hierarchy
+//! vs flat aggregation, aggregate-vs-direct, open-loop arrivals,
+//! composite producer).
+//! ```
+//!
+//! For every requested figure this prints the aligned data table and an
+//! ASCII chart, and writes `DIR/figNN.csv` (default `results/`).
+
+use gbench::{figures_of_set, run_set_with_progress, Profile};
+use gridmon_core::figures::set_of_figure;
+use gridmon_core::mapping::render_table1;
+use gridmon_core::report::{ascii_chart, csv, text_table};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn main() {
+    let mut profile = Profile::Paper;
+    let mut seed = 20030622u64; // HPDC'03, Seattle
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--profile" => {
+                profile = match args.next().as_deref() {
+                    Some("paper") => Profile::Paper,
+                    Some("quick") => Profile::Quick,
+                    Some("bench") => Profile::Bench,
+                    other => die(&format!("unknown profile {other:?}")),
+                };
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a dir")));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: figures [--profile paper|quick|bench] [--seed N] [--out DIR] [table1|setN|figN|all]...");
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+
+    // Resolve targets into: table1? + the sets to run.
+    let mut want_ext = false;
+    let mut want_table1 = false;
+    let mut sets: BTreeSet<u32> = BTreeSet::new();
+    let mut only_figs: BTreeSet<u32> = BTreeSet::new();
+    for t in &targets {
+        match t.as_str() {
+            "all" => {
+                want_table1 = true;
+                sets.extend([1, 2, 3, 4]);
+            }
+            "table1" => want_table1 = true,
+            "ext" => want_ext = true,
+            s if s.starts_with("set") => {
+                let n: u32 = s[3..].parse().unwrap_or_else(|_| die(&format!("bad target {s}")));
+                if !(1..=4).contains(&n) {
+                    die(&format!("no such set {n}"));
+                }
+                sets.insert(n);
+            }
+            f if f.starts_with("fig") => {
+                let n: u32 = f[3..].parse().unwrap_or_else(|_| die(&format!("bad target {f}")));
+                let set = set_of_figure(n).unwrap_or_else(|| die(&format!("no such figure {n}")));
+                sets.insert(set);
+                only_figs.insert(n);
+            }
+            other => die(&format!("unknown target {other:?}")),
+        }
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    if want_table1 {
+        println!("Table 1: Component Mapping\n");
+        println!("{}", render_table1());
+        std::fs::write(out_dir.join("table1.txt"), render_table1()).expect("write table1");
+    }
+
+    for &set in &sets {
+        eprintln!("== running experiment set {set} ({profile:?}) ==");
+        let start = std::time::Instant::now();
+        let data = run_set_with_progress(set, profile, seed);
+        eprintln!("== set {set} done in {:.1?} ==", start.elapsed());
+        for fig in figures_of_set(&data) {
+            let n: u32 = fig.id.trim_start_matches("Figure ").parse().unwrap();
+            if !only_figs.is_empty() && !only_figs.contains(&n) {
+                continue;
+            }
+            println!("{}", text_table(&fig));
+            println!("{}", ascii_chart(&fig, 64, 16));
+            let path = out_dir.join(format!("fig{n:02}.csv"));
+            std::fs::write(&path, csv(&fig)).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if want_ext {
+        run_extensions(profile, seed, &out_dir);
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_extensions(profile: Profile, seed: u64, out_dir: &std::path::Path) {
+    use gridmon_core::ext;
+    let cfg = profile.run_config(seed);
+    let mut out = String::new();
+
+    eprintln!("== extension: WAN study ==");
+    out.push_str("Extension 1: directory server (GIIS, 100 users) across WAN qualities
+");
+    out.push_str(&format!(
+        "{:<30} {:>10} {:>12} {:>12} {:>8} {:>8}
+",
+        "link", "mbps", "throughput", "resp (s)", "load1", "cpu %"
+    ));
+    for p in ext::wan_study(&cfg, 100) {
+        out.push_str(&format!(
+            "{:<30} {:>10.0} {:>12.2} {:>12.3} {:>8.2} {:>8.1}
+",
+            p.label, p.wan_mbps, p.m.throughput, p.m.response_time, p.m.load1, p.m.cpu_load
+        ));
+    }
+
+    eprintln!("== extension: hierarchy study ==");
+    let (flat, hier) = ext::hierarchy_study(&cfg, 120, 5);
+    out.push_str("
+Extension 2: flat vs hierarchical GIIS aggregation (120 GRIS, 10 users)
+");
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>8} {:>8}
+",
+        "architecture", "throughput", "resp (s)", "load1", "cpu %"
+    ));
+    for (label, m) in [("flat (1 GIIS)", flat), ("2-level (5 branches)", hier)] {
+        out.push_str(&format!(
+            "{:<24} {:>12.2} {:>12.3} {:>8.2} {:>8.1}
+",
+            label, m.throughput, m.response_time, m.load1, m.cpu_load
+        ));
+    }
+
+    eprintln!("== extension: aggregate vs direct ==");
+    let (direct, via) = ext::aggregate_vs_direct(&cfg, 50);
+    out.push_str("
+Extension 3: same information, direct GRIS vs via the GIIS (50 users)
+");
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>14}
+",
+        "path", "throughput", "resp (s)", "cpu%/query"
+    ));
+    for (label, m) in [("direct (GRIS, GSI)", direct), ("aggregate (GIIS)", via)] {
+        out.push_str(&format!(
+            "{:<24} {:>12.2} {:>12.3} {:>14.3}
+",
+            label,
+            m.throughput,
+            m.response_time,
+            m.cpu_load / m.throughput.max(1e-9)
+        ));
+    }
+
+    eprintln!("== extension: open-loop arrivals ==");
+    out.push_str("
+Extension 4: Poisson open-loop arrivals at the ProducerServlet
+");
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>12}
+",
+        "offered/s", "completed/s", "lost/s", "resp (s)"
+    ));
+    for p in ext::open_loop_study(&cfg, &[5.0, 15.0, 30.0, 60.0]) {
+        out.push_str(&format!(
+            "{:<12.1} {:>12.2} {:>12.2} {:>12.3}
+",
+            p.offered_per_sec, p.completed_per_sec, p.lost_per_sec, p.response_time
+        ));
+    }
+
+    eprintln!("== extension: composite producer ==");
+    out.push_str("
+Extension 5: R-GMA composite Consumer/Producer (10 users, *ALL* query)
+");
+    out.push_str(&format!(
+        "{:<12} {:>12} {:>12} {:>8} {:>8}
+",
+        "sources", "throughput", "resp (s)", "load1", "cpu %"
+    ));
+    for n in [2u32, 5, 10] {
+        let m = ext::composite_study(&cfg, n);
+        out.push_str(&format!(
+            "{:<12} {:>12.2} {:>12.3} {:>8.2} {:>8.1}
+",
+            n, m.throughput, m.response_time, m.load1, m.cpu_load
+        ));
+    }
+
+    println!("{out}");
+    std::fs::write(out_dir.join("extensions.txt"), out).expect("write extensions");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("figures: {msg}");
+    std::process::exit(2);
+}

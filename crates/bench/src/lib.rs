@@ -1,0 +1,62 @@
+//! Shared helpers for the benchmark harness and the `figures` binary.
+
+use gridmon_core::figures::{figure, run_set, FigureData, SetData};
+use gridmon_core::runcfg::RunConfig;
+use simcore::SimDuration;
+
+/// A run profile for the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// The paper's discipline: 2 min warm-up + 10 min window, full
+    /// sweeps.
+    Paper,
+    /// Shorter windows and thinned sweeps (~6× faster) for smoke runs.
+    Quick,
+    /// Tiny windows for Criterion micro-runs.
+    Bench,
+}
+
+impl Profile {
+    pub fn run_config(self, seed: u64) -> RunConfig {
+        match self {
+            Profile::Paper => RunConfig::paper(seed),
+            Profile::Quick => RunConfig::quick(seed),
+            Profile::Bench => {
+                let mut c = RunConfig::quick(seed);
+                c.warmup = SimDuration::from_secs(20);
+                c.window = SimDuration::from_secs(40);
+                c
+            }
+        }
+    }
+
+    /// Sweep thinning factor.
+    pub fn scale(self) -> f64 {
+        match self {
+            Profile::Paper => 1.0,
+            Profile::Quick => 1.0,
+            Profile::Bench => 0.2,
+        }
+    }
+}
+
+/// Run one experiment set under a profile, printing progress to stderr.
+pub fn run_set_with_progress(set: u32, profile: Profile, seed: u64) -> SetData {
+    let cfg = profile.run_config(seed);
+    let mut progress = |label: &str, x: f64| {
+        eprintln!("  [set {set}] {label} @ x={x}");
+    };
+    run_set(set, &cfg, profile.scale(), Some(&mut progress))
+}
+
+/// All four figures of a set.
+pub fn figures_of_set(data: &SetData) -> Vec<FigureData> {
+    let figs: [u32; 4] = match data.set {
+        1 => [5, 6, 7, 8],
+        2 => [9, 10, 11, 12],
+        3 => [13, 14, 15, 16],
+        4 => [17, 18, 19, 20],
+        _ => panic!("sets are 1..=4"),
+    };
+    figs.iter().map(|&f| figure(data, f)).collect()
+}

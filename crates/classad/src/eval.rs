@@ -1,0 +1,567 @@
+//! Three-valued ClassAd expression evaluation.
+//!
+//! Evaluation happens relative to an *evaluating* ad (`MY`) and an optional
+//! *candidate* ad (`TARGET`), as during matchmaking.  Unscoped attribute
+//! references resolve in `MY` first, then `TARGET`; unresolved references
+//! evaluate to `UNDEFINED`.  Circular attribute definitions evaluate to
+//! `UNDEFINED` as in Condor (e.g. `a = b; b = a`).
+
+use crate::ad::ClassAd;
+use crate::expr::{BinOp, Expr, Scope, UnOp};
+use crate::value::Value;
+
+/// Evaluation context: the two ads and the in-progress reference stack for
+/// cycle detection.
+pub struct EvalCtx<'a> {
+    pub my: &'a ClassAd,
+    pub target: Option<&'a ClassAd>,
+    visiting: Vec<(bool, String)>, // (is_target_scope, name)
+}
+
+impl<'a> EvalCtx<'a> {
+    pub fn new(my: &'a ClassAd, target: Option<&'a ClassAd>) -> Self {
+        EvalCtx {
+            my,
+            target,
+            visiting: Vec::new(),
+        }
+    }
+}
+
+/// Evaluate `expr` in the context of `my` (and optionally `target`).
+pub fn eval(expr: &Expr, my: &ClassAd, target: Option<&ClassAd>) -> Value {
+    let mut cx = EvalCtx::new(my, target);
+    eval_in(expr, &mut cx)
+}
+
+/// Evaluate with an explicit context (used recursively).
+pub fn eval_in(expr: &Expr, cx: &mut EvalCtx) -> Value {
+    match expr {
+        Expr::Lit(v) => v.clone(),
+        Expr::Attr { scope, name, .. } => eval_attr(*scope, name, cx),
+        Expr::Unary(op, e) => eval_unary(*op, eval_in(e, cx)),
+        Expr::Binary(op, a, b) => eval_binary(*op, a, b, cx),
+        Expr::Cond(c, t, e) => match eval_in(c, cx) {
+            Value::Bool(true) => eval_in(t, cx),
+            Value::Bool(false) => eval_in(e, cx),
+            Value::Undefined => Value::Undefined,
+            _ => Value::Error,
+        },
+        Expr::Call(name, args) => eval_call(name, args, cx),
+    }
+}
+
+fn eval_attr(scope: Scope, name: &str, cx: &mut EvalCtx) -> Value {
+    // Resolve which ad the reference lands in.
+    let candidates: &[(bool, &ClassAd)] = match scope {
+        Scope::My => &[(false, cx.my)],
+        Scope::Target => match cx.target {
+            Some(t) => &[(true, t)],
+            None => return Value::Undefined,
+        },
+        Scope::None => match cx.target {
+            Some(t) => &[(false, cx.my), (true, t)],
+            None => &[(false, cx.my)],
+        },
+    };
+    // Work around the borrow of cx inside the loop: find the expression
+    // first.
+    let mut found: Option<(bool, Expr)> = None;
+    for &(is_target, ad) in candidates {
+        if let Some(e) = ad.get(name) {
+            found = Some((is_target, e.clone()));
+            break;
+        }
+    }
+    let Some((is_target, e)) = found else {
+        return Value::Undefined;
+    };
+    let key = (is_target, name.to_ascii_lowercase());
+    if cx.visiting.contains(&key) {
+        // Circular reference.
+        return Value::Undefined;
+    }
+    cx.visiting.push(key);
+    // Inside the referenced ad, unscoped references resolve relative to
+    // *that* ad: swap MY/TARGET when we crossed into the target.
+    let v = if is_target {
+        let mut swapped = EvalCtx {
+            my: cx.target.unwrap(),
+            target: Some(cx.my),
+            visiting: std::mem::take(&mut cx.visiting),
+        };
+        let v = eval_in(&e, &mut swapped);
+        cx.visiting = swapped.visiting;
+        v
+    } else {
+        eval_in(&e, cx)
+    };
+    cx.visiting.pop();
+    v
+}
+
+fn eval_unary(op: UnOp, v: Value) -> Value {
+    match op {
+        UnOp::Not => match v {
+            Value::Bool(b) => Value::Bool(!b),
+            Value::Undefined => Value::Undefined,
+            _ => Value::Error,
+        },
+        UnOp::Neg => match v {
+            Value::Int(i) => Value::Int(-i),
+            Value::Real(r) => Value::Real(-r),
+            Value::Undefined => Value::Undefined,
+            _ => Value::Error,
+        },
+        UnOp::Plus => match v {
+            Value::Int(_) | Value::Real(_) => v,
+            Value::Undefined => Value::Undefined,
+            _ => Value::Error,
+        },
+    }
+}
+
+fn eval_binary(op: BinOp, a: &Expr, b: &Expr, cx: &mut EvalCtx) -> Value {
+    match op {
+        BinOp::And | BinOp::Or => {
+            // Non-strict three-valued connectives.
+            let va = eval_in(a, cx);
+            let short = if op == BinOp::And {
+                Value::Bool(false)
+            } else {
+                Value::Bool(true)
+            };
+            let la = logic_view(&va);
+            if la == Some(matches!(short, Value::Bool(true))) {
+                return short;
+            }
+            let vb = eval_in(b, cx);
+            let lb = logic_view(&vb);
+            if lb == Some(matches!(short, Value::Bool(true))) {
+                return short;
+            }
+            // Neither operand decides: Error dominates, then Undefined.
+            if matches!(va, Value::Error) || matches!(vb, Value::Error) {
+                return Value::Error;
+            }
+            if !matches!(va, Value::Bool(_)) && !va.is_exceptional() {
+                return Value::Error; // non-boolean operand
+            }
+            if !matches!(vb, Value::Bool(_)) && !vb.is_exceptional() {
+                return Value::Error;
+            }
+            if matches!(va, Value::Undefined) || matches!(vb, Value::Undefined) {
+                return Value::Undefined;
+            }
+            // Both plain booleans, not short-circuited.
+            short_complement(op)
+        }
+        BinOp::MetaEq => {
+            let va = eval_in(a, cx);
+            let vb = eval_in(b, cx);
+            Value::Bool(va.meta_eq(&vb))
+        }
+        BinOp::MetaNe => {
+            let va = eval_in(a, cx);
+            let vb = eval_in(b, cx);
+            Value::Bool(!va.meta_eq(&vb))
+        }
+        _ => {
+            let va = eval_in(a, cx);
+            let vb = eval_in(b, cx);
+            strict_binary(op, va, vb)
+        }
+    }
+}
+
+fn logic_view(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn short_complement(op: BinOp) -> Value {
+    // Reaching here means both operands are booleans and the short-circuit
+    // value did not occur: a && b with neither false => true; a || b with
+    // neither true => false.
+    match op {
+        BinOp::And => Value::Bool(true),
+        BinOp::Or => Value::Bool(false),
+        _ => unreachable!(),
+    }
+}
+
+fn strict_binary(op: BinOp, a: Value, b: Value) -> Value {
+    // Strict exceptional propagation: ERROR beats UNDEFINED.
+    if matches!(a, Value::Error) || matches!(b, Value::Error) {
+        return Value::Error;
+    }
+    if matches!(a, Value::Undefined) || matches!(b, Value::Undefined) {
+        return Value::Undefined;
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, a, b),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => cmp(op, a, b),
+        _ => unreachable!("non-strict ops handled earlier"),
+    }
+}
+
+fn arith(op: BinOp, a: Value, b: Value) -> Value {
+    // Integer arithmetic stays integral; any real operand promotes.
+    if let (Value::Int(x), Value::Int(y)) = (&a, &b) {
+        let (x, y) = (*x, *y);
+        return match op {
+            BinOp::Add => Value::Int(x.wrapping_add(y)),
+            BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+            BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+            BinOp::Div => {
+                if y == 0 {
+                    Value::Error
+                } else {
+                    Value::Int(x.wrapping_div(y))
+                }
+            }
+            BinOp::Mod => {
+                if y == 0 {
+                    Value::Error
+                } else {
+                    Value::Int(x.wrapping_rem(y))
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    let (Some(x), Some(y)) = (a.as_number(), b.as_number()) else {
+        return Value::Error;
+    };
+    match op {
+        BinOp::Add => Value::Real(x + y),
+        BinOp::Sub => Value::Real(x - y),
+        BinOp::Mul => Value::Real(x * y),
+        BinOp::Div => {
+            if y == 0.0 {
+                Value::Error
+            } else {
+                Value::Real(x / y)
+            }
+        }
+        BinOp::Mod => {
+            if y == 0.0 {
+                Value::Error
+            } else {
+                Value::Real(x % y)
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn cmp(op: BinOp, a: Value, b: Value) -> Value {
+    // Strings compare with other strings (case-insensitively, as in classic
+    // ClassAds); numbers/booleans compare numerically; mixing is an error.
+    let ord = match (&a, &b) {
+        (Value::Str(x), Value::Str(y)) => {
+            let x = x.to_ascii_lowercase();
+            let y = y.to_ascii_lowercase();
+            x.cmp(&y)
+        }
+        _ => {
+            let (Some(x), Some(y)) = (a.as_number(), b.as_number()) else {
+                return Value::Error;
+            };
+            match x.partial_cmp(&y) {
+                Some(o) => o,
+                None => return Value::Error, // NaN
+            }
+        }
+    };
+    let r = match op {
+        BinOp::Eq => ord.is_eq(),
+        BinOp::Ne => !ord.is_eq(),
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        _ => unreachable!(),
+    };
+    Value::Bool(r)
+}
+
+fn eval_call(name: &str, args: &[Expr], cx: &mut EvalCtx) -> Value {
+    let vals: Vec<Value> = args.iter().map(|a| eval_in(a, cx)).collect();
+    // Strict builtins: propagate exceptional arguments.
+    if vals.iter().any(|v| matches!(v, Value::Error)) {
+        return Value::Error;
+    }
+    match (name, vals.as_slice()) {
+        ("floor", [v]) => num_fn(v, f64::floor),
+        ("ceiling", [v]) => num_fn(v, f64::ceil),
+        ("round", [v]) => num_fn(v, f64::round),
+        ("int", [v]) => match v.as_number() {
+            Some(x) => Value::Int(x as i64),
+            None => exceptional_or_error(v),
+        },
+        ("real", [v]) => match v.as_number() {
+            Some(x) => Value::Real(x),
+            None => exceptional_or_error(v),
+        },
+        ("string", [v]) => match v {
+            Value::Undefined => Value::Undefined,
+            Value::Str(s) => Value::Str(s.clone()),
+            v => Value::Str(v.to_string()),
+        },
+        ("strcat", vs) => {
+            let mut s = String::new();
+            for v in vs {
+                match v {
+                    Value::Undefined => return Value::Undefined,
+                    Value::Str(x) => s.push_str(x),
+                    v => s.push_str(&v.to_string()),
+                }
+            }
+            Value::Str(s)
+        }
+        ("toupper", [Value::Str(s)]) => Value::Str(s.to_ascii_uppercase()),
+        ("tolower", [Value::Str(s)]) => Value::Str(s.to_ascii_lowercase()),
+        ("size", [Value::Str(s)]) => Value::Int(s.len() as i64),
+        ("isundefined", [v]) => Value::Bool(matches!(v, Value::Undefined)),
+        ("iserror", [_v]) => Value::Bool(false), // errors already propagated
+        // Case-SENSITIVE string comparison (unlike ==), as in Condor.
+        ("strcmp", [Value::Str(a), Value::Str(b)]) => {
+            Value::Int(match a.cmp(b) {
+                std::cmp::Ordering::Less => -1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => 1,
+            })
+        }
+        // Membership in a comma/space separated string list.
+        ("stringlistmember", [Value::Str(item), Value::Str(list)]) => Value::Bool(
+            list.split([',', ' '])
+                .map(str::trim)
+                .any(|x| !x.is_empty() && x.eq_ignore_ascii_case(item)),
+        ),
+        ("stringlistsize", [Value::Str(list)]) => Value::Int(
+            list.split([',', ' '])
+                .map(str::trim)
+                .filter(|x| !x.is_empty())
+                .count() as i64,
+        ),
+        // ifThenElse with ClassAd semantics: undefined condition is
+        // undefined (unlike ?: this is a function, but Condor implements
+        // the same tri-state behaviour).
+        ("ifthenelse", [c, t, e]) => match c {
+            Value::Bool(true) => t.clone(),
+            Value::Bool(false) => e.clone(),
+            Value::Undefined => Value::Undefined,
+            _ => Value::Error,
+        },
+        ("min", [a, b]) => match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
+            }
+            _ => exceptional_or_error(if a.as_number().is_none() { a } else { b }),
+        },
+        ("max", [a, b]) => match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => {
+                if x >= y {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
+            }
+            _ => exceptional_or_error(if a.as_number().is_none() { a } else { b }),
+        },
+        _ => Value::Error,
+    }
+}
+
+fn num_fn(v: &Value, f: impl Fn(f64) -> f64) -> Value {
+    match v.as_number() {
+        Some(x) => Value::Int(f(x) as i64),
+        None => exceptional_or_error(v),
+    }
+}
+
+fn exceptional_or_error(v: &Value) -> Value {
+    if matches!(v, Value::Undefined) {
+        Value::Undefined
+    } else {
+        Value::Error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn ev(src: &str) -> Value {
+        let ad = ClassAd::new();
+        eval(&parse_expr(src).unwrap(), &ad, None)
+    }
+
+    fn ev_in(src: &str, my: &str) -> Value {
+        let ad = ClassAd::parse(my).unwrap();
+        eval(&parse_expr(src).unwrap(), &ad, None)
+    }
+
+    #[test]
+    fn arithmetic_int_and_real() {
+        assert_eq!(ev("1 + 2 * 3"), Value::Int(7));
+        assert_eq!(ev("7 / 2"), Value::Int(3));
+        assert_eq!(ev("7.0 / 2"), Value::Real(3.5));
+        assert_eq!(ev("7 % 3"), Value::Int(1));
+        assert_eq!(ev("1 / 0"), Value::Error);
+        assert_eq!(ev("1 % 0"), Value::Error);
+        assert_eq!(ev("-(3 - 5)"), Value::Int(2));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev("2 < 3"), Value::Bool(true));
+        assert_eq!(ev("2.5 >= 2.5"), Value::Bool(true));
+        assert_eq!(ev("\"abc\" == \"ABC\""), Value::Bool(true)); // case-insensitive
+        assert_eq!(ev("\"abc\" < \"abd\""), Value::Bool(true));
+        assert_eq!(ev("\"abc\" == 3"), Value::Error); // type mismatch
+        assert_eq!(ev("TRUE == 1"), Value::Bool(true)); // bool coerces numerically
+    }
+
+    #[test]
+    fn undefined_propagation() {
+        assert_eq!(ev("missing + 1"), Value::Undefined);
+        assert_eq!(ev("missing > 5"), Value::Undefined);
+        assert_eq!(ev("!missing"), Value::Undefined);
+        assert_eq!(ev("-missing"), Value::Undefined);
+    }
+
+    #[test]
+    fn three_valued_connectives() {
+        assert_eq!(ev("FALSE && missing"), Value::Bool(false));
+        assert_eq!(ev("missing && FALSE"), Value::Bool(false));
+        assert_eq!(ev("TRUE || missing"), Value::Bool(true));
+        assert_eq!(ev("missing || TRUE"), Value::Bool(true));
+        assert_eq!(ev("TRUE && missing"), Value::Undefined);
+        assert_eq!(ev("missing || FALSE"), Value::Undefined);
+        assert_eq!(ev("ERROR && TRUE"), Value::Error);
+        assert_eq!(ev("FALSE && ERROR"), Value::Bool(false));
+        assert_eq!(ev("TRUE || ERROR"), Value::Bool(true));
+        assert_eq!(ev("1 && TRUE"), Value::Error); // non-boolean operand
+    }
+
+    #[test]
+    fn meta_equality_total() {
+        assert_eq!(ev("missing =?= UNDEFINED"), Value::Bool(true));
+        assert_eq!(ev("missing =!= UNDEFINED"), Value::Bool(false));
+        assert_eq!(ev("5 =?= 5.0"), Value::Bool(true));
+        assert_eq!(ev("ERROR =?= ERROR"), Value::Bool(true));
+        assert_eq!(ev("\"A\" =?= \"a\""), Value::Bool(true));
+    }
+
+    #[test]
+    fn conditional() {
+        assert_eq!(ev("2 > 1 ? 10 : 20"), Value::Int(10));
+        assert_eq!(ev("2 < 1 ? 10 : 20"), Value::Int(20));
+        assert_eq!(ev("missing ? 10 : 20"), Value::Undefined);
+        assert_eq!(ev("5 ? 10 : 20"), Value::Error);
+    }
+
+    #[test]
+    fn attribute_resolution_and_chaining() {
+        let my = "a = 5\nb = a * 2\nc = b + a\n";
+        assert_eq!(ev_in("c", my), Value::Int(15));
+        assert_eq!(ev_in("MY.b", my), Value::Int(10));
+        assert_eq!(ev_in("TARGET.b", my), Value::Undefined); // no target
+    }
+
+    #[test]
+    fn circular_references_are_undefined() {
+        let my = "a = b\nb = a\n";
+        assert_eq!(ev_in("a", my), Value::Undefined);
+        let my2 = "x = x + 1\n";
+        assert_eq!(ev_in("x", my2), Value::Undefined);
+    }
+
+    #[test]
+    fn cross_ad_resolution() {
+        let my = ClassAd::parse("req = TARGET.load > MY.threshold\nthreshold = 50\n").unwrap();
+        let target = ClassAd::parse("load = 75\n").unwrap();
+        let v = eval(&parse_expr("req").unwrap(), &my, Some(&target));
+        assert_eq!(v, Value::Bool(true));
+        let cold = ClassAd::parse("load = 10\n").unwrap();
+        let v = eval(&parse_expr("req").unwrap(), &my, Some(&cold));
+        assert_eq!(v, Value::Bool(false));
+    }
+
+    #[test]
+    fn unscoped_falls_through_to_target() {
+        let my = ClassAd::parse("threshold = 50\n").unwrap();
+        let target = ClassAd::parse("load = 99\n").unwrap();
+        // `load` not in MY -> found in TARGET; inside TARGET it is a
+        // literal.
+        let v = eval(&parse_expr("load > threshold").unwrap(), &my, Some(&target));
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn target_scope_swaps_perspective() {
+        // TARGET.req refers into the target ad; inside it, MY means the
+        // target itself.
+        let my = ClassAd::parse("mem = 100\n").unwrap();
+        let target = ClassAd::parse("req = MY.mem > 500\nmem = 1000\n").unwrap();
+        let v = eval(&parse_expr("TARGET.req").unwrap(), &my, Some(&target));
+        assert_eq!(v, Value::Bool(true)); // target's own mem (1000) > 500
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(ev("floor(2.9)"), Value::Int(2));
+        assert_eq!(ev("ceiling(2.1)"), Value::Int(3));
+        assert_eq!(ev("round(2.5)"), Value::Int(3));
+        assert_eq!(ev("int(2.9)"), Value::Int(2));
+        assert_eq!(ev("real(3)"), Value::Real(3.0));
+        assert_eq!(ev("size(\"hello\")"), Value::Int(5));
+        assert_eq!(ev("toUpper(\"aBc\")"), Value::Str("ABC".into()));
+        assert_eq!(ev("toLower(\"aBc\")"), Value::Str("abc".into()));
+        assert_eq!(
+            ev("strcat(\"a\", 1, \"-\", 2.0)"),
+            Value::Str("a1-2.0".into())
+        );
+        assert_eq!(ev("isUndefined(missing)"), Value::Bool(true));
+        assert_eq!(ev("isUndefined(1)"), Value::Bool(false));
+        assert_eq!(ev("nosuchfn(1)"), Value::Error);
+        assert_eq!(ev("floor(\"x\")"), Value::Error);
+        assert_eq!(ev("floor(missing)"), Value::Undefined);
+    }
+
+    #[test]
+    fn condor_builtins() {
+        assert_eq!(ev("strcmp(\"a\", \"b\")"), Value::Int(-1));
+        assert_eq!(ev("strcmp(\"b\", \"a\")"), Value::Int(1));
+        // strcmp is case-sensitive, unlike ==.
+        assert_eq!(ev("strcmp(\"A\", \"a\")"), Value::Int(-1));
+        assert_eq!(ev("\"A\" == \"a\""), Value::Bool(true));
+        assert_eq!(
+            ev("stringListMember(\"vanilla\", \"standard, vanilla, java\")"),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev("stringListMember(\"mpi\", \"standard, vanilla\")"),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            ev("stringListSize(\"a, b c,,d\")"),
+            Value::Int(4)
+        );
+        assert_eq!(ev("ifThenElse(2 > 1, \"y\", \"n\")"), Value::Str("y".into()));
+        assert_eq!(ev("ifThenElse(missing, 1, 2)"), Value::Undefined);
+        assert_eq!(ev("ifThenElse(5, 1, 2)"), Value::Error);
+        assert_eq!(ev("min(3, 2.5)"), Value::Real(2.5));
+        assert_eq!(ev("max(3, 2.5)"), Value::Int(3));
+        assert_eq!(ev("min(\"x\", 1)"), Value::Error);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the ClassAd language.
+
+use classad::{eval, parse_expr, ClassAd, Expr, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary well-formed ClassAd expressions.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Expr::int),
+        (-100.0f64..100.0).prop_map(|r| Expr::real((r * 100.0).round() / 100.0)),
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Expr::attr(&s)),
+        "[a-zA-Z0-9 ]{0,8}".prop_map(|s| Expr::string(&s)),
+        Just(Expr::boolean(true)),
+        Just(Expr::boolean(false)),
+        Just(Expr::Lit(Value::Undefined)),
+        Just(Expr::Lit(Value::Error)),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Expr::Binary(classad::BinOp::Add, Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Expr::Binary(classad::BinOp::And, Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Expr::Binary(classad::BinOp::Lt, Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Expr::Binary(classad::BinOp::MetaEq, Box::new(a), Box::new(b))
+            }),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::Cond(Box::new(c), Box::new(t), Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(classad::UnOp::Not, Box::new(e))),
+            inner.prop_map(|e| Expr::Unary(classad::UnOp::Neg, Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    /// Printing then reparsing yields the same AST (parenthesisation and
+    /// precedence are mutually consistent).
+    #[test]
+    fn print_parse_round_trip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
+        // The parser canonicalises negative numeric literals; compare
+        // normalised forms.
+        prop_assert_eq!(e.normalize(), reparsed);
+    }
+
+    /// Evaluation is total: any expression evaluates to some value without
+    /// panicking, in an empty ad and in a populated one.
+    #[test]
+    fn eval_is_total(e in arb_expr()) {
+        let empty = ClassAd::new();
+        let _ = eval(&e, &empty, None);
+        let ad = ClassAd::parse("a = 1\nb = a + 1\nc = b > a\nd = \"str\"\n").unwrap();
+        let _ = eval(&e, &ad, Some(&empty));
+    }
+
+    /// Meta-equality is reflexive for any evaluated value.
+    #[test]
+    fn meta_eq_reflexive(e in arb_expr()) {
+        let ad = ClassAd::new();
+        let v = eval(&e, &ad, None);
+        prop_assert!(v.meta_eq(&v));
+    }
+
+    /// The three-valued connectives are commutative in their result for
+    /// pure literal operands.
+    #[test]
+    fn and_commutative_on_literals(a in prop_oneof![
+        Just(Value::Bool(true)), Just(Value::Bool(false)),
+        Just(Value::Undefined), Just(Value::Error)
+    ], b in prop_oneof![
+        Just(Value::Bool(true)), Just(Value::Bool(false)),
+        Just(Value::Undefined), Just(Value::Error)
+    ]) {
+        let ad = ClassAd::new();
+        let ab = Expr::Binary(classad::BinOp::And,
+            Box::new(Expr::Lit(a.clone())), Box::new(Expr::Lit(b.clone())));
+        let ba = Expr::Binary(classad::BinOp::And,
+            Box::new(Expr::Lit(b)), Box::new(Expr::Lit(a)));
+        prop_assert_eq!(eval(&ab, &ad, None), eval(&ba, &ad, None));
+    }
+
+    /// Ads survive a serialize/parse cycle.
+    #[test]
+    fn ad_round_trip(attrs in proptest::collection::vec(
+        ("[a-z][a-z0-9]{0,5}", arb_expr()), 0..8)) {
+        let mut ad = ClassAd::new();
+        for (name, e) in &attrs {
+            ad.insert(name, e.clone().normalize());
+        }
+        let printed = ad.to_string();
+        let reparsed = ClassAd::parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse of ad {printed:?} failed: {err}"));
+        prop_assert_eq!(ad, reparsed);
+    }
+}

@@ -1,0 +1,291 @@
+//! Deployment harness: the simulated testbed plus helpers to place the
+//! monitoring systems on it exactly as the paper did.
+
+use crate::runcfg::{Measurement, RunConfig};
+use ganglia::Monitor;
+use ldapdir::Dn;
+use mds::{default_providers, Giis, Gris};
+use rgma::{ConsumerServlet, ProducerServlet, Registry};
+use hawkeye::{default_modules, AdvertiserFleet, Agent, Manager};
+use simcore::{Engine, SimDuration};
+use simnet::{ClientKey, Eng, Net, NodeId, StatsHub, SvcKey};
+use testbed::{Testbed, TestbedConfig};
+
+/// A ready-to-run simulated testbed with measurement plumbing.
+pub struct Harness {
+    pub net: Net,
+    pub eng: Eng,
+    pub lucky: Vec<NodeId>,
+    pub uc: Vec<NodeId>,
+    pub cfg: RunConfig,
+    monitor: Option<ClientKey>,
+    server_node: Option<NodeId>,
+}
+
+impl Harness {
+    /// Build the Lucky/UC testbed with the run's parameters.
+    pub fn new(cfg: RunConfig) -> Harness {
+        let tb = Testbed::build(TestbedConfig {
+            wan_bps: cfg.params.wan_bps,
+            wan_latency: cfg.params.wan_latency,
+            ..TestbedConfig::default()
+        });
+        let Testbed {
+            topo, lucky, uc, ..
+        } = tb;
+        let stats = StatsHub::new(cfg.window_start(), cfg.window_end());
+        let net = Net::new(topo, stats);
+        let eng: Eng = Engine::new(cfg.seed);
+        Harness {
+            net,
+            eng,
+            lucky,
+            uc,
+            cfg,
+            monitor: None,
+            server_node: None,
+        }
+    }
+
+    /// The node of a lucky host by name (`lucky0`..`lucky7`, no lucky2).
+    pub fn lucky(&self, name: &str) -> NodeId {
+        self.net
+            .topo
+            .find_node(name)
+            .unwrap_or_else(|| panic!("no host {name}"))
+    }
+
+    /// Install the Ganglia monitor watching `server` (the host whose
+    /// load1/CPU the experiment reports).
+    pub fn watch(&mut self, server: NodeId) {
+        let mut watched = vec![server];
+        watched.extend(self.uc.iter().copied().take(2)); // client-side visibility
+        self.monitor = Some(self.net.add_client(Box::new(Monitor::new(&watched))));
+        self.server_node = Some(server);
+    }
+
+    /// Start everything and run to the end of the measurement window,
+    /// then collect the paper's four metrics for `x` on the x-axis.
+    pub fn run_and_measure(&mut self, x: f64) -> Measurement {
+        assert!(self.monitor.is_some(), "call watch() before running");
+        self.net.start(&mut self.eng);
+        self.eng.run_until(&mut self.net, self.cfg.window_end());
+        let (ws, we) = (self.cfg.window_start(), self.cfg.window_end());
+        let monitor: &Monitor = self
+            .net
+            .client_as(self.monitor.unwrap())
+            .expect("monitor");
+        let server = self.server_node.unwrap();
+        Measurement {
+            x,
+            throughput: self.net.stats.throughput("user"),
+            response_time: self.net.stats.mean_response_time("user"),
+            load1: monitor.load1_mean(server, ws, we),
+            cpu_load: monitor.cpu_mean(server, ws, we),
+            refused: self.net.stats.counter("user.refused"),
+            completions: self.net.stats.completions("user"),
+        }
+    }
+}
+
+/// The standard MDS suffixes.
+pub fn gris_suffix(i: usize) -> Dn {
+    Dn::parse(&format!("mds-vo-name=resource-{i}, o=grid")).expect("suffix")
+}
+
+pub fn giis_suffix() -> Dn {
+    Dn::parse("mds-vo-name=site, o=giis").expect("suffix")
+}
+
+/// Deploy one GRIS with `providers` information providers on `node`.
+/// `cache` selects the paper's "always in cache" vs "never in cache"
+/// configurations; `gsi` enables the GSI-authenticated bind (Experiment
+/// Set 1's configuration — Set 3's sub-second cached responses imply
+/// anonymous binds there).
+pub fn deploy_gris(h: &mut Harness, node: NodeId, providers: usize, cache: bool, gsi: bool) -> SvcKey {
+    let suffix = gris_suffix(0);
+    let ttl = if cache {
+        None
+    } else {
+        Some(SimDuration::ZERO)
+    };
+    let host = h.net.topo.node(node).name.clone();
+    let gris = Gris::new(
+        suffix.clone(),
+        default_providers(&suffix, &host, providers, ttl),
+    );
+    let mut cfg = h.cfg.params.gris_config();
+    if !gsi {
+        cfg.setup = h.cfg.params.giis_setup;
+    }
+    let exec_lock = h.net.add_lock(1);
+    let key = h.net.add_service(node, cfg, Box::new(gris), &mut h.eng);
+    let g = h.net.service_as_mut::<Gris>(key).unwrap();
+    g.me = Some(key);
+    g.exec_lock = Some(exec_lock);
+    key
+}
+
+/// Deploy a GIIS on `node` with `n_gris` registered GRISes spread over
+/// `gris_nodes` (round-robin), each with 10 providers.  Returns the GIIS
+/// key and the graft DNs of the registered GRISes (for "query part").
+pub fn deploy_giis(
+    h: &mut Harness,
+    node: NodeId,
+    gris_nodes: &[NodeId],
+    n_gris: usize,
+    cachettl: Option<SimDuration>,
+) -> (SvcKey, Vec<Dn>) {
+    let giis = Giis::new(giis_suffix(), cachettl);
+    let giis_cfg = h.cfg.params.giis_config();
+    let giis_key = h.net.add_service(node, giis_cfg, Box::new(giis), &mut h.eng);
+    let mut grafts = Vec::with_capacity(n_gris);
+    for i in 0..n_gris {
+        let gnode = gris_nodes[i % gris_nodes.len()];
+        let suffix = gris_suffix(i);
+        let host = format!("{}-gris{i}", h.net.topo.node(gnode).name);
+        let mut gris = Gris::new(suffix.clone(), default_providers(&suffix, &host, 10, None));
+        gris.register_with(giis_key);
+        let cfg = h.cfg.params.gris_config();
+        let key = h.net.add_service(gnode, cfg, Box::new(gris), &mut h.eng);
+        h.net.service_as_mut::<Gris>(key).unwrap().me = Some(key);
+        // Stagger the registration heartbeats over the 30 s period.
+        let offset = SimDuration::from_micros(50_000 + (i as u64 * 29_900_000) / n_gris.max(1) as u64);
+        h.net.prime_service_timer(&mut h.eng, key, offset, 0);
+        // The graft label is deterministic from the service key.
+        grafts.push(
+            giis_suffix().child("Mds-Vo-name", &format!("sub-{}-{}", key.index, key.gen)),
+        );
+    }
+    (giis_key, grafts)
+}
+
+/// Deploy a Hawkeye Manager on `node`.
+pub fn deploy_manager(h: &mut Harness, node: NodeId) -> SvcKey {
+    let cfg = h.cfg.params.manager_config();
+    h.net
+        .add_service(node, cfg, Box::new(Manager::new()), &mut h.eng)
+}
+
+/// Deploy a Hawkeye Agent with `modules` modules on `node`, registered
+/// to `manager` (advertising every 30 s).
+pub fn deploy_agent(h: &mut Harness, node: NodeId, modules: usize, manager: SvcKey) -> SvcKey {
+    let host = h.net.topo.node(node).name.clone();
+    let mut agent = Agent::new(host.clone(), default_modules(&host, modules));
+    agent.register_with(manager);
+    let cfg = h.cfg.params.agent_config();
+    let key = h.net.add_service(node, cfg, Box::new(agent), &mut h.eng);
+    h.net
+        .prime_service_timer(&mut h.eng, key, SimDuration::from_millis(500), 0);
+    key
+}
+
+/// Deploy the `hawkeye_advertise` fleet: `machines` simulated pool
+/// members on `node`, advertising to `manager` on staggered 30 s timers.
+pub fn deploy_advertiser_fleet(
+    h: &mut Harness,
+    node: NodeId,
+    machines: usize,
+    manager: SvcKey,
+) -> SvcKey {
+    let fleet = AdvertiserFleet::new(manager, machines, 11);
+    let cfg = simnet::ServiceConfig::default();
+    let key = h.net.add_service(node, cfg, Box::new(fleet), &mut h.eng);
+    for i in 0..machines as u64 {
+        let offset = SimDuration::from_micros(100_000 + i * 30_000_000 / machines.max(1) as u64);
+        h.net.prime_service_timer(&mut h.eng, key, offset, i);
+    }
+    key
+}
+
+/// Deploy the R-GMA Registry on `node` (with its RDBMS lock).
+pub fn deploy_registry(h: &mut Harness, node: NodeId) -> SvcKey {
+    let lock = h.net.add_lock(1);
+    let mut registry = Registry::new();
+    registry.db_lock = Some(lock);
+    let cfg = h.cfg.params.servlet_config();
+    h.net.add_service(node, cfg, Box::new(registry), &mut h.eng)
+}
+
+/// Deploy a ProducerServlet with `producers` producers on `node`,
+/// registering with `registry`.
+pub fn deploy_producer_servlet(
+    h: &mut Harness,
+    node: NodeId,
+    producers: usize,
+    registry: SvcKey,
+) -> SvcKey {
+    let lock = h.net.add_lock(1);
+    let site = h.net.topo.node(node).name.clone();
+    let mut ps = ProducerServlet::new(rgma::producer::default_producers(&site, producers));
+    ps.db_lock = Some(lock);
+    ps.register_with(registry);
+    let cfg = h.cfg.params.servlet_config();
+    let key = h.net.add_service(node, cfg, Box::new(ps), &mut h.eng);
+    h.net.service_as_mut::<ProducerServlet>(key).unwrap().me = Some(key);
+    h.net
+        .prime_service_timer(&mut h.eng, key, SimDuration::from_millis(200), 0);
+    key
+}
+
+/// Deploy a ConsumerServlet on `node` pointed at `registry`.
+pub fn deploy_consumer_servlet(h: &mut Harness, node: NodeId, registry: SvcKey) -> SvcKey {
+    let cfg = h.cfg.params.servlet_config();
+    h.net
+        .add_service(node, cfg, Box::new(ConsumerServlet::new(registry)), &mut h.eng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runcfg::RunConfig;
+
+    #[test]
+    fn harness_builds_testbed() {
+        let h = Harness::new(RunConfig::quick(1));
+        assert_eq!(h.lucky.len(), 7);
+        assert_eq!(h.uc.len(), 20);
+        assert_eq!(h.lucky("lucky7"), h.lucky[6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no host")]
+    fn unknown_host_panics() {
+        let h = Harness::new(RunConfig::quick(1));
+        let _ = h.lucky("lucky2");
+    }
+
+    #[test]
+    fn deploys_compose() {
+        let mut h = Harness::new(RunConfig::quick(2));
+        let l3 = h.lucky("lucky3");
+        let l4 = h.lucky("lucky4");
+        let l7 = h.lucky("lucky7");
+        let l0 = h.lucky("lucky0");
+        let gris = deploy_gris(&mut h, l7, 10, true, true);
+        let (giis, grafts) = deploy_giis(&mut h, l0, &[l3, l4], 4, None);
+        let mgr = deploy_manager(&mut h, l3);
+        let agent = deploy_agent(&mut h, l4, 11, mgr);
+        let l1 = h.lucky("lucky1");
+        let l5 = h.lucky("lucky5");
+        let reg = deploy_registry(&mut h, l1);
+        let ps = deploy_producer_servlet(&mut h, l3, 10, reg);
+        let cs = deploy_consumer_servlet(&mut h, l5, reg);
+        assert_eq!(grafts.len(), 4);
+        for k in [gris, giis, mgr, agent, reg, ps, cs] {
+            assert!(h.net.service(k).is_some());
+        }
+        // Run briefly: registrations and advertises flow without panics.
+        h.watch(l3);
+        h.net.start(&mut h.eng);
+        h.eng
+            .run_until(&mut h.net, simcore::SimTime::from_secs(65));
+        assert_eq!(
+            h.net.service_as::<Manager>(mgr).unwrap().pool_size(),
+            1
+        );
+        assert_eq!(h.net.service_as::<Giis>(giis).unwrap().registered_count(), 4);
+        let registry = h.net.service_as_mut::<Registry>(reg).unwrap();
+        assert_eq!(registry.producer_count(), 10);
+    }
+}

@@ -1,0 +1,565 @@
+//! The paper's four experiment sets (sections 3.3–3.6).
+//!
+//! Every experiment point deploys the system under test on the simulated
+//! Lucky testbed, drives it with closed-loop users (1-second wait), runs
+//! a warm-up plus the measurement window, and reports throughput,
+//! response time, server-host `load1` and CPU load — the four metrics of
+//! every figure in the paper.
+
+use crate::deploy::{
+    deploy_advertiser_fleet, deploy_agent, deploy_consumer_servlet, deploy_giis, deploy_gris,
+    deploy_manager, deploy_producer_servlet, deploy_registry, giis_suffix, gris_suffix, Harness,
+};
+use crate::runcfg::{Measurement, RunConfig};
+use hawkeye::HawkeyeMsg;
+use ldapdir::{Filter, Scope};
+use mds::MdsRequest;
+use rgma::RgmaMsg;
+use simnet::{NodeId, SvcKey};
+use workload::{QueryFactory, UserConfig};
+
+/// Place `users` on the UC cluster (≤50 per machine, as in the paper).
+fn uc_placement(h: &Harness, users: u32) -> Vec<NodeId> {
+    let hosts = h.uc.clone();
+    (0..users as usize).map(|i| hosts[i % hosts.len()]).collect()
+}
+
+fn user_config(h: &Harness, client_cpu_us: f64) -> UserConfig {
+    UserConfig {
+        think: h.cfg.params.think,
+        retry_base: h.cfg.params.retry_base,
+        retry_cap: h.cfg.params.retry_cap,
+        series: "user".to_string(),
+        client_cpu_us,
+    }
+}
+
+fn spawn(
+    h: &mut Harness,
+    placement: &[NodeId],
+    target: SvcKey,
+    client_cpu_us: f64,
+    factory: impl FnMut() -> QueryFactory,
+) {
+    let cfg = user_config(h, client_cpu_us);
+    workload::spawn_users(&mut h.net, &mut h.eng, placement, target, &cfg, factory);
+}
+
+// ======================================================================
+// Experiment Set 1 — information server scalability with users
+// ======================================================================
+pub mod set1 {
+    use super::*;
+
+    /// The five series of Figs 5–8.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Set1Series {
+        /// MDS GRIS, provider data always in cache.
+        GrisCache,
+        /// MDS GRIS, data never in cache.
+        GrisNoCache,
+        /// Hawkeye Agent (Manager on lucky3).
+        HawkeyeAgent,
+        /// R-GMA: one ConsumerServlet per Lucky client node.
+        ProducerServletLucky,
+        /// R-GMA: a single ConsumerServlet at UC.
+        ProducerServletUC,
+    }
+
+    impl Set1Series {
+        pub const ALL: [Set1Series; 5] = [
+            Set1Series::GrisCache,
+            Set1Series::GrisNoCache,
+            Set1Series::HawkeyeAgent,
+            Set1Series::ProducerServletLucky,
+            Set1Series::ProducerServletUC,
+        ];
+
+        pub fn label(self) -> &'static str {
+            match self {
+                Set1Series::GrisCache => "MDS GRIS (cache)",
+                Set1Series::GrisNoCache => "MDS GRIS (nocache)",
+                Set1Series::HawkeyeAgent => "Hawkeye Agent",
+                Set1Series::ProducerServletLucky => "R-GMA ProducerServlet(lucky)",
+                Set1Series::ProducerServletUC => "R-GMA ProducerServlet(UC)",
+            }
+        }
+
+        /// The x-values the paper plots for this series (the UC R-GMA
+        /// variant stops at 100 users; see section 3.1).
+        pub fn user_counts(self) -> &'static [u32] {
+            match self {
+                Set1Series::ProducerServletUC => &[1, 10, 50, 100],
+                _ => &[1, 10, 50, 100, 200, 300, 400, 500, 600],
+            }
+        }
+    }
+
+    /// Run one point of Experiment Set 1.
+    pub fn run_point(series: Set1Series, users: u32, cfg: &RunConfig) -> Measurement {
+        let mut h = Harness::new(*cfg);
+        match series {
+            Set1Series::GrisCache | Set1Series::GrisNoCache => {
+                let server = h.lucky("lucky7");
+                let cache = series == Set1Series::GrisCache;
+                let gris = deploy_gris(&mut h, server, 10, cache, /*gsi=*/ true);
+                h.watch(server);
+                let placement = uc_placement(&h, users);
+                let cpu = h.cfg.params.mds_client_cpu_us;
+                spawn(&mut h, &placement, gris, cpu, || {
+                    Box::new(|_rng| {
+                        let req = MdsRequest::search_all(gris_suffix(0));
+                        let bytes = req.wire_size();
+                        (Box::new(req) as simnet::Payload, bytes)
+                    })
+                });
+            }
+            Set1Series::HawkeyeAgent => {
+                let mgr_node = h.lucky("lucky3");
+                let agent_node = h.lucky("lucky4");
+                let mgr = deploy_manager(&mut h, mgr_node);
+                let agent = deploy_agent(&mut h, agent_node, 11, mgr);
+                h.watch(agent_node);
+                let placement = uc_placement(&h, users);
+                let cpu = h.cfg.params.condor_client_cpu_us;
+                spawn(&mut h, &placement, agent, cpu, || {
+                    Box::new(|_rng| {
+                        let m = HawkeyeMsg::AgentStatus;
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+            }
+            Set1Series::ProducerServletUC => {
+                let ps_node = h.lucky("lucky3");
+                let reg_node = h.lucky("lucky1");
+                let reg = deploy_registry(&mut h, reg_node);
+                let ps = deploy_producer_servlet(&mut h, ps_node, 10, reg);
+                let _ = ps;
+                let uc0 = h.uc[0];
+                let cs = deploy_consumer_servlet(&mut h, uc0, reg);
+                h.watch(ps_node);
+                let placement = uc_placement(&h, users);
+                let cpu = h.cfg.params.rgma_client_cpu_us;
+                spawn(&mut h, &placement, cs, cpu, || {
+                    Box::new(|_rng| {
+                        let m = RgmaMsg::ConsumerQuery {
+                            sql: "SELECT * FROM cpuload".into(),
+                        };
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+            }
+            Set1Series::ProducerServletLucky => {
+                let ps_node = h.lucky("lucky3");
+                let reg_node = h.lucky("lucky1");
+                let reg = deploy_registry(&mut h, reg_node);
+                let _ps = deploy_producer_servlet(&mut h, ps_node, 10, reg);
+                // One ConsumerServlet per client node (lucky minus the
+                // servlet hosts), users placed beside their servlet.
+                let client_nodes: Vec<NodeId> = h
+                    .lucky
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != ps_node && n != reg_node)
+                    .collect();
+                let servlets: Vec<SvcKey> = client_nodes
+                    .iter()
+                    .map(|&n| deploy_consumer_servlet(&mut h, n, reg))
+                    .collect();
+                h.watch(ps_node);
+                let placement: Vec<(NodeId, SvcKey)> = (0..users as usize)
+                    .map(|i| {
+                        let j = i % client_nodes.len();
+                        (client_nodes[j], servlets[j])
+                    })
+                    .collect();
+                let cpu = h.cfg.params.rgma_client_cpu_us;
+                let ucfg = user_config(&h, cpu);
+                workload::spawn_users_to(&mut h.net, &mut h.eng, &placement, &ucfg, || {
+                    Box::new(|_rng| {
+                        let m = RgmaMsg::ConsumerQuery {
+                            sql: "SELECT * FROM cpuload".into(),
+                        };
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+            }
+        }
+        h.run_and_measure(users as f64)
+    }
+}
+
+// ======================================================================
+// Experiment Set 2 — directory server scalability with users
+// ======================================================================
+pub mod set2 {
+    use super::*;
+
+    /// The four series of Figs 9–12.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Set2Series {
+        /// MDS GIIS (cachettl pinned: data always cached).
+        Giis,
+        /// Hawkeye Manager with 6 registered Agents.
+        HawkeyeManager,
+        /// R-GMA Registry queried from the Lucky nodes.
+        RegistryLucky,
+        /// R-GMA Registry queried from UC.
+        RegistryUC,
+    }
+
+    impl Set2Series {
+        pub const ALL: [Set2Series; 4] = [
+            Set2Series::Giis,
+            Set2Series::HawkeyeManager,
+            Set2Series::RegistryLucky,
+            Set2Series::RegistryUC,
+        ];
+
+        pub fn label(self) -> &'static str {
+            match self {
+                Set2Series::Giis => "MDS GIIS",
+                Set2Series::HawkeyeManager => "Hawkeye Manager",
+                Set2Series::RegistryLucky => "R-GMA Registry(lucky)",
+                Set2Series::RegistryUC => "R-GMA Registry(UC)",
+            }
+        }
+
+        pub fn user_counts(self) -> &'static [u32] {
+            match self {
+                Set2Series::RegistryUC => &[1, 10, 50, 100],
+                _ => &[1, 10, 50, 100, 200, 300, 400, 500, 600],
+            }
+        }
+    }
+
+    /// Run one point of Experiment Set 2.
+    pub fn run_point(series: Set2Series, users: u32, cfg: &RunConfig) -> Measurement {
+        let mut h = Harness::new(*cfg);
+        match series {
+            Set2Series::Giis => {
+                // GIIS on lucky0; a GRIS with 10 providers on each of
+                // lucky3..lucky7; cachettl very large (always cached).
+                let giis_node = h.lucky("lucky0");
+                let gris_nodes: Vec<NodeId> = ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]
+                    .iter()
+                    .map(|n| h.lucky(n))
+                    .collect();
+                let (giis, _grafts) = deploy_giis(&mut h, giis_node, &gris_nodes, 5, None);
+                h.watch(giis_node);
+                let placement = uc_placement(&h, users);
+                let cpu = h.cfg.params.mds_client_cpu_us;
+                spawn(&mut h, &placement, giis, cpu, || {
+                    Box::new(|_rng| {
+                        let req = MdsRequest::Search {
+                            base: giis_suffix(),
+                            scope: Scope::Sub,
+                            filter: Filter::parse("(mds-device-group-name=cpu)").unwrap(),
+                            attrs: None,
+                        };
+                        let bytes = req.wire_size();
+                        (Box::new(req) as simnet::Payload, bytes)
+                    })
+                });
+            }
+            Set2Series::HawkeyeManager => {
+                // Manager on lucky3; 6 Agents (one per other lucky node),
+                // 11 default modules each.
+                let mgr_node = h.lucky("lucky3");
+                let mgr = deploy_manager(&mut h, mgr_node);
+                let agent_hosts: Vec<String> = ["lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7"]
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect();
+                for name in &agent_hosts {
+                    let node = h.lucky(name);
+                    deploy_agent(&mut h, node, 11, mgr);
+                }
+                h.watch(mgr_node);
+                let placement = uc_placement(&h, users);
+                let cpu = h.cfg.params.condor_client_cpu_us;
+                spawn(&mut h, &placement, mgr, cpu, move || {
+                    let hosts = agent_hosts.clone();
+                    Box::new(move |rng| {
+                        let host = hosts[rng.next_below(hosts.len() as u64) as usize].clone();
+                        let m = HawkeyeMsg::Status {
+                            machine: Some(host),
+                        };
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+            }
+            Set2Series::RegistryLucky | Set2Series::RegistryUC => {
+                // Registry on lucky1; a ProducerServlet with 10 producers
+                // on each of five other lucky nodes.
+                let reg_node = h.lucky("lucky1");
+                let reg = deploy_registry(&mut h, reg_node);
+                let tables: Vec<String> = rgma::producer::default_producers("anl", 10)
+                    .into_iter()
+                    .map(|p| p.table)
+                    .collect();
+                for name in ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"] {
+                    let node = h.lucky(name);
+                    deploy_producer_servlet(&mut h, node, 10, reg);
+                }
+                h.watch(reg_node);
+                let placement = if series == Set2Series::RegistryUC {
+                    uc_placement(&h, users)
+                } else {
+                    // Users on the lucky nodes themselves (120 per node).
+                    let hosts: Vec<NodeId> = ["lucky0", "lucky3", "lucky4", "lucky5", "lucky6"]
+                        .iter()
+                        .map(|n| h.lucky(n))
+                        .collect();
+                    (0..users as usize).map(|i| hosts[i % hosts.len()]).collect()
+                };
+                let cpu = h.cfg.params.rgma_client_cpu_us;
+                spawn(&mut h, &placement, reg, cpu, move || {
+                    let tables = tables.clone();
+                    Box::new(move |rng| {
+                        let t = tables[rng.next_below(tables.len() as u64) as usize].clone();
+                        let m = RgmaMsg::RegistryLookup { table: t };
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+            }
+        }
+        h.run_and_measure(users as f64)
+    }
+}
+
+// ======================================================================
+// Experiment Set 3 — information server scalability with collectors
+// ======================================================================
+pub mod set3 {
+    use super::*;
+
+    /// The four series of Figs 13–16 (10 concurrent users throughout).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Set3Series {
+        GrisCache,
+        GrisNoCache,
+        HawkeyeAgent,
+        ProducerServlet,
+    }
+
+    pub const USERS: u32 = 10;
+
+    impl Set3Series {
+        pub const ALL: [Set3Series; 4] = [
+            Set3Series::GrisCache,
+            Set3Series::GrisNoCache,
+            Set3Series::HawkeyeAgent,
+            Set3Series::ProducerServlet,
+        ];
+
+        pub fn label(self) -> &'static str {
+            match self {
+                Set3Series::GrisCache => "MDS GRIS(cache)",
+                Set3Series::GrisNoCache => "MDS GRIS(no cache)",
+                Set3Series::HawkeyeAgent => "Hawkeye Agent",
+                Set3Series::ProducerServlet => "R-GMA ProducerServlet",
+            }
+        }
+
+        /// Collector counts the paper sweeps (defaults are 10 for MDS,
+        /// 11 for Hawkeye; both scale to 90).
+        pub fn collector_counts(self) -> &'static [u32] {
+            match self {
+                Set3Series::HawkeyeAgent => &[11, 20, 30, 40, 50, 60, 70, 80, 90],
+                _ => &[10, 20, 30, 40, 50, 60, 70, 80, 90],
+            }
+        }
+    }
+
+    /// Run one point of Experiment Set 3.
+    pub fn run_point(series: Set3Series, collectors: u32, cfg: &RunConfig) -> Measurement {
+        let mut h = Harness::new(*cfg);
+        match series {
+            Set3Series::GrisCache | Set3Series::GrisNoCache => {
+                let server = h.lucky("lucky7");
+                let cache = series == Set3Series::GrisCache;
+                // Anonymous binds: the paper's Set-3 cached responses are
+                // sub-second, which rules out the 4 s GSI bind of Set 1.
+                let gris = deploy_gris(&mut h, server, collectors as usize, cache, /*gsi=*/ false);
+                h.watch(server);
+                let placement = uc_placement(&h, USERS);
+                let cpu = h.cfg.params.mds_client_cpu_us;
+                spawn(&mut h, &placement, gris, cpu, || {
+                    Box::new(|_rng| {
+                        let req = MdsRequest::search_all(gris_suffix(0));
+                        let bytes = req.wire_size();
+                        (Box::new(req) as simnet::Payload, bytes)
+                    })
+                });
+            }
+            Set3Series::HawkeyeAgent => {
+                let mgr_node = h.lucky("lucky3");
+                let agent_node = h.lucky("lucky4");
+                let mgr = deploy_manager(&mut h, mgr_node);
+                let agent = deploy_agent(&mut h, agent_node, collectors as usize, mgr);
+                h.watch(agent_node);
+                let placement = uc_placement(&h, USERS);
+                let cpu = h.cfg.params.condor_client_cpu_us;
+                spawn(&mut h, &placement, agent, cpu, || {
+                    Box::new(|_rng| {
+                        let m = HawkeyeMsg::AgentFull;
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+            }
+            Set3Series::ProducerServlet => {
+                // Queried directly (the paper: "We queried the
+                // ProducerServlet directly").
+                let ps_node = h.lucky("lucky3");
+                let reg_node = h.lucky("lucky1");
+                let reg = deploy_registry(&mut h, reg_node);
+                let ps = deploy_producer_servlet(&mut h, ps_node, collectors as usize, reg);
+                h.watch(ps_node);
+                let placement = uc_placement(&h, USERS);
+                let cpu = h.cfg.params.rgma_client_cpu_us;
+                spawn(&mut h, &placement, ps, cpu, || {
+                    Box::new(|_rng| {
+                        let m = RgmaMsg::ProducerQuery {
+                            sql: "*ALL*".into(),
+                        };
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+            }
+        }
+        h.run_and_measure(collectors as f64)
+    }
+}
+
+// ======================================================================
+// Experiment Set 4 — aggregate information server scalability
+// ======================================================================
+pub mod set4 {
+    use super::*;
+
+    /// The three series of Figs 17–20 (10 concurrent users throughout).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Set4Series {
+        /// MDS GIIS, users query all registered GRIS data (≤200: beyond
+        /// that the GIIS crashed on the real testbed).
+        GiisQueryAll,
+        /// MDS GIIS, users query one registered GRIS's subtree (≤500).
+        GiisQueryPart,
+        /// Hawkeye Manager with `hawkeye_advertise`-simulated machines
+        /// (≤1000), worst-case constraint scan.
+        HawkeyeManager,
+    }
+
+    pub const USERS: u32 = 10;
+
+    impl Set4Series {
+        pub const ALL: [Set4Series; 3] = [
+            Set4Series::GiisQueryAll,
+            Set4Series::GiisQueryPart,
+            Set4Series::HawkeyeManager,
+        ];
+
+        pub fn label(self) -> &'static str {
+            match self {
+                Set4Series::GiisQueryAll => "MDS GIIS(query all)",
+                Set4Series::GiisQueryPart => "MDS GIIS (query part)",
+                Set4Series::HawkeyeManager => "Hawkeye Manager",
+            }
+        }
+
+        /// Information-server counts per series (the paper's software
+        /// limits: 200 for query-all, 500 for query-part, 1000 machines
+        /// for the Manager).
+        pub fn server_counts(self) -> &'static [u32] {
+            match self {
+                Set4Series::GiisQueryAll => &[10, 50, 100, 150, 200],
+                Set4Series::GiisQueryPart => &[10, 50, 100, 200, 300, 400, 500],
+                Set4Series::HawkeyeManager => &[10, 50, 100, 200, 400, 600, 800, 1000],
+            }
+        }
+    }
+
+    /// Run one point of Experiment Set 4.
+    pub fn run_point(series: Set4Series, servers: u32, cfg: &RunConfig) -> Measurement {
+        let mut h = Harness::new(*cfg);
+        match series {
+            Set4Series::GiisQueryAll | Set4Series::GiisQueryPart => {
+                // GIIS on lucky0; GRIS instances spread over the other
+                // lucky nodes; default cachettl (30 s) — the GIIS serves
+                // from cache and re-pulls expired subtrees.
+                let giis_node = h.lucky("lucky0");
+                let gris_nodes: Vec<NodeId> = ["lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]
+                    .iter()
+                    .map(|n| h.lucky(n))
+                    .collect();
+                let ttl = h.cfg.params.giis_exp4_cachettl;
+                let (giis, grafts) =
+                    deploy_giis(&mut h, giis_node, &gris_nodes, servers as usize, Some(ttl));
+                h.watch(giis_node);
+                let placement = uc_placement(&h, USERS);
+                let cpu = h.cfg.params.mds_client_cpu_us;
+                let all = series == Set4Series::GiisQueryAll;
+                let _ = grafts; // grafts remain available for subtree workloads
+                spawn(&mut h, &placement, giis, cpu, move || {
+                    Box::new(move |_rng| {
+                        let req = if all {
+                            // "queried for all of the data available from
+                            // each of the registered GRIS".
+                            MdsRequest::search_all(giis_suffix())
+                        } else {
+                            // "asked for only a portion of the data from
+                            // each registered GRIS": the cpu device group
+                            // of every source, device names only.
+                            MdsRequest::Search {
+                                base: giis_suffix(),
+                                scope: Scope::Sub,
+                                filter: Filter::parse("(mds-device-group-name=cpu)").unwrap(),
+                                attrs: Some(vec![
+                                    "mds-device-group-name".into(),
+                                    "objectclass".into(),
+                                ]),
+                            }
+                        };
+                        let bytes = req.wire_size();
+                        (Box::new(req) as simnet::Payload, bytes)
+                    })
+                });
+            }
+            Set4Series::HawkeyeManager => {
+                let mgr_node = h.lucky("lucky3");
+                let mgr = deploy_manager(&mut h, mgr_node);
+                // The advertiser fleet lives on lucky4 (the paper used
+                // `hawkeye_advertise` from testbed hosts).
+                let fleet_node = h.lucky("lucky4");
+                deploy_advertiser_fleet(&mut h, fleet_node, servers as usize, mgr);
+                h.watch(mgr_node);
+                let placement = uc_placement(&h, USERS);
+                let cpu = h.cfg.params.condor_client_cpu_us;
+                spawn(&mut h, &placement, mgr, cpu, || {
+                    Box::new(|_rng| {
+                        // Worst case: a constraint no machine satisfies.
+                        let m = HawkeyeMsg::Constraint {
+                            expr: "NoSuchAttribute =?= 424242".into(),
+                        };
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+            }
+        }
+        h.run_and_measure(servers as f64)
+    }
+}
+
+pub use set1::Set1Series;
+pub use set2::Set2Series;
+pub use set3::Set3Series;
+pub use set4::Set4Series;

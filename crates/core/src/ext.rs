@@ -1,0 +1,269 @@
+//! Extension studies — the paper's "future work", implemented.
+//!
+//! Section 4 lists three follow-ups; each has a runner here:
+//!
+//! 1. **WAN environment** — "the experiments should be repeated to study
+//!    performance in a WAN environment": [`wan_study`] sweeps the UC-ANL
+//!    link capacity/latency for the directory-server experiment.
+//! 2. **Aggregate vs direct** — "determine the difference between
+//!    querying an aggregate information server and an information server
+//!    for the same piece of information": [`aggregate_vs_direct`].
+//! 3. **Access patterns** — "additional patterns of user access":
+//!    [`open_loop_study`] replaces the closed-loop users with a Poisson
+//!    open-loop arrival stream and reports the loss rate.
+//!
+//! A fourth extension implements the paper's own scalability proposals:
+//! [`hierarchy_study`] builds the "multi-layer architecture in which each
+//! middle-level aggregate information server manages a subset of
+//! information servers" and compares it with the flat GIIS of Experiment
+//! Set 4, and [`composite_study`] exercises the R-GMA composite
+//! Consumer/Producer the paper describes but R-GMA never shipped.
+
+use crate::deploy::{
+    deploy_producer_servlet, deploy_registry, giis_suffix, Harness,
+};
+use crate::experiments::{set2, set4};
+use crate::runcfg::{Measurement, RunConfig};
+use ldapdir::Dn;
+use mds::{Giis, MdsRequest};
+use rgma::{CompositeProducer, RgmaMsg};
+use simcore::{SimDuration, SimRng};
+use simnet::{NodeId, Payload, ServiceConfig};
+use workload::{OpenLoopSource, UserConfig};
+
+/// One row of the WAN study: link parameters plus the measured metrics.
+#[derive(Debug, Clone)]
+pub struct WanPoint {
+    pub label: String,
+    pub wan_mbps: f64,
+    pub wan_latency_ms: u64,
+    pub m: Measurement,
+}
+
+/// Repeat the directory-server experiment (GIIS, 200 users) across WAN
+/// qualities, from campus LAN to a transatlantic-grade path.
+pub fn wan_study(cfg: &RunConfig, users: u32) -> Vec<WanPoint> {
+    let cases = [
+        ("lan-100mbit-0.1ms", 100e6, 0u64),
+        ("metro-40mbit-5ms", 40e6, 5),
+        ("wan-10mbit-25ms", 10e6, 25),
+        ("intercontinental-4mbit-80ms", 4e6, 80),
+    ];
+    cases
+        .iter()
+        .map(|&(label, bps, lat_ms)| {
+            let mut c = *cfg;
+            c.params.wan_bps = bps;
+            c.params.wan_latency = SimDuration::from_millis(lat_ms.max(1));
+            let m = set2::run_point(set2::Set2Series::Giis, users, &c);
+            WanPoint {
+                label: label.to_string(),
+                wan_mbps: bps / 1e6,
+                wan_latency_ms: lat_ms,
+                m,
+            }
+        })
+        .collect()
+}
+
+/// Query the same piece of information (one resource's subtree) from the
+/// GRIS that owns it and from the GIIS that aggregates it.  Returns
+/// `(direct, via_aggregate)`.
+pub fn aggregate_vs_direct(cfg: &RunConfig, users: u32) -> (Measurement, Measurement) {
+    use crate::experiments::set1;
+    // Direct: the Set-1 cached-GRIS experiment *is* the direct query.
+    let direct = set1::run_point(set1::Set1Series::GrisCache, users, cfg);
+    // Via the aggregate: Set-2's GIIS experiment queries the same host
+    // data through the directory.
+    let via = set2::run_point(set2::Set2Series::Giis, users, cfg);
+    (direct, via)
+}
+
+/// Flat vs hierarchical aggregation: `n` GRISes behind one GIIS, vs the
+/// same `n` split over `branches` mid-level GIISes under a top GIIS.
+/// Returns `(flat, hierarchical)` for 10 users querying everything.
+pub fn hierarchy_study(cfg: &RunConfig, n: u32, branches: usize) -> (Measurement, Measurement) {
+    let flat = set4::run_point(set4::Set4Series::GiisQueryAll, n, cfg);
+    let hier = run_hierarchical(cfg, n, branches);
+    (flat, hier)
+}
+
+fn run_hierarchical(cfg: &RunConfig, n: u32, branches: usize) -> Measurement {
+    let mut h = Harness::new(*cfg);
+    let top_node = h.lucky("lucky0");
+    let mid_hosts = ["lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
+    let branches = branches.min(mid_hosts.len());
+    // Top-level GIIS with pinned cache over the mid level (the mid level
+    // carries the churn).
+    let top = {
+        let giis = Giis::new(giis_suffix(), Some(cfg.params.giis_exp4_cachettl));
+        let gc = cfg.params.giis_config();
+        h.net.add_service(top_node, gc, Box::new(giis), &mut h.eng)
+    };
+    // Mid-level GIISes, each managing a subset of the GRISes.
+    let per_branch = (n as usize).div_ceil(branches);
+    let mut assigned = 0usize;
+    for (b, host) in mid_hosts.iter().take(branches).enumerate() {
+        let node = h.lucky(host);
+        let suffix = Dn::parse(&format!("mds-vo-name=branch-{b}, o=giis")).expect("suffix");
+        let mid = {
+            let mut giis = Giis::new(suffix, Some(cfg.params.giis_exp4_cachettl));
+            giis.register_with(top);
+            let gc = cfg.params.giis_config();
+            h.net.add_service(node, gc, Box::new(giis), &mut h.eng)
+        };
+        h.net.service_as_mut::<Giis>(mid).unwrap().me = Some(mid);
+        h.net
+            .prime_service_timer(&mut h.eng, mid, SimDuration::from_millis(20 + b as u64 * 7), 0);
+        // This branch's GRISes live on the same host pool.
+        let take = per_branch.min((n as usize) - assigned);
+        if take > 0 {
+            let gris_nodes: Vec<NodeId> = vec![node];
+            // Reuse deploy_giis's GRIS-spawning by registering them to the
+            // mid-level GIIS directly.
+            for i in 0..take {
+                let idx = assigned + i;
+                let gsuffix = crate::deploy::gris_suffix(idx);
+                let host_label = format!("{host}-gris{idx}");
+                let mut gris = mds::Gris::new(
+                    gsuffix.clone(),
+                    mds::default_providers(&gsuffix, &host_label, 10, None),
+                );
+                gris.register_with(mid);
+                let cfg_g = cfg.params.gris_config();
+                let key = h
+                    .net
+                    .add_service(gris_nodes[0], cfg_g, Box::new(gris), &mut h.eng);
+                h.net.service_as_mut::<mds::Gris>(key).unwrap().me = Some(key);
+                let offset =
+                    SimDuration::from_micros(60_000 + (idx as u64 * 29_000_000) / n.max(1) as u64);
+                h.net.prime_service_timer(&mut h.eng, key, offset, 0);
+            }
+            assigned += take;
+        }
+    }
+    h.watch(top_node);
+    // 10 users query the top GIIS for everything, as in Set 4.
+    let placement: Vec<NodeId> = (0..10).map(|i| h.uc[i % h.uc.len()]).collect();
+    let ucfg = UserConfig {
+        think: cfg.params.think,
+        retry_base: cfg.params.retry_base,
+        retry_cap: cfg.params.retry_cap,
+        series: "user".into(),
+        client_cpu_us: cfg.params.mds_client_cpu_us,
+    };
+    workload::spawn_users(&mut h.net, &mut h.eng, &placement, top, &ucfg, || {
+        Box::new(|_rng| {
+            let req = MdsRequest::search_all(giis_suffix());
+            let bytes = req.wire_size();
+            (Box::new(req) as Payload, bytes)
+        })
+    });
+    h.run_and_measure(n as f64)
+}
+
+/// Result of the open-loop access-pattern study.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopPoint {
+    pub offered_per_sec: f64,
+    pub completed_per_sec: f64,
+    pub lost_per_sec: f64,
+    pub response_time: f64,
+}
+
+/// Drive the R-GMA ProducerServlet with Poisson arrivals at increasing
+/// offered rates; past the servlet's capacity the loss rate explodes
+/// while the closed-loop experiment of Set 1 merely slowed down.
+pub fn open_loop_study(cfg: &RunConfig, rates: &[f64]) -> Vec<OpenLoopPoint> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let mut h = Harness::new(*cfg);
+            let ps_node = h.lucky("lucky3");
+            let reg_node = h.lucky("lucky1");
+            let reg = deploy_registry(&mut h, reg_node);
+            let ps = deploy_producer_servlet(&mut h, ps_node, 10, reg);
+            h.watch(ps_node);
+            // One source per UC machine, splitting the offered rate.
+            let n_sources = 10usize;
+            for i in 0..n_sources {
+                let node = h.uc[i % h.uc.len()];
+                let rng = h.eng.rng.fork(0xAAA + i as u64);
+                let src = OpenLoopSource::new(
+                    node,
+                    ps,
+                    rate / n_sources as f64,
+                    "user",
+                    Box::new(|_rng: &mut SimRng| {
+                        let m = RgmaMsg::ProducerQuery {
+                            sql: "SELECT * FROM cpuload".into(),
+                        };
+                        let bytes = m.wire_size();
+                        (Box::new(m) as Payload, bytes)
+                    }),
+                    rng,
+                );
+                h.net.add_client(Box::new(src));
+            }
+            let m = h.run_and_measure(rate);
+            let span = cfg.window.as_secs_f64();
+            OpenLoopPoint {
+                offered_per_sec: rate,
+                completed_per_sec: m.throughput,
+                lost_per_sec: h.net.stats.counter("user.lost") as f64 / span,
+                response_time: m.response_time,
+            }
+        })
+        .collect()
+}
+
+/// Exercise the composite Consumer/Producer: `sources` site servlets all
+/// publishing `cpuload`, aggregated by one composite; 10 users query the
+/// composite for everything.
+pub fn composite_study(cfg: &RunConfig, sources: u32) -> Measurement {
+    let mut h = Harness::new(*cfg);
+    let reg_node = h.lucky("lucky1");
+    let agg_node = h.lucky("lucky0");
+    let reg = deploy_registry(&mut h, reg_node);
+    let site_hosts = ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
+    let mut keys = Vec::new();
+    for i in 0..sources as usize {
+        let node = h.lucky(site_hosts[i % site_hosts.len()]);
+        keys.push(deploy_producer_servlet(&mut h, node, 10, reg));
+    }
+    let comp = h.net.add_service(
+        agg_node,
+        ServiceConfig {
+            workers: Some(cfg.params.servlet_workers),
+            ..cfg.params.servlet_config()
+        },
+        Box::new(CompositeProducer::new(
+            "cpuload",
+            keys,
+            SimDuration::from_secs(30),
+        )),
+        &mut h.eng,
+    );
+    h.net.service_as_mut::<CompositeProducer>(comp).unwrap().me = Some(comp);
+    h.net
+        .prime_service_timer(&mut h.eng, comp, SimDuration::from_secs(5), 0);
+    h.watch(agg_node);
+    let placement: Vec<NodeId> = (0..10).map(|i| h.uc[i % h.uc.len()]).collect();
+    let ucfg = UserConfig {
+        think: cfg.params.think,
+        retry_base: cfg.params.retry_base,
+        retry_cap: cfg.params.retry_cap,
+        series: "user".into(),
+        client_cpu_us: cfg.params.rgma_client_cpu_us,
+    };
+    workload::spawn_users(&mut h.net, &mut h.eng, &placement, comp, &ucfg, || {
+        Box::new(|_rng| {
+            let m = RgmaMsg::ProducerQuery {
+                sql: "*ALL*".into(),
+            };
+            let bytes = m.wire_size();
+            (Box::new(m) as Payload, bytes)
+        })
+    });
+    h.run_and_measure(sources as f64)
+}

@@ -1,0 +1,201 @@
+//! Figure regeneration: sweeps producing every figure's data series.
+//!
+//! Each experiment set yields four figures from the same runs (throughput,
+//! response time, load1, CPU load).  [`run_set`] performs the sweep once
+//! per set and [`figure`] projects the metric a given figure plots.
+
+use crate::experiments::{set1, set2, set3, set4, Set1Series, Set2Series, Set3Series, Set4Series};
+use crate::runcfg::{Measurement, RunConfig};
+
+/// One series of a figure: a label and `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct SeriesData {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// All data of one figure.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// e.g. "Figure 5".
+    pub id: String,
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<SeriesData>,
+}
+
+/// Complete measurements of one experiment set (before metric
+/// projection).
+#[derive(Debug, Clone)]
+pub struct SetData {
+    pub set: u32,
+    pub series: Vec<(String, Vec<Measurement>)>,
+}
+
+/// Which metric each figure within a set plots, in paper order.
+const SET_FIGS: [(u32, [u32; 4]); 4] = [
+    (1, [5, 6, 7, 8]),
+    (2, [9, 10, 11, 12]),
+    (3, [13, 14, 15, 16]),
+    (4, [17, 18, 19, 20]),
+];
+
+fn metric_of_position(pos: usize) -> (&'static str, &'static str) {
+    match pos {
+        0 => ("throughput", "Throughput (queries/sec)"),
+        1 => ("response_time", "Response Time (sec)"),
+        2 => ("load1", "Load1"),
+        _ => ("cpu_load", "CPU Load"),
+    }
+}
+
+fn x_label(set: u32) -> &'static str {
+    match set {
+        1 | 2 => "No. of Users",
+        3 => "# of Information Collectors",
+        _ => "# of Information Servers",
+    }
+}
+
+fn set_title(set: u32, pos: usize) -> String {
+    let subject = match set {
+        1 => "Information Server",
+        2 => "Directory Servers",
+        3 => "Information Server",
+        _ => "Aggregate Information Server",
+    };
+    let metric = metric_of_position(pos).1;
+    format!("{subject} {metric} vs. {}", x_label(set))
+}
+
+/// Optional progress callback: `(series label, x)` before each point.
+pub type Progress<'a> = &'a mut dyn FnMut(&str, f64);
+
+/// Run one experiment set completely.  `scale` in `(0, 1]` shrinks every
+/// swept x-value (for quick runs); 1.0 reproduces the paper's sweep.
+pub fn run_set(set: u32, cfg: &RunConfig, scale: f64, progress: Option<Progress>) -> SetData {
+    let mut cb = progress;
+    let mut note = |label: &str, x: f64| {
+        if let Some(cb) = cb.as_mut() {
+            cb(label, x);
+        }
+    };
+    let scale_x = |xs: &[u32]| -> Vec<u32> {
+        let mut v: Vec<u32> = xs
+            .iter()
+            .map(|&x| ((x as f64 * scale).round() as u32).max(1))
+            .collect();
+        v.dedup();
+        v
+    };
+    let mut series = Vec::new();
+    match set {
+        1 => {
+            for s in Set1Series::ALL {
+                let mut pts = Vec::new();
+                for x in scale_x(s.user_counts()) {
+                    note(s.label(), x as f64);
+                    pts.push(set1::run_point(s, x, cfg));
+                }
+                series.push((s.label().to_string(), pts));
+            }
+        }
+        2 => {
+            for s in Set2Series::ALL {
+                let mut pts = Vec::new();
+                for x in scale_x(s.user_counts()) {
+                    note(s.label(), x as f64);
+                    pts.push(set2::run_point(s, x, cfg));
+                }
+                series.push((s.label().to_string(), pts));
+            }
+        }
+        3 => {
+            for s in Set3Series::ALL {
+                let mut pts = Vec::new();
+                for x in scale_x(s.collector_counts()) {
+                    note(s.label(), x as f64);
+                    pts.push(set3::run_point(s, x, cfg));
+                }
+                series.push((s.label().to_string(), pts));
+            }
+        }
+        4 => {
+            for s in Set4Series::ALL {
+                let mut pts = Vec::new();
+                for x in scale_x(s.server_counts()) {
+                    note(s.label(), x as f64);
+                    pts.push(set4::run_point(s, x, cfg));
+                }
+                series.push((s.label().to_string(), pts));
+            }
+        }
+        _ => panic!("experiment sets are 1..=4"),
+    }
+    SetData { set, series }
+}
+
+/// Project one figure out of a set's measurements.
+pub fn figure(data: &SetData, fig: u32) -> FigureData {
+    let (set, figs) = SET_FIGS
+        .iter()
+        .find(|(s, _)| *s == data.set)
+        .expect("valid set");
+    let pos = figs
+        .iter()
+        .position(|&f| f == fig)
+        .unwrap_or_else(|| panic!("figure {fig} is not in set {set}"));
+    let (metric, y_label) = metric_of_position(pos);
+    FigureData {
+        id: format!("Figure {fig}"),
+        title: set_title(*set, pos),
+        x_label: x_label(*set).to_string(),
+        y_label: y_label.to_string(),
+        series: data
+            .series
+            .iter()
+            .map(|(label, pts)| SeriesData {
+                label: label.clone(),
+                points: pts.iter().map(|m| (m.x, m.metric(metric))).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// The set a figure belongs to.
+pub fn set_of_figure(fig: u32) -> Option<u32> {
+    SET_FIGS
+        .iter()
+        .find(|(_, figs)| figs.contains(&fig))
+        .map(|(s, _)| *s)
+}
+
+/// All figure numbers, in paper order.
+pub fn all_figures() -> Vec<u32> {
+    (5..=20).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_set_mapping() {
+        assert_eq!(set_of_figure(5), Some(1));
+        assert_eq!(set_of_figure(8), Some(1));
+        assert_eq!(set_of_figure(12), Some(2));
+        assert_eq!(set_of_figure(16), Some(3));
+        assert_eq!(set_of_figure(20), Some(4));
+        assert_eq!(set_of_figure(4), None);
+        assert_eq!(set_of_figure(21), None);
+        assert_eq!(all_figures().len(), 16);
+    }
+
+    #[test]
+    fn titles_match_paper_vocabulary() {
+        assert!(set_title(1, 0).contains("Information Server Throughput"));
+        assert!(set_title(2, 1).contains("Directory Servers Response Time"));
+        assert!(set_title(4, 3).contains("Aggregate Information Server CPU Load"));
+    }
+}

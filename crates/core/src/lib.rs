@@ -1,0 +1,41 @@
+//! # gridmon-core — the comparative performance study
+//!
+//! This crate is the reproduction of the paper's primary contribution:
+//! a quantitative, like-for-like scalability study of three monitoring
+//! and information services — Globus **MDS 2.1**, EU DataGrid
+//! **R-GMA 1.18** and Condor **Hawkeye 0.1.4** — on a common testbed.
+//!
+//! * [`mapping`] — the functional component mapping of the paper's
+//!   Table 1 (Information Collector / Information Server / Aggregate
+//!   Information Server / Directory Server across the three systems).
+//! * [`params`] — every calibrated constant of the simulation, each
+//!   documented with the figure it reproduces.
+//! * [`deploy`] — builds the paper's deployments on the simulated
+//!   Lucky/UC testbed (which host runs which component).
+//! * [`experiments`] — one runner per experiment set (the paper's
+//!   sections 3.3–3.6); each point yields the four reported metrics:
+//!   throughput, response time, host `load1` and host CPU load.
+//! * [`figures`] — sweeps that regenerate every figure (5–20) as named
+//!   data series.
+//! * [`report`] — aligned text tables, CSV output and quick ASCII plots.
+//!
+//! ```no_run
+//! use gridmon_core::{experiments::{set1, Set1Series}, runcfg::RunConfig};
+//!
+//! let cfg = RunConfig::quick(1);
+//! let m = set1::run_point(Set1Series::GrisCache, 50, &cfg);
+//! println!("50 users -> {:.1} queries/sec", m.throughput);
+//! ```
+
+pub mod deploy;
+pub mod experiments;
+pub mod ext;
+pub mod figures;
+pub mod mapping;
+pub mod params;
+pub mod report;
+pub mod runcfg;
+
+pub use mapping::{component_mapping, Role, System};
+pub use params::Params;
+pub use runcfg::{Measurement, RunConfig};

@@ -1,0 +1,166 @@
+//! Report rendering: aligned text tables, CSV, and quick ASCII charts.
+
+use crate::figures::FigureData;
+
+/// Render a figure's series as an aligned text table (x down the rows,
+/// one column per series).
+pub fn text_table(fig: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}: {}\n", fig.id, fig.title));
+    // Collect the union of x values.
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    out.push_str(&format!("{:>12}", fig.x_label.split(' ').next_back().unwrap_or("x")));
+    for s in &fig.series {
+        out.push_str(&format!("  {:>28}", truncate(&s.label, 28)));
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&format!("{x:>12.0}"));
+        for s in &fig.series {
+            match s.points.iter().find(|&&(px, _)| px == x) {
+                Some(&(_, y)) => out.push_str(&format!("  {y:>28.3}")),
+                None => out.push_str(&format!("  {:>28}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a figure as CSV (`x,series1,series2,...`).
+pub fn csv(fig: &FigureData) -> String {
+    let mut out = String::new();
+    out.push('x');
+    for s in &fig.series {
+        out.push(',');
+        out.push_str(&s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    for &x in &xs {
+        out.push_str(&format!("{x}"));
+        for s in &fig.series {
+            out.push(',');
+            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| px == x) {
+                out.push_str(&format!("{y:.6}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A quick ASCII chart of one figure (each series gets a letter).
+pub fn ascii_chart(fig: &FigureData, width: usize, height: usize) -> String {
+    let mut out = String::new();
+    let all: Vec<(f64, f64)> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return format!("{}: (no data)\n", fig.id);
+    }
+    let xmax = all.iter().map(|&(x, _)| x).fold(f64::MIN, f64::max).max(1.0);
+    let ymax = all.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in fig.series.iter().enumerate() {
+        let mark = (b'A' + (si as u8 % 26)) as char;
+        for &(x, y) in &s.points {
+            let cx = ((x / xmax) * (width as f64 - 1.0)).round() as usize;
+            let cy = ((y / ymax) * (height as f64 - 1.0)).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            grid[row][col] = mark;
+        }
+    }
+    out.push_str(&format!(
+        "{} — {} (ymax {:.2})\n",
+        fig.id, fig.title, ymax
+    ));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push_str(&format!("> {} (xmax {:.0})\n", fig.x_label, xmax));
+    for (si, s) in fig.series.iter().enumerate() {
+        let mark = (b'A' + (si as u8 % 26)) as char;
+        out.push_str(&format!("  {mark} = {}\n", s.label));
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::SeriesData;
+
+    fn fig() -> FigureData {
+        FigureData {
+            id: "Figure 5".into(),
+            title: "Throughput vs. Users".into(),
+            x_label: "No. of Users".into(),
+            y_label: "Throughput".into(),
+            series: vec![
+                SeriesData {
+                    label: "MDS GRIS (cache)".into(),
+                    points: vec![(1.0, 0.2), (100.0, 20.0), (600.0, 120.0)],
+                },
+                SeriesData {
+                    label: "Hawkeye Agent".into(),
+                    points: vec![(1.0, 0.2), (100.0, 30.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_has_all_rows_and_gaps() {
+        let t = text_table(&fig());
+        assert!(t.contains("Figure 5"));
+        assert!(t.contains("600"));
+        assert!(t.contains("120.000"));
+        // Agent has no 600-user point: rendered as '-'.
+        let last = t.lines().last().unwrap();
+        assert!(last.contains('-'), "{last}");
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let c = csv(&fig());
+        let mut lines = c.lines();
+        assert_eq!(lines.next().unwrap(), "x,MDS GRIS (cache),Hawkeye Agent");
+        assert!(c.contains("600,120.000000,"));
+    }
+
+    #[test]
+    fn ascii_chart_renders() {
+        let a = ascii_chart(&fig(), 40, 10);
+        assert!(a.contains('A'));
+        assert!(a.contains('B'));
+        assert!(a.contains("MDS GRIS"));
+    }
+}

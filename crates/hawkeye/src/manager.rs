@@ -1,0 +1,452 @@
+//! The Hawkeye Manager and the `hawkeye_advertise` load generator.
+//!
+//! The Manager is the head node of the pool: it "collects and stores (in
+//! an indexed resident database) monitoring information from each Agent
+//! registered to it" and "is the central target for queries about the
+//! status of any Pool member".  Status queries are answered from the
+//! index (cheap — the paper credits this for the Manager's host load
+//! being half the GIIS's); constraint queries scan every stored ad
+//! through the ClassAd matchmaker (the paper's worst-case Experiment 4
+//! workload used a constraint satisfied by no machine).  Incoming Startd
+//! ads are matched against all submitted Trigger ClassAds; a match fires
+//! a notification (the "kill Netscape" job of the paper's example).
+
+use crate::proto::{AdsReply, HawkeyeMsg};
+use classad::{matchmaker, parse_expr, ClassAd, Expr};
+use simnet::{Payload, Plan, Service, SvcCx, SvcKey};
+use std::collections::BTreeMap;
+
+/// CPU cost of an indexed resident-database lookup.
+pub const INDEXED_LOOKUP_CPU_US: f64 = 9_000.0;
+
+/// CPU cost of evaluating one constraint/trigger against one ad.
+pub const MATCH_CPU_PER_AD_US: f64 = 1_200.0;
+
+/// CPU cost of ingesting one Startd ad (parse + index update).
+pub const INGEST_CPU_US: f64 = 2_500.0;
+
+struct Trigger {
+    ad: ClassAd,
+    notify: Option<SvcKey>,
+    pub fired: u64,
+}
+
+/// The Manager service.
+pub struct Manager {
+    ads: BTreeMap<String, ClassAd>,
+    triggers: Vec<Trigger>,
+    /// Counters.
+    pub queries: u64,
+    pub ads_received: u64,
+    pub triggers_fired: u64,
+}
+
+impl Default for Manager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Manager {
+    pub fn new() -> Manager {
+        Manager {
+            ads: BTreeMap::new(),
+            triggers: Vec::new(),
+            queries: 0,
+            ads_received: 0,
+            triggers_fired: 0,
+        }
+    }
+
+    pub fn pool_size(&self) -> usize {
+        self.ads.len()
+    }
+
+    pub fn trigger_count(&self) -> usize {
+        self.triggers.len()
+    }
+
+    pub fn ad_of(&self, machine: &str) -> Option<&ClassAd> {
+        self.ads.get(machine)
+    }
+
+    fn fire_matching_triggers(&mut self, machine: &str, plan: &mut Plan) {
+        let ad = self.ads.get(machine).cloned();
+        let Some(ad) = ad else { return };
+        let mut sends = Vec::new();
+        for (i, t) in self.triggers.iter_mut().enumerate() {
+            if matchmaker::symmetric_match(&t.ad, &ad) {
+                t.fired += 1;
+                self.triggers_fired += 1;
+                if let Some(sink) = t.notify {
+                    sends.push((sink, machine.to_string(), i));
+                }
+            }
+        }
+        let mut steps = std::mem::take(&mut plan.steps);
+        for (sink, machine, idx) in sends {
+            let msg = HawkeyeMsg::TriggerFired {
+                machine,
+                trigger_idx: idx,
+            };
+            let bytes = msg.wire_size();
+            steps.push(simnet::Step::Send {
+                to: sink,
+                payload: Box::new(msg),
+                bytes,
+            });
+        }
+        plan.steps = steps;
+    }
+}
+
+impl Service for Manager {
+    fn handle(&mut self, req: Payload, _cx: &mut SvcCx) -> Plan {
+        let msg = req
+            .downcast::<HawkeyeMsg>()
+            .expect("Manager expects HawkeyeMsg");
+        match *msg {
+            HawkeyeMsg::StartdAd { machine, ad } => {
+                self.ads_received += 1;
+                self.ads.insert(machine.clone(), ad);
+                let trigger_cost = MATCH_CPU_PER_AD_US * self.triggers.len() as f64;
+                let mut plan = Plan::new().cpu(INGEST_CPU_US + trigger_cost);
+                self.fire_matching_triggers(&machine, &mut plan);
+                plan.done()
+            }
+            HawkeyeMsg::Status { machine } => {
+                self.queries += 1;
+                let ads: Vec<ClassAd> = match machine {
+                    Some(m) => self.ads.get(&m).cloned().into_iter().collect(),
+                    None => {
+                        // Pool summary: one compact line per machine; model
+                        // as a small digest ad per machine.
+                        self.ads
+                            .values()
+                            .take(1)
+                            .cloned()
+                            .collect()
+                    }
+                };
+                let reply = AdsReply::new(ads);
+                let bytes = reply.bytes;
+                Plan::new().cpu(INDEXED_LOOKUP_CPU_US).reply(reply, bytes)
+            }
+            HawkeyeMsg::Constraint { expr } => {
+                self.queries += 1;
+                let parsed: Option<Expr> = parse_expr(&expr).ok();
+                let matches: Vec<ClassAd> = match &parsed {
+                    Some(e) => self
+                        .ads
+                        .values()
+                        .filter(|ad| matchmaker::matches_constraint(ad, e))
+                        .cloned()
+                        .collect(),
+                    None => Vec::new(),
+                };
+                let scan_cost = MATCH_CPU_PER_AD_US * self.ads.len() as f64;
+                let reply = AdsReply::new(matches);
+                let bytes = reply.bytes;
+                Plan::new()
+                    .cpu(INDEXED_LOOKUP_CPU_US + scan_cost)
+                    .reply(reply, bytes)
+            }
+            HawkeyeMsg::AddTrigger { trigger } => {
+                self.triggers.push(Trigger {
+                    ad: trigger,
+                    notify: None,
+                    fired: 0,
+                });
+                Plan::new().cpu(INDEXED_LOOKUP_CPU_US).reply((), 64)
+            }
+            other => {
+                debug_assert!(false, "unexpected message ({} bytes)", other.wire_size());
+                Plan::reply_empty()
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hawkeye-manager"
+    }
+}
+
+impl Manager {
+    /// Register a trigger with a notification sink (deployment-time API;
+    /// triggers can also arrive via [`HawkeyeMsg::AddTrigger`]).
+    pub fn add_trigger(&mut self, trigger: ClassAd, notify: Option<SvcKey>) {
+        self.triggers.push(Trigger {
+            ad: trigger,
+            notify,
+            fired: 0,
+        });
+    }
+
+    /// How often trigger `i` has fired.
+    pub fn trigger_fired_count(&self, i: usize) -> u64 {
+        self.triggers.get(i).map_or(0, |t| t.fired)
+    }
+}
+
+/// The `hawkeye_advertise` fleet: simulates `n` pool members, each
+/// sending a Startd ClassAd to the Manager every 30 seconds (staggered).
+pub struct AdvertiserFleet {
+    manager: SvcKey,
+    ads: Vec<(String, ClassAd)>,
+    pub sent: u64,
+}
+
+impl AdvertiserFleet {
+    pub fn new(manager: SvcKey, n: usize, modules_per_machine: usize) -> AdvertiserFleet {
+        let ads = (0..n)
+            .map(|i| {
+                let machine = format!("sim{i:04}");
+                let agent = crate::agent::Agent::new(
+                    machine.clone(),
+                    crate::module::default_modules(&machine, modules_per_machine),
+                );
+                (machine, agent.build_startd_ad())
+            })
+            .collect();
+        AdvertiserFleet {
+            manager,
+            ads,
+            sent: 0,
+        }
+    }
+
+    pub fn machines(&self) -> usize {
+        self.ads.len()
+    }
+}
+
+impl Service for AdvertiserFleet {
+    fn handle(&mut self, _req: Payload, _cx: &mut SvcCx) -> Plan {
+        Plan::reply_empty()
+    }
+
+    fn on_timer(&mut self, tag: u64, cx: &mut SvcCx) {
+        let i = tag as usize;
+        if let Some((machine, ad)) = self.ads.get(i) {
+            let msg = HawkeyeMsg::StartdAd {
+                machine: machine.clone(),
+                ad: ad.clone(),
+            };
+            let bytes = msg.wire_size();
+            cx.send_oneway(self.manager, msg, bytes);
+            self.sent += 1;
+        }
+        cx.set_timer(crate::agent::ADVERTISE_PERIOD, tag);
+    }
+
+    fn name(&self) -> &str {
+        "hawkeye-advertiser-fleet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, ADVERTISE_PERIOD};
+    use crate::module::default_modules;
+    use simcore::{Engine, SimDuration, SimTime};
+    use simnet::{
+        Client, ClientCx, Eng, Net, NodeId, ReqOutcome, ReqResult, RequestSpec, ServiceConfig,
+        StatsHub, Topology,
+    };
+
+    struct AskManager {
+        from: NodeId,
+        to: SvcKey,
+        at_s: u64,
+        msg: Box<dyn Fn() -> HawkeyeMsg>,
+        results: std::rc::Rc<std::cell::RefCell<Vec<usize>>>,
+    }
+
+    impl Client for AskManager {
+        fn on_start(&mut self, cx: &mut ClientCx) {
+            cx.wake_in(SimDuration::from_secs(self.at_s), 0);
+        }
+        fn on_wake(&mut self, _tag: u64, cx: &mut ClientCx) {
+            let m = (self.msg)();
+            let bytes = m.wire_size();
+            cx.submit(
+                RequestSpec {
+                    from: self.from,
+                    to: self.to,
+                    payload: Box::new(m),
+                    req_bytes: bytes,
+                },
+                0,
+            );
+        }
+        fn on_outcome(&mut self, o: ReqOutcome, _cx: &mut ClientCx) {
+            if let ReqResult::Ok(p, _) = o.result {
+                if let Ok(r) = p.downcast::<AdsReply>() {
+                    self.results.borrow_mut().push(r.ads.len());
+                }
+            }
+        }
+    }
+
+    fn pool() -> (Net, Eng, NodeId, SvcKey, SvcKey) {
+        let mut topo = Topology::new();
+        let client = topo.add_node("client", 1, 1.0);
+        let mgr_node = topo.add_node("lucky3", 2, 1.0);
+        let agent_node = topo.add_node("lucky4", 2, 1.0);
+        topo.connect(client, mgr_node, 100e6, SimDuration::from_millis(1));
+        topo.connect(client, agent_node, 100e6, SimDuration::from_millis(1));
+        topo.connect(mgr_node, agent_node, 100e6, SimDuration::from_micros(200));
+        let mut net = Net::new(topo, StatsHub::new(SimTime::ZERO, SimTime::from_secs(600)));
+        let mut eng: Eng = Engine::new(31);
+        let mgr = net.add_service(
+            mgr_node,
+            ServiceConfig::default(),
+            Box::new(Manager::new()),
+            &mut eng,
+        );
+        let mut agent = Agent::new("lucky4", default_modules("lucky4", 11));
+        agent.register_with(mgr);
+        let ag = net.add_service(
+            agent_node,
+            ServiceConfig::default(),
+            Box::new(agent),
+            &mut eng,
+        );
+        net.prime_service_timer(&mut eng, ag, SimDuration::from_millis(100), 0);
+        (net, eng, client, mgr, ag)
+    }
+
+    #[test]
+    fn agent_advertises_every_30s_and_manager_stores() {
+        let (mut net, mut eng, _c, mgr, ag) = pool();
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(100));
+        let m = net.service_as::<Manager>(mgr).unwrap();
+        assert_eq!(m.pool_size(), 1);
+        assert!(m.ad_of("lucky4").is_some());
+        // ~100s / 30s period = 4 ads (t≈0.1, 30.1, 60.1, 90.1).
+        let a = net.service_as::<Agent>(ag).unwrap();
+        assert_eq!(a.ads_sent, 4);
+        assert_eq!(net.service_as::<Manager>(mgr).unwrap().ads_received, 4);
+        let _ = ADVERTISE_PERIOD;
+    }
+
+    #[test]
+    fn status_query_hits_index() {
+        let (mut net, mut eng, client, mgr, _ag) = pool();
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(AskManager {
+            from: client,
+            to: mgr,
+            at_s: 40,
+            msg: Box::new(|| HawkeyeMsg::Status {
+                machine: Some("lucky4".into()),
+            }),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(60));
+        assert_eq!(*results.borrow(), vec![1]);
+    }
+
+    #[test]
+    fn constraint_scan_worst_case_matches_nothing() {
+        let (mut net, mut eng, client, mgr, _ag) = pool();
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(AskManager {
+            from: client,
+            to: mgr,
+            at_s: 40,
+            msg: Box::new(|| HawkeyeMsg::Constraint {
+                expr: "NoSuchAttr =?= 12345".into(),
+            }),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(60));
+        assert_eq!(*results.borrow(), vec![0]);
+        assert_eq!(net.service_as::<Manager>(mgr).unwrap().queries, 1);
+    }
+
+    #[test]
+    fn constraint_finds_matching_machines() {
+        let (mut net, mut eng, client, mgr, _ag) = pool();
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(AskManager {
+            from: client,
+            to: mgr,
+            at_s: 40,
+            msg: Box::new(|| HawkeyeMsg::Constraint {
+                expr: "ModuleCount == 11".into(),
+            }),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(60));
+        assert_eq!(*results.borrow(), vec![1]);
+    }
+
+    #[test]
+    fn trigger_fires_on_matching_ad() {
+        let (mut net, mut eng, _client, mgr, _ag) = pool();
+        // Trigger: module count over threshold (always true for our agent).
+        let trig =
+            ClassAd::parse("Requirements = TARGET.ModuleCount >= 11\n").unwrap();
+        net.service_as_mut::<Manager>(mgr)
+            .unwrap()
+            .add_trigger(trig, None);
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(100));
+        let m = net.service_as::<Manager>(mgr).unwrap();
+        // Fires once per received ad (4 ads).
+        assert_eq!(m.triggers_fired, 4);
+        assert_eq!(m.trigger_fired_count(0), 4);
+    }
+
+    #[test]
+    fn advertiser_fleet_populates_pool() {
+        let (mut net, mut eng, _client, mgr, _ag) = pool();
+        let fleet_node = net.topo.find_node("lucky4").unwrap();
+        let fleet = net.add_service(
+            fleet_node,
+            ServiceConfig::default(),
+            Box::new(AdvertiserFleet::new(mgr, 50, 11)),
+            &mut eng,
+        );
+        // Stagger the 50 machines over the 30s period.
+        for i in 0..50u64 {
+            net.prime_service_timer(
+                &mut eng,
+                fleet,
+                SimDuration::from_millis(i * 600),
+                i,
+            );
+        }
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(120));
+        let m = net.service_as::<Manager>(mgr).unwrap();
+        assert_eq!(m.pool_size(), 51); // 50 simulated + 1 real agent
+        let f = net.service_as::<AdvertiserFleet>(fleet).unwrap();
+        assert!(f.sent >= 150, "sent {}", f.sent);
+    }
+
+    #[test]
+    fn agent_full_query_returns_integrated_ad() {
+        let (mut net, mut eng, client, _mgr, ag) = pool();
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(AskManager {
+            from: client,
+            to: ag,
+            at_s: 5,
+            msg: Box::new(|| HawkeyeMsg::AgentFull),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(30));
+        assert_eq!(*results.borrow(), vec![1]);
+        let a = net.service_as::<Agent>(ag).unwrap();
+        assert_eq!(a.queries, 1);
+        assert!(a.module_runs >= 11);
+    }
+}

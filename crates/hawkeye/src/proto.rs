@@ -1,0 +1,55 @@
+//! Wire messages of the Hawkeye model.
+
+use classad::ClassAd;
+
+/// Messages exchanged between clients, Agents and the Manager.
+pub enum HawkeyeMsg {
+    /// Query an Agent for one module's current data (light query; the
+    /// Agent re-runs that module).
+    AgentStatus,
+    /// Query an Agent for its full integrated Startd ad (re-runs every
+    /// module — the paper's Experiment Set 3 workload).
+    AgentFull,
+    /// One-way Startd ClassAd advertisement to the Manager.
+    StartdAd { machine: String, ad: ClassAd },
+    /// Query the Manager's resident database for one machine's ad
+    /// (`None` = the pool summary) — the paper's directory-server
+    /// workload.
+    Status { machine: Option<String> },
+    /// `condor_status -constraint`-style query: scan every ad in the pool
+    /// against the expression (the paper's worst-case Experiment Set 4
+    /// workload used a constraint no machine satisfies).
+    Constraint { expr: String },
+    /// Submit a Trigger ClassAd.
+    AddTrigger { trigger: ClassAd },
+    /// Trigger-fired notification (Manager -> administrator sink).
+    TriggerFired { machine: String, trigger_idx: usize },
+}
+
+impl HawkeyeMsg {
+    /// Approximate size on the wire.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            HawkeyeMsg::AgentStatus => 160,
+            HawkeyeMsg::AgentFull => 180,
+            HawkeyeMsg::StartdAd { machine, ad } => 64 + machine.len() as u64 + ad.wire_size(),
+            HawkeyeMsg::Status { .. } => 200,
+            HawkeyeMsg::Constraint { expr } => 160 + expr.len() as u64,
+            HawkeyeMsg::AddTrigger { trigger } => 64 + trigger.wire_size(),
+            HawkeyeMsg::TriggerFired { machine, .. } => 96 + machine.len() as u64,
+        }
+    }
+}
+
+/// Reply carrying ads (status / query results).
+pub struct AdsReply {
+    pub ads: Vec<ClassAd>,
+    pub bytes: u64,
+}
+
+impl AdsReply {
+    pub fn new(ads: Vec<ClassAd>) -> AdsReply {
+        let bytes = 64 + ads.iter().map(ClassAd::wire_size).sum::<u64>();
+        AdsReply { ads, bytes }
+    }
+}

@@ -1,0 +1,233 @@
+//! Distinguished names.
+//!
+//! A DN is a sequence of relative distinguished names (RDNs), most
+//! specific first: `Mds-Host-hn=lucky7, Mds-Vo-name=local, o=grid`.
+//! Attribute types and values are matched case-insensitively (LDAP
+//! caseIgnoreMatch, which is what MDS schema attributes use).  Multi-valued
+//! RDNs (`a=1+b=2`) are not supported — MDS does not use them.
+
+use std::fmt;
+
+/// Error parsing a DN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnError(pub String);
+
+impl fmt::Display for DnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DN: {}", self.0)
+    }
+}
+
+impl std::error::Error for DnError {}
+
+/// One `type=value` component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rdn {
+    /// Lowercased attribute type.
+    pub attr: String,
+    /// Lowercased value (LDAP caseIgnore semantics).
+    pub value: String,
+}
+
+impl fmt::Display for Rdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.attr, self.value)
+    }
+}
+
+/// A distinguished name (most-specific RDN first).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Dn {
+    rdns: Vec<Rdn>,
+}
+
+impl Dn {
+    /// The empty (root) DN.
+    pub fn root() -> Dn {
+        Dn { rdns: Vec::new() }
+    }
+
+    /// Parse `a=x, b=y, c=z`.
+    pub fn parse(s: &str) -> Result<Dn, DnError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Dn::root());
+        }
+        let mut rdns = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            let Some(eq) = part.find('=') else {
+                return Err(DnError(format!("RDN {part:?} lacks '='")));
+            };
+            let attr = part[..eq].trim();
+            let value = part[eq + 1..].trim();
+            if attr.is_empty() || value.is_empty() {
+                return Err(DnError(format!("empty attribute or value in {part:?}")));
+            }
+            rdns.push(Rdn {
+                attr: attr.to_ascii_lowercase(),
+                value: value.to_ascii_lowercase(),
+            });
+        }
+        Ok(Dn { rdns })
+    }
+
+    /// Number of RDN components.
+    pub fn depth(&self) -> usize {
+        self.rdns.len()
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.rdns.is_empty()
+    }
+
+    /// The leading (most specific) RDN.
+    pub fn rdn(&self) -> Option<&Rdn> {
+        self.rdns.first()
+    }
+
+    /// Parent DN (everything but the leading RDN).
+    pub fn parent(&self) -> Option<Dn> {
+        if self.rdns.is_empty() {
+            None
+        } else {
+            Some(Dn {
+                rdns: self.rdns[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepend an RDN, producing a child DN.
+    pub fn child(&self, attr: &str, value: &str) -> Dn {
+        let mut rdns = Vec::with_capacity(self.rdns.len() + 1);
+        rdns.push(Rdn {
+            attr: attr.to_ascii_lowercase(),
+            value: value.to_ascii_lowercase(),
+        });
+        rdns.extend(self.rdns.iter().cloned());
+        Dn { rdns }
+    }
+
+    /// Is `self` equal to or below `ancestor`?
+    pub fn is_under(&self, ancestor: &Dn) -> bool {
+        let n = ancestor.rdns.len();
+        if self.rdns.len() < n {
+            return false;
+        }
+        self.rdns[self.rdns.len() - n..] == ancestor.rdns[..]
+    }
+
+    /// Is `self` an immediate child of `parent`?
+    pub fn is_child_of(&self, parent: &Dn) -> bool {
+        self.rdns.len() == parent.rdns.len() + 1 && self.is_under(parent)
+    }
+
+    /// The trailing `n` RDNs of this DN (its suffix of depth `n`), or
+    /// `None` when the DN is shorter.
+    pub fn suffix_of_depth(&self, n: usize) -> Option<Dn> {
+        if self.rdns.len() < n {
+            return None;
+        }
+        Some(Dn {
+            rdns: self.rdns[self.rdns.len() - n..].to_vec(),
+        })
+    }
+
+    /// Re-root: replace the `old_suffix` of this DN with `new_suffix`
+    /// (used when a GIIS grafts a registered GRIS subtree under its own
+    /// suffix).  Returns `None` when `self` is not under `old_suffix`.
+    pub fn rebase(&self, old_suffix: &Dn, new_suffix: &Dn) -> Option<Dn> {
+        if !self.is_under(old_suffix) {
+            return None;
+        }
+        let keep = self.rdns.len() - old_suffix.rdns.len();
+        let mut rdns = self.rdns[..keep].to_vec();
+        rdns.extend(new_suffix.rdns.iter().cloned());
+        Some(Dn { rdns })
+    }
+}
+
+impl fmt::Display for Dn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, rdn) in self.rdns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{rdn}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let dn = Dn::parse("Mds-Host-hn=Lucky7, Mds-Vo-name=Local, o=Grid").unwrap();
+        assert_eq!(dn.depth(), 3);
+        assert_eq!(dn.to_string(), "mds-host-hn=lucky7, mds-vo-name=local, o=grid");
+        // Round trip.
+        assert_eq!(Dn::parse(&dn.to_string()).unwrap(), dn);
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        let a = Dn::parse("O=Grid").unwrap();
+        let b = Dn::parse("o=grid").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parent_child_relations() {
+        let root = Dn::parse("o=grid").unwrap();
+        let vo = root.child("Mds-Vo-name", "local");
+        let host = vo.child("Mds-Host-hn", "lucky7");
+        assert_eq!(host.depth(), 3);
+        assert_eq!(host.parent().unwrap(), vo);
+        assert!(host.is_under(&root));
+        assert!(host.is_under(&vo));
+        assert!(host.is_under(&host));
+        assert!(!vo.is_under(&host));
+        assert!(host.is_child_of(&vo));
+        assert!(!host.is_child_of(&root));
+        assert_eq!(root.parent().unwrap(), Dn::root());
+        assert!(Dn::root().parent().is_none());
+    }
+
+    #[test]
+    fn everything_is_under_root() {
+        let dn = Dn::parse("a=1, b=2").unwrap();
+        assert!(dn.is_under(&Dn::root()));
+    }
+
+    #[test]
+    fn rebase_moves_subtrees() {
+        let gris_root = Dn::parse("Mds-Vo-name=local, o=grid").unwrap();
+        let entry = Dn::parse("Mds-Host-hn=lucky7, Mds-Vo-name=local, o=grid").unwrap();
+        let giis_root = Dn::parse("Mds-Vo-name=site, o=giis").unwrap();
+        let rebased = entry.rebase(&gris_root, &giis_root).unwrap();
+        assert_eq!(
+            rebased.to_string(),
+            "mds-host-hn=lucky7, mds-vo-name=site, o=giis"
+        );
+        // Not under the suffix -> None.
+        let other = Dn::parse("x=1, o=elsewhere").unwrap();
+        assert!(other.rebase(&gris_root, &giis_root).is_none());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Dn::parse("no-equals").is_err());
+        assert!(Dn::parse("=value").is_err());
+        assert!(Dn::parse("attr=").is_err());
+        assert!(Dn::parse("a=1,,b=2").is_err());
+    }
+
+    #[test]
+    fn empty_is_root() {
+        assert!(Dn::parse("").unwrap().is_root());
+        assert!(Dn::parse("   ").unwrap().is_root());
+    }
+}

@@ -1,0 +1,167 @@
+//! Directory entries: DN plus multi-valued attributes.
+
+use crate::dn::Dn;
+use std::collections::BTreeMap;
+
+/// An LDAP entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub dn: Dn,
+    /// Lowercased attribute type -> values (insertion order preserved).
+    attrs: BTreeMap<String, Vec<String>>,
+}
+
+impl Entry {
+    pub fn new(dn: Dn) -> Self {
+        Entry {
+            dn,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Add a value to an attribute (duplicates allowed, as in slapd with
+    /// permissive schema checking).
+    pub fn add(&mut self, attr: &str, value: impl Into<String>) -> &mut Self {
+        self.attrs
+            .entry(attr.to_ascii_lowercase())
+            .or_default()
+            .push(value.into());
+        self
+    }
+
+    /// Replace all values of an attribute.
+    pub fn put(&mut self, attr: &str, value: impl Into<String>) -> &mut Self {
+        self.attrs
+            .insert(attr.to_ascii_lowercase(), vec![value.into()]);
+        self
+    }
+
+    /// Remove an attribute entirely.
+    pub fn remove(&mut self, attr: &str) -> bool {
+        self.attrs.remove(&attr.to_ascii_lowercase()).is_some()
+    }
+
+    /// All values of an attribute.
+    pub fn get(&self, attr: &str) -> &[String] {
+        self.attrs
+            .get(&attr.to_ascii_lowercase())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// First value of an attribute.
+    pub fn first(&self, attr: &str) -> Option<&str> {
+        self.get(attr).first().map(String::as_str)
+    }
+
+    pub fn has_attr(&self, attr: &str) -> bool {
+        self.attrs.contains_key(&attr.to_ascii_lowercase())
+    }
+
+    /// Does any value of `attr` equal `value` case-insensitively?
+    pub fn has_value(&self, attr: &str, value: &str) -> bool {
+        self.get(attr)
+            .iter()
+            .any(|v| v.eq_ignore_ascii_case(value))
+    }
+
+    /// Iterate `(attr, values)` in sorted attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Number of attribute types.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Approximate serialized size in bytes (LDIF length), used for the
+    /// simulated wire cost of returning this entry.
+    pub fn wire_size(&self) -> u64 {
+        let mut n = self.dn.to_string().len() + 5;
+        for (a, vs) in self.iter() {
+            for v in vs {
+                n += a.len() + v.len() + 3;
+            }
+        }
+        n as u64
+    }
+
+    /// Objectclass convenience.
+    pub fn is_objectclass(&self, oc: &str) -> bool {
+        self.has_value("objectclass", oc)
+    }
+
+    /// LDAP attribute selection: a copy of this entry keeping only the
+    /// requested attribute types (requested names are matched
+    /// case-insensitively; unknown names are simply absent).
+    pub fn project(&self, attrs: &[String]) -> Entry {
+        let mut e = Entry::new(self.dn.clone());
+        for a in attrs {
+            for v in self.get(a) {
+                e.add(a, v.clone());
+            }
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> Entry {
+        let mut e = Entry::new(Dn::parse("mds-host-hn=lucky7, o=grid").unwrap());
+        e.add("objectclass", "MdsHost")
+            .add("objectclass", "MdsComputer")
+            .add("Mds-Cpu-Total-count", "2");
+        e
+    }
+
+    #[test]
+    fn add_and_get_case_insensitive() {
+        let e = entry();
+        assert_eq!(e.get("OBJECTCLASS").len(), 2);
+        assert_eq!(e.first("mds-cpu-total-count"), Some("2"));
+        assert!(e.has_attr("ObjectClass"));
+        assert!(!e.has_attr("missing"));
+        assert!(e.get("missing").is_empty());
+    }
+
+    #[test]
+    fn has_value_ignores_case() {
+        let e = entry();
+        assert!(e.has_value("objectclass", "mdshost"));
+        assert!(e.is_objectclass("MDSHOST"));
+        assert!(!e.is_objectclass("MdsVo"));
+    }
+
+    #[test]
+    fn put_replaces() {
+        let mut e = entry();
+        e.put("Mds-Cpu-Total-count", "4");
+        assert_eq!(e.get("mds-cpu-total-count"), &["4".to_string()]);
+        assert!(e.remove("objectclass"));
+        assert!(!e.remove("objectclass"));
+        assert_eq!(e.attr_count(), 1);
+    }
+
+    #[test]
+    fn projection_keeps_requested_attrs() {
+        let e = entry();
+        let p = e.project(&["OBJECTCLASS".into(), "missing".into()]);
+        assert_eq!(p.dn, e.dn);
+        assert_eq!(p.attr_count(), 1);
+        assert_eq!(p.get("objectclass").len(), 2);
+        assert!(p.wire_size() < e.wire_size());
+    }
+
+    #[test]
+    fn wire_size_reflects_content() {
+        let small = entry();
+        let mut big = entry();
+        for i in 0..50 {
+            big.add("Mds-Memory-Ram-freeMB", format!("{}", 100 + i));
+        }
+        assert!(big.wire_size() > small.wire_size());
+    }
+}

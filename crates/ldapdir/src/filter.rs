@@ -1,0 +1,393 @@
+//! RFC 4515 search filters.
+//!
+//! Supported forms: `(&(f)(g)...)`, `(|(f)(g)...)`, `(!(f))`, equality
+//! `(a=v)`, presence `(a=*)`, substring `(a=*mid*fix)`, ordering
+//! `(a>=v)` / `(a<=v)`.  Value matching is case-insensitive; ordering
+//! compares numerically when both sides parse as numbers, else
+//! lexicographically (matching how MDS numeric attributes behave under
+//! OpenLDAP's integer syntaxes).
+
+use crate::entry::Entry;
+use std::fmt;
+
+/// Filter parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError(pub String);
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid filter: {}", self.0)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// A parsed search filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    And(Vec<Filter>),
+    Or(Vec<Filter>),
+    Not(Box<Filter>),
+    /// `(attr=value)`
+    Eq(String, String),
+    /// `(attr=*)`
+    Present(String),
+    /// `(attr=initial*mid1*mid2*final)`; empty strings mean "no anchor".
+    Substring {
+        attr: String,
+        initial: String,
+        mids: Vec<String>,
+        final_: String,
+    },
+    /// `(attr>=value)`
+    Ge(String, String),
+    /// `(attr<=value)`
+    Le(String, String),
+}
+
+impl Filter {
+    /// Parse an RFC 4515 filter string.
+    pub fn parse(s: &str) -> Result<Filter, FilterError> {
+        let s = s.trim();
+        let (f, rest) = parse_filter(s)?;
+        if !rest.trim_start().is_empty() {
+            return Err(FilterError(format!("trailing input: {rest:?}")));
+        }
+        Ok(f)
+    }
+
+    /// The objectclass=* match-everything filter.
+    pub fn any() -> Filter {
+        Filter::Present("objectclass".into())
+    }
+
+    /// Does `entry` satisfy this filter?
+    pub fn matches(&self, entry: &Entry) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches(entry)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(entry)),
+            Filter::Not(f) => !f.matches(entry),
+            Filter::Eq(a, v) => entry.has_value(a, v),
+            Filter::Present(a) => entry.has_attr(a),
+            Filter::Substring {
+                attr,
+                initial,
+                mids,
+                final_,
+            } => entry
+                .get(attr)
+                .iter()
+                .any(|v| substring_match(&v.to_ascii_lowercase(), initial, mids, final_)),
+            Filter::Ge(a, v) => entry.get(a).iter().any(|x| order_cmp(x, v) >= 0),
+            Filter::Le(a, v) => entry.get(a).iter().any(|x| order_cmp(x, v) <= 0),
+        }
+    }
+
+    /// Rough complexity of evaluating this filter against one entry
+    /// (number of primitive comparisons), used for the simulated CPU cost
+    /// of a search.
+    pub fn cost(&self) -> u32 {
+        match self {
+            Filter::And(fs) | Filter::Or(fs) => 1 + fs.iter().map(Filter::cost).sum::<u32>(),
+            Filter::Not(f) => 1 + f.cost(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::And(fs) => {
+                write!(f, "(&")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Or(fs) => {
+                write!(f, "(|")?;
+                for x in fs {
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Filter::Not(x) => write!(f, "(!{x})"),
+            Filter::Eq(a, v) => write!(f, "({a}={v})"),
+            Filter::Present(a) => write!(f, "({a}=*)"),
+            Filter::Substring {
+                attr,
+                initial,
+                mids,
+                final_,
+            } => {
+                write!(f, "({attr}={initial}*")?;
+                for m in mids {
+                    write!(f, "{m}*")?;
+                }
+                write!(f, "{final_})")
+            }
+            Filter::Ge(a, v) => write!(f, "({a}>={v})"),
+            Filter::Le(a, v) => write!(f, "({a}<={v})"),
+        }
+    }
+}
+
+fn substring_match(v: &str, initial: &str, mids: &[String], final_: &str) -> bool {
+    let mut rest = v;
+    if !initial.is_empty() {
+        let Some(r) = rest.strip_prefix(initial) else {
+            return false;
+        };
+        rest = r;
+    }
+    for m in mids {
+        match rest.find(m.as_str()) {
+            Some(pos) => rest = &rest[pos + m.len()..],
+            None => return false,
+        }
+    }
+    if !final_.is_empty() {
+        return rest.ends_with(final_);
+    }
+    true
+}
+
+/// Ordering comparison: numeric when both parse, else case-insensitive
+/// lexicographic.  Returns -1/0/1.
+fn order_cmp(a: &str, b: &str) -> i32 {
+    if let (Ok(x), Ok(y)) = (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+        return if x < y {
+            -1
+        } else if x > y {
+            1
+        } else {
+            0
+        };
+    }
+    let (a, b) = (a.to_ascii_lowercase(), b.to_ascii_lowercase());
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    }
+}
+
+/// Parse one filter at the start of `s`; return it and the rest.
+fn parse_filter(s: &str) -> Result<(Filter, &str), FilterError> {
+    let s = s.trim_start();
+    let Some(inner) = s.strip_prefix('(') else {
+        return Err(FilterError(format!("expected '(' at {s:?}")));
+    };
+    let inner = inner.trim_start();
+    if let Some(rest) = inner.strip_prefix('&') {
+        let (fs, rest) = parse_set(rest)?;
+        return Ok((Filter::And(fs), rest));
+    }
+    if let Some(rest) = inner.strip_prefix('|') {
+        let (fs, rest) = parse_set(rest)?;
+        return Ok((Filter::Or(fs), rest));
+    }
+    if let Some(rest) = inner.strip_prefix('!') {
+        let (f, rest) = parse_filter(rest)?;
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix(')') else {
+            return Err(FilterError("expected ')' after (!...)".into()));
+        };
+        return Ok((Filter::Not(Box::new(f)), rest));
+    }
+    // Simple item: attr OP value ')'
+    let close = inner
+        .find(')')
+        .ok_or_else(|| FilterError("missing ')'".into()))?;
+    let body = &inner[..close];
+    let rest = &inner[close + 1..];
+    let item = parse_item(body)?;
+    Ok((item, rest))
+}
+
+fn parse_set(mut s: &str) -> Result<(Vec<Filter>, &str), FilterError> {
+    let mut out = Vec::new();
+    loop {
+        s = s.trim_start();
+        if let Some(rest) = s.strip_prefix(')') {
+            if out.is_empty() {
+                return Err(FilterError("empty AND/OR set".into()));
+            }
+            return Ok((out, rest));
+        }
+        if s.is_empty() {
+            return Err(FilterError("unterminated AND/OR set".into()));
+        }
+        let (f, rest) = parse_filter(s)?;
+        out.push(f);
+        s = rest;
+    }
+}
+
+fn parse_item(body: &str) -> Result<Filter, FilterError> {
+    // Find the operator: >=, <=, or =.
+    if let Some(pos) = body.find(">=") {
+        let (a, v) = (body[..pos].trim(), body[pos + 2..].trim());
+        check_attr(a)?;
+        return Ok(Filter::Ge(a.to_ascii_lowercase(), v.to_ascii_lowercase()));
+    }
+    if let Some(pos) = body.find("<=") {
+        let (a, v) = (body[..pos].trim(), body[pos + 2..].trim());
+        check_attr(a)?;
+        return Ok(Filter::Le(a.to_ascii_lowercase(), v.to_ascii_lowercase()));
+    }
+    let Some(pos) = body.find('=') else {
+        return Err(FilterError(format!("no operator in item {body:?}")));
+    };
+    let (a, v) = (body[..pos].trim(), body[pos + 1..].trim());
+    check_attr(a)?;
+    let attr = a.to_ascii_lowercase();
+    let value = v.to_ascii_lowercase();
+    if value == "*" {
+        return Ok(Filter::Present(attr));
+    }
+    if value.contains('*') {
+        let parts: Vec<&str> = value.split('*').collect();
+        let initial = parts[0].to_string();
+        let final_ = parts[parts.len() - 1].to_string();
+        let mids = parts[1..parts.len() - 1]
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| p.to_string())
+            .collect();
+        return Ok(Filter::Substring {
+            attr,
+            initial,
+            mids,
+            final_,
+        });
+    }
+    if value.is_empty() {
+        return Err(FilterError(format!("empty value in item {body:?}")));
+    }
+    Ok(Filter::Eq(attr, value))
+}
+
+fn check_attr(a: &str) -> Result<(), FilterError> {
+    if a.is_empty()
+        || !a
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+    {
+        return Err(FilterError(format!("bad attribute name {a:?}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dn::Dn;
+
+    fn host_entry() -> Entry {
+        let mut e = Entry::new(Dn::parse("mds-host-hn=lucky7, o=grid").unwrap());
+        e.add("objectclass", "MdsHost")
+            .add("Mds-Host-hn", "lucky7.mcs.anl.gov")
+            .add("Mds-Cpu-Total-count", "2")
+            .add("Mds-Memory-Ram-sizeMB", "512");
+        e
+    }
+
+    #[test]
+    fn equality_and_presence() {
+        let e = host_entry();
+        assert!(Filter::parse("(objectclass=mdshost)").unwrap().matches(&e));
+        assert!(Filter::parse("(objectclass=MDSHOST)").unwrap().matches(&e));
+        assert!(!Filter::parse("(objectclass=mdsvo)").unwrap().matches(&e));
+        assert!(Filter::parse("(mds-cpu-total-count=*)").unwrap().matches(&e));
+        assert!(!Filter::parse("(missing=*)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let e = host_entry();
+        let f = Filter::parse("(&(objectclass=mdshost)(mds-cpu-total-count>=2))").unwrap();
+        assert!(f.matches(&e));
+        let f = Filter::parse("(&(objectclass=mdshost)(mds-cpu-total-count>=4))").unwrap();
+        assert!(!f.matches(&e));
+        let f = Filter::parse("(|(objectclass=mdsvo)(objectclass=mdshost))").unwrap();
+        assert!(f.matches(&e));
+        let f = Filter::parse("(!(objectclass=mdsvo))").unwrap();
+        assert!(f.matches(&e));
+        let f = Filter::parse("(!(objectclass=mdshost))").unwrap();
+        assert!(!f.matches(&e));
+    }
+
+    #[test]
+    fn ordering_numeric_vs_lexicographic() {
+        let e = host_entry();
+        // 512 >= 90 numerically (lexicographically "512" < "90").
+        assert!(Filter::parse("(mds-memory-ram-sizemb>=90)").unwrap().matches(&e));
+        assert!(Filter::parse("(mds-memory-ram-sizemb<=1000)").unwrap().matches(&e));
+        // String ordering on the hostname attr.
+        assert!(Filter::parse("(mds-host-hn>=lucky)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn substring_forms() {
+        let e = host_entry();
+        assert!(Filter::parse("(mds-host-hn=lucky*)").unwrap().matches(&e));
+        assert!(Filter::parse("(mds-host-hn=*anl.gov)").unwrap().matches(&e));
+        assert!(Filter::parse("(mds-host-hn=*mcs*)").unwrap().matches(&e));
+        assert!(Filter::parse("(mds-host-hn=lucky*anl*)").unwrap().matches(&e));
+        assert!(!Filter::parse("(mds-host-hn=lucky*xyz*)").unwrap().matches(&e));
+        assert!(!Filter::parse("(mds-host-hn=ucky*)").unwrap().matches(&e));
+    }
+
+    #[test]
+    fn nested_combination() {
+        let e = host_entry();
+        let f = Filter::parse(
+            "(&(|(objectclass=mdshost)(objectclass=mdsvo))(!(mds-cpu-total-count<=1)))",
+        )
+        .unwrap();
+        assert!(f.matches(&e));
+        assert!(f.cost() >= 5);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for src in [
+            "(objectclass=mdshost)",
+            "(a=*)",
+            "(&(a=1)(b>=2)(c<=3))",
+            "(|(a=x*y)(!(b=z)))",
+            "(host=lucky*mcs*gov)",
+        ] {
+            let f = Filter::parse(src).unwrap();
+            let printed = f.to_string();
+            assert_eq!(Filter::parse(&printed).unwrap(), f, "src {src}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "objectclass=x",
+            "(a)",
+            "(=v)",
+            "(a=)",
+            "(&)",
+            "(&(a=1)",
+            "(!(a=1)(b=2))",
+            "(a=1) junk",
+            "(bad name=1)",
+        ] {
+            assert!(Filter::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn any_matches_everything_with_objectclass() {
+        let e = host_entry();
+        assert!(Filter::any().matches(&e));
+        let bare = Entry::new(Dn::parse("x=1").unwrap());
+        assert!(!Filter::any().matches(&bare));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the LDAP directory substrate.
+
+use ldapdir::{Dit, Dn, Entry, Filter, Scope};
+use proptest::prelude::*;
+
+fn arb_dn_component() -> impl Strategy<Value = (String, String)> {
+    ("[a-z][a-z0-9-]{0,6}", "[a-z0-9][a-z0-9.]{0,8}")
+        .prop_map(|(a, v)| (a, v))
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        ("[a-z][a-z0-9-]{0,5}", "[a-z0-9]{1,6}").prop_map(|(a, v)| Filter::Eq(a, v)),
+        "[a-z][a-z0-9-]{0,5}".prop_map(Filter::Present),
+        ("[a-z][a-z0-9-]{0,5}", "[0-9]{1,3}").prop_map(|(a, v)| Filter::Ge(a, v)),
+        ("[a-z][a-z0-9-]{0,5}", "[0-9]{1,3}").prop_map(|(a, v)| Filter::Le(a, v)),
+        // At least one anchor must be non-empty or the printed form
+        // `(a=*)` would be a presence filter.
+        ("[a-z][a-z0-9-]{0,5}", "[a-z]{1,3}", "[a-z]{0,3}").prop_map(|(a, i, f)| {
+            Filter::Substring {
+                attr: a,
+                initial: i,
+                mids: vec![],
+                final_: f,
+            }
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Filter::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Filter::Or),
+            inner.prop_map(|f| Filter::Not(Box::new(f))),
+        ]
+    })
+}
+
+proptest! {
+    /// Filter printing/parsing round-trips.
+    #[test]
+    fn filter_round_trip(f in arb_filter()) {
+        let printed = f.to_string();
+        let reparsed = Filter::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+        prop_assert_eq!(f, reparsed);
+    }
+
+    /// DN parse/display round-trips and the parent chain terminates at
+    /// root with length == depth.
+    #[test]
+    fn dn_round_trip_and_parent_chain(comps in proptest::collection::vec(arb_dn_component(), 1..6)) {
+        let src: Vec<String> = comps.iter().map(|(a, v)| format!("{a}={v}")).collect();
+        let dn = Dn::parse(&src.join(", ")).unwrap();
+        prop_assert_eq!(dn.depth(), comps.len());
+        let reparsed = Dn::parse(&dn.to_string()).unwrap();
+        prop_assert_eq!(&reparsed, &dn);
+        // Walk parents to root.
+        let mut steps = 0;
+        let mut cur = dn.clone();
+        while let Some(p) = cur.parent() {
+            prop_assert!(cur.is_under(&p));
+            prop_assert!(cur.is_child_of(&p));
+            cur = p;
+            steps += 1;
+        }
+        prop_assert_eq!(steps, comps.len());
+    }
+
+    /// DIT invariant: after arbitrary adds, every entry's parent exists,
+    /// and Sub search from the suffix finds exactly the live entries.
+    #[test]
+    fn dit_structure_invariants(values in proptest::collection::vec("[a-z0-9]{1,6}", 1..20)) {
+        let suffix = Dn::parse("o=grid").unwrap();
+        let mut dit = Dit::new(suffix.clone());
+        for (i, v) in values.iter().enumerate() {
+            // Mix of depth-1 and depth-2 entries.
+            let dn = if i % 3 == 0 {
+                suffix.child("vo", v)
+            } else {
+                suffix.child("vo", v).child("host", &format!("h{i}"))
+            };
+            let mut e = Entry::new(dn);
+            e.add("objectclass", "thing");
+            let _ = dit.upsert(e);
+        }
+        // Every entry's parent is present.
+        for e in dit.iter() {
+            if let Some(p) = e.dn.parent() {
+                if e.dn != suffix {
+                    prop_assert!(dit.get(&p).is_some(), "parent of {} missing", e.dn);
+                }
+            }
+        }
+        // Sub search with the match-all presence filter finds every entry
+        // that has an objectclass.
+        let with_oc = dit.iter().filter(|e| e.has_attr("objectclass")).count();
+        let hits = dit.search(&suffix, Scope::Sub, &Filter::any()).len();
+        prop_assert_eq!(hits, with_oc);
+    }
+
+    /// Scope algebra: Base ⊆ Sub, One ⊆ Sub, and |Sub| >= |Base| + |One|
+    /// when the base entry exists.
+    #[test]
+    fn scope_containment(values in proptest::collection::vec("[a-z0-9]{1,4}", 1..12)) {
+        let suffix = Dn::parse("o=grid").unwrap();
+        let mut dit = Dit::new(suffix.clone());
+        for (i, v) in values.iter().enumerate() {
+            let dn = suffix.child("a", v).child("b", &i.to_string());
+            let mut e = Entry::new(dn);
+            e.add("objectclass", "x");
+            let _ = dit.upsert(e);
+        }
+        let any = Filter::any();
+        let base = dit.search(&suffix, Scope::Base, &any).len();
+        let one = dit.search(&suffix, Scope::One, &any).len();
+        let sub = dit.search(&suffix, Scope::Sub, &any).len();
+        prop_assert!(sub >= base + one);
+    }
+}

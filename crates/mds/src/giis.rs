@@ -1,0 +1,549 @@
+//! The Grid Index Information Service.
+//!
+//! A GIIS aggregates the directories of registered GRISes (or lower-level
+//! GIISes — the MDS hierarchy is uniform).  Registration is soft state: a
+//! registrant re-announces itself every period and is purged after
+//! `registration_ttl` without a heartbeat.  Data moves by pull: on a
+//! query, any registered subtree whose cached copy is older than
+//! `cachettl` is re-fetched from its source before the search is
+//! evaluated over the merged directory.  The paper's Experiment Set 2
+//! sets `cachettl` "to a very large value so that the data was always in
+//! the cache" — [`Giis::new`] with `cachettl = None` reproduces that.
+
+use crate::proto::{GrisRegistration, MdsRequest, MdsSearchResult};
+use crate::gris::{SEARCH_CPU_FIXED_US, SEARCH_CPU_PER_ENTRY_US};
+use ldapdir::{Dit, Dn, Entry};
+use simcore::{SimDuration, SimTime};
+use simnet::{CallOutcome, Payload, Plan, Service, SubCall, SvcCx, SvcKey};
+use std::collections::{BTreeMap, HashMap};
+
+/// CPU cost of merging one pulled entry into the aggregate directory.
+pub const MERGE_CPU_PER_ENTRY_US: f64 = 60.0;
+
+/// CPU cost of processing one registration heartbeat.
+pub const REGISTRATION_CPU_US: f64 = 800.0;
+
+/// Max entries carried in a GIIS reply payload (see `search_plan`).
+pub const RESULT_ENTRY_CAP: usize = 256;
+
+/// A registered information source.
+struct Registration {
+    /// The source's own suffix (what we ask it for).
+    remote_suffix: Dn,
+    /// Where its subtree is grafted in our namespace.
+    graft: Dn,
+    last_seen: SimTime,
+    /// When we last pulled its data (`None` = never).
+    last_fetch: Option<SimTime>,
+    entry_count: usize,
+}
+
+struct PendingQuery {
+    base: Dn,
+    scope: ldapdir::Scope,
+    filter: ldapdir::Filter,
+    attrs: Option<Vec<String>>,
+}
+
+/// The GIIS service.
+pub struct Giis {
+    suffix: Dn,
+    dit: Dit,
+    registered: BTreeMap<SvcKey, Registration>,
+    /// `None` = cache never expires (the paper's huge `cachettl`).
+    cachettl: Option<SimDuration>,
+    /// Registrants silent for this long are purged (3 heartbeat periods).
+    registration_ttl: SimDuration,
+    pending: HashMap<u64, PendingQuery>,
+    next_cont: u64,
+    /// Upper-level GIISes this GIIS registers with (the MDS hierarchy is
+    /// uniform: a GIIS registers to another GIIS exactly like a GRIS).
+    registrees: Vec<SvcKey>,
+    /// Own service key (set by the deployment when this GIIS registers
+    /// upward).
+    pub me: Option<SvcKey>,
+    /// Counters for tests/analysis.
+    pub queries: u64,
+    pub pulls: u64,
+    pub registrations_seen: u64,
+}
+
+impl Giis {
+    pub fn new(suffix: Dn, cachettl: Option<SimDuration>) -> Giis {
+        Giis {
+            dit: Dit::new(suffix.clone()),
+            suffix,
+            registered: BTreeMap::new(),
+            cachettl,
+            registration_ttl: SimDuration::from_secs(90),
+            pending: HashMap::new(),
+            next_cont: 0,
+            registrees: Vec::new(),
+            me: None,
+            queries: 0,
+            pulls: 0,
+            registrations_seen: 0,
+        }
+    }
+
+    pub fn suffix(&self) -> &Dn {
+        &self.suffix
+    }
+
+    /// Register this GIIS with an upper-level GIIS — the paper's proposed
+    /// "multi-layer architecture in which each middle-level aggregate
+    /// information server manages a subset of information servers".  The
+    /// deployment must set [`Giis::me`] and prime timer 0.
+    pub fn register_with(&mut self, parent: SvcKey) {
+        self.registrees.push(parent);
+    }
+
+    pub fn registered_count(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Graft point of a registered source (for "query part" workloads).
+    pub fn graft_of(&self, source: SvcKey) -> Option<&Dn> {
+        self.registered.get(&source).map(|r| &r.graft)
+    }
+
+    /// Total entries currently aggregated.
+    pub fn aggregated_entries(&self) -> usize {
+        self.dit.len()
+    }
+
+    fn purge_expired(&mut self, now: SimTime) {
+        let ttl = self.registration_ttl;
+        let dead: Vec<SvcKey> = self
+            .registered
+            .iter()
+            .filter(|(_, r)| now.saturating_since(r.last_seen) > ttl)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in dead {
+            if let Some(r) = self.registered.remove(&k) {
+                let _ = self.dit.remove_subtree(&r.graft);
+            }
+        }
+    }
+
+    /// Sources whose cache needs refreshing at `now`.
+    fn stale_sources(&self, now: SimTime) -> Vec<SvcKey> {
+        self.registered
+            .iter()
+            .filter(|(_, r)| match (r.last_fetch, self.cachettl) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(at), Some(ttl)) => now >= at + ttl,
+            })
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    fn search_plan(&mut self, q: PendingQuery) -> Plan {
+        let hits = self.dit.search(&q.base, q.scope, &q.filter);
+        let total = hits.len();
+        // Attribute selection shrinks what goes on the wire.
+        let project = |e: &Entry| match &q.attrs {
+            None => e.clone(),
+            Some(sel) => e.project(sel),
+        };
+        let bytes: u64 = 64 + hits.iter().map(|e| project(e).wire_size()).sum::<u64>();
+        // For huge aggregate results only a prefix of the entries rides in
+        // the in-simulation payload (the wire size is exact either way);
+        // this keeps 500-GRIS query-all sweeps affordable.
+        let entries: Vec<Entry> = hits
+            .iter()
+            .take(RESULT_ENTRY_CAP)
+            .map(|&e| project(e))
+            .collect();
+        let cost = SEARCH_CPU_FIXED_US
+            + SEARCH_CPU_PER_ENTRY_US * self.dit.scan_size() as f64 * q.filter.cost() as f64;
+        Plan::new()
+            .cpu(cost)
+            .reply(MdsSearchResult { entries, total, bytes }, bytes)
+    }
+}
+
+impl Service for Giis {
+    fn handle(&mut self, req: Payload, cx: &mut SvcCx) -> Plan {
+        let now = cx.now;
+        // Registration heartbeat (one-way)?
+        let req = match req.downcast::<GrisRegistration>() {
+            Ok(reg) => {
+                self.registrations_seen += 1;
+                let graft_label = format!("sub-{}-{}", reg.gris.index, reg.gris.gen);
+                let graft = self.suffix.child("Mds-Vo-name", &graft_label);
+                self.registered
+                    .entry(reg.gris)
+                    .and_modify(|r| r.last_seen = now)
+                    .or_insert(Registration {
+                        remote_suffix: reg.suffix.clone(),
+                        graft,
+                        last_seen: now,
+                        last_fetch: None,
+                        entry_count: 0,
+                    });
+                return Plan::new().cpu(REGISTRATION_CPU_US).done();
+            }
+            Err(other) => other,
+        };
+        let req = req.downcast::<MdsRequest>().expect("GIIS expects MdsRequest");
+        let MdsRequest::Search {
+            base,
+            scope,
+            filter,
+            attrs,
+        } = *req;
+        self.queries += 1;
+        self.purge_expired(now);
+        let q = PendingQuery {
+            base,
+            scope,
+            filter,
+            attrs,
+        };
+        let stale = self.stale_sources(now);
+        if stale.is_empty() {
+            return self.search_plan(q);
+        }
+        // Pull the stale subtrees, then search.  Mark the fetch time now so
+        // concurrent queries don't stampede the same sources.
+        let mut calls = Vec::with_capacity(stale.len());
+        for k in stale {
+            let r = self.registered.get_mut(&k).unwrap();
+            r.last_fetch = Some(now);
+            self.pulls += 1;
+            let sub = MdsRequest::search_all(r.remote_suffix.clone());
+            let bytes = sub.wire_size();
+            calls.push(SubCall {
+                to: k,
+                payload: Box::new(sub),
+                req_bytes: bytes,
+            });
+        }
+        let cont = self.next_cont;
+        self.next_cont += 1;
+        self.pending.insert(cont, q);
+        Plan::new().cpu(SEARCH_CPU_FIXED_US).call_all(calls, cont)
+    }
+
+    fn resume(&mut self, cont: u64, outcomes: Vec<CallOutcome>, _cx: &mut SvcCx) -> Plan {
+        let q = self.pending.remove(&cont).expect("pending query");
+        // Merge pulled subtrees, rebasing each entry's DN by matching its
+        // remote suffix (indexed by suffix for large registries).
+        let mut merged = 0usize;
+        let by_suffix: std::collections::HashMap<Dn, Dn> = self
+            .registered
+            .values()
+            .map(|r| (r.remote_suffix.clone(), r.graft.clone()))
+            .collect();
+        let depths: std::collections::BTreeSet<usize> = self
+            .registered
+            .values()
+            .map(|r| r.remote_suffix.depth())
+            .collect();
+        for o in outcomes {
+            let Some((payload, _bytes)) = o.response else {
+                continue; // source unreachable; soft state will purge it
+            };
+            let Ok(result) = payload.downcast::<MdsSearchResult>() else {
+                continue;
+            };
+            for e in result.entries {
+                let reg = depths.iter().find_map(|&d| {
+                    e.dn.suffix_of_depth(d)
+                        .and_then(|sfx| by_suffix.get_key_value(&sfx))
+                });
+                let Some((remote_suffix, graft)) = reg else { continue };
+                if let Some(dn) = e.dn.rebase(remote_suffix, graft) {
+                    let mut grafted = Entry::new(dn);
+                    for (a, vs) in e.iter() {
+                        for v in vs {
+                            grafted.add(a, v.clone());
+                        }
+                    }
+                    if self.dit.upsert(grafted).is_ok() {
+                        merged += 1;
+                    }
+                }
+            }
+        }
+        for r in self.registered.values_mut() {
+            r.entry_count = 0; // recomputed lazily if ever needed
+        }
+        let merge_cost = MERGE_CPU_PER_ENTRY_US * merged as f64;
+        let mut plan = self.search_plan(q);
+        plan.steps.insert(0, simnet::Step::Cpu(merge_cost));
+        plan
+    }
+
+    fn on_timer(&mut self, _tag: u64, cx: &mut SvcCx) {
+        // Soft-state registration heartbeat to upper-level GIISes.
+        if let Some(me) = self.me {
+            for &parent in &self.registrees {
+                cx.send_oneway(
+                    parent,
+                    GrisRegistration {
+                        gris: me,
+                        suffix: self.suffix.clone(),
+                    },
+                    crate::proto::REGISTRATION_BYTES,
+                );
+            }
+        }
+        cx.set_timer(crate::gris::REGISTRATION_PERIOD, 0);
+    }
+
+    fn name(&self) -> &str {
+        "giis"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gris::Gris;
+    use crate::provider::default_providers;
+    use ldapdir::{Filter, Scope};
+    use simcore::Engine;
+    use simnet::{
+        Client, ClientCx, Eng, Net, ReqOutcome, ReqResult, RequestSpec, ServiceConfig, StatsHub,
+        Topology,
+    };
+
+    struct QueryAt {
+        from: simnet::NodeId,
+        to: SvcKey,
+        times_s: Vec<u64>,
+        req: Box<dyn Fn() -> MdsRequest>,
+        results: std::rc::Rc<std::cell::RefCell<Vec<(usize, f64)>>>,
+    }
+
+    impl Client for QueryAt {
+        fn on_start(&mut self, cx: &mut ClientCx) {
+            for &t in &self.times_s {
+                cx.wake_in(SimDuration::from_secs(t), 0);
+            }
+        }
+        fn on_wake(&mut self, _tag: u64, cx: &mut ClientCx) {
+            let req = (self.req)();
+            let bytes = req.wire_size();
+            cx.submit(
+                RequestSpec {
+                    from: self.from,
+                    to: self.to,
+                    payload: Box::new(req),
+                    req_bytes: bytes,
+                },
+                0,
+            );
+        }
+        fn on_outcome(&mut self, o: ReqOutcome, _cx: &mut ClientCx) {
+            if let ReqResult::Ok(p, _) = o.result {
+                let r = p.downcast::<MdsSearchResult>().unwrap();
+                let rt = (o.completed - o.submitted).as_secs_f64();
+                self.results.borrow_mut().push((r.total, rt));
+            } else {
+                self.results.borrow_mut().push((usize::MAX, -1.0));
+            }
+        }
+    }
+
+    /// Deploy a GIIS with `n_gris` registered GRISes on a 3-node LAN.
+    fn deploy(
+        n_gris: usize,
+        cachettl: Option<SimDuration>,
+    ) -> (Net, Eng, simnet::NodeId, SvcKey, Vec<SvcKey>) {
+        let mut topo = Topology::new();
+        let client = topo.add_node("client", 1, 1.0);
+        let giis_node = topo.add_node("giis-host", 2, 1.0);
+        let gris_node = topo.add_node("gris-host", 2, 1.0);
+        topo.connect(client, giis_node, 100e6, SimDuration::from_millis(1));
+        topo.connect(client, gris_node, 100e6, SimDuration::from_millis(1));
+        topo.connect(giis_node, gris_node, 100e6, SimDuration::from_micros(200));
+        let mut net = Net::new(topo, StatsHub::new(SimTime::ZERO, SimTime::from_secs(1000)));
+        let mut eng: Eng = Engine::new(21);
+        let giis_suffix = Dn::parse("mds-vo-name=site, o=giis").unwrap();
+        let giis = net.add_service(
+            giis_node,
+            ServiceConfig::default(),
+            Box::new(Giis::new(giis_suffix, cachettl)),
+            &mut eng,
+        );
+        let mut grises = Vec::new();
+        for i in 0..n_gris {
+            let suffix = Dn::parse(&format!("mds-vo-name=res{i}, o=grid")).unwrap();
+            let mut gris = Gris::new(
+                suffix.clone(),
+                default_providers(&suffix, &format!("host{i}"), 10, None),
+            );
+            gris.register_with(giis);
+            let key = net.add_service(
+                gris_node,
+                ServiceConfig::default(),
+                Box::new(gris),
+                &mut eng,
+            );
+            net.service_as_mut::<Gris>(key).unwrap().me = Some(key);
+            // Kick the registration loop immediately.
+            net.prime_service_timer(&mut eng, key, SimDuration::from_millis(10 * (i as u64 + 1)), 0);
+            grises.push(key);
+        }
+        (net, eng, client, giis, grises)
+    }
+
+    #[test]
+    fn registration_then_pull_then_cache() {
+        let (mut net, mut eng, client, giis, _grises) = deploy(3, None);
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let base = Dn::parse("mds-vo-name=site, o=giis").unwrap();
+        net.add_client(Box::new(QueryAt {
+            from: client,
+            to: giis,
+            times_s: vec![5, 10, 15],
+            req: Box::new(move || MdsRequest::search_all(base.clone())),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(120));
+        let results = results.borrow();
+        assert_eq!(results.len(), 3);
+        // All three GRIS subtrees visible: >20 entries each.
+        assert!(results[0].0 > 60, "entries {}", results[0].0);
+        assert_eq!(results[0].0, results[2].0);
+        // First query pulled; later ones served from cache and faster.
+        let g = net.service_as::<Giis>(giis).unwrap();
+        assert_eq!(g.registered_count(), 3);
+        assert_eq!(g.pulls, 3);
+        assert!(results[1].1 < results[0].1, "warm {} cold {}", results[1].1, results[0].1);
+    }
+
+    #[test]
+    fn finite_cachettl_refetches() {
+        let (mut net, mut eng, client, giis, _) = deploy(2, Some(SimDuration::from_secs(12)));
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let base = Dn::parse("mds-vo-name=site, o=giis").unwrap();
+        net.add_client(Box::new(QueryAt {
+            from: client,
+            to: giis,
+            times_s: vec![5, 10, 30],
+            req: Box::new(move || MdsRequest::search_all(base.clone())),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(120));
+        let g = net.service_as::<Giis>(giis).unwrap();
+        // t=5 pulls both; t=10 cached; t=30 stale -> pulls both again.
+        assert_eq!(g.pulls, 4);
+    }
+
+    #[test]
+    fn soft_state_purges_dead_sources() {
+        let (mut net, mut eng, client, giis, grises) = deploy(2, None);
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let base = Dn::parse("mds-vo-name=site, o=giis").unwrap();
+        net.add_client(Box::new(QueryAt {
+            from: client,
+            to: giis,
+            times_s: vec![5, 300],
+            req: Box::new(move || MdsRequest::search_all(base.clone())),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        // Run past the first query, then "kill" one GRIS's heartbeat by
+        // removing its registration target list.
+        eng.run_until(&mut net, SimTime::from_secs(60));
+        net.service_as_mut::<Gris>(grises[0]).unwrap().me = None;
+        eng.run_until(&mut net, SimTime::from_secs(400));
+        let g = net.service_as::<Giis>(giis).unwrap();
+        assert_eq!(g.registered_count(), 1, "dead GRIS purged");
+        let results = results.borrow();
+        // Second query (t=300) sees only the surviving subtree.
+        assert!(results[1].0 < results[0].0);
+    }
+
+    #[test]
+    fn part_query_returns_one_subtree() {
+        let (mut net, mut eng, client, giis, grises) = deploy(4, None);
+        // Warm the cache first.
+        let warm = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let base = Dn::parse("mds-vo-name=site, o=giis").unwrap();
+        net.add_client(Box::new(QueryAt {
+            from: client,
+            to: giis,
+            times_s: vec![5],
+            req: Box::new({
+                let base = base.clone();
+                move || MdsRequest::search_all(base.clone())
+            }),
+            results: warm.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(60));
+        let total = warm.borrow()[0].0;
+        // Query just one graft point.
+        let graft = net
+            .service_as::<Giis>(giis)
+            .unwrap()
+            .graft_of(grises[1])
+            .unwrap()
+            .clone();
+        let part = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let late = net.add_client(Box::new(QueryAt {
+            from: client,
+            to: giis,
+            times_s: vec![1],
+            req: Box::new(move || MdsRequest::Search {
+                base: graft.clone(),
+                scope: Scope::Sub,
+                filter: Filter::any(),
+                attrs: None,
+            }),
+            results: part.clone(),
+        }));
+        net.start_client(&mut eng, late);
+        eng.run_until(&mut net, SimTime::from_secs(120));
+        let part_n = part.borrow()[0].0;
+        assert!(part_n > 0);
+        assert!(part_n * 3 < total, "part {part_n} of {total}");
+    }
+
+    #[test]
+    fn giis_registers_with_parent_giis() {
+        // Two-level MDS hierarchy: GRISes -> mid GIIS -> top GIIS.
+        let (mut net, mut eng, client, mid, _grises) = deploy(3, None);
+        let top_node = net.topo.find_node("client").unwrap();
+        let top_suffix = Dn::parse("mds-vo-name=top, o=giis").unwrap();
+        let top = net.add_service(
+            top_node,
+            ServiceConfig::default(),
+            Box::new(Giis::new(top_suffix.clone(), None)),
+            &mut eng,
+        );
+        {
+            let mid_ref = net.service_as_mut::<Giis>(mid).unwrap();
+            mid_ref.me = Some(mid);
+            mid_ref.register_with(top);
+        }
+        net.prime_service_timer(&mut eng, mid, SimDuration::from_millis(500), 0);
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(QueryAt {
+            from: client,
+            to: top,
+            times_s: vec![20],
+            req: Box::new(move || MdsRequest::search_all(top_suffix.clone())),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(120));
+        // The top GIIS pulled the mid GIIS, which pulled the three GRISes:
+        // the whole grid is visible from the top.
+        let results = results.borrow();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].0 > 60, "entries via hierarchy: {}", results[0].0);
+        let top_ref = net.service_as::<Giis>(top).unwrap();
+        assert_eq!(top_ref.registered_count(), 1);
+        assert_eq!(top_ref.pulls, 1);
+    }
+}

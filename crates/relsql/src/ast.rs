@@ -1,0 +1,184 @@
+//! SQL abstract syntax.
+
+use crate::table::{ColType, Column};
+use crate::value::SqlValue;
+use std::fmt;
+
+/// Comparison operators in WHERE predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Column(String),
+    Lit(SqlValue),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Column(c) => write!(f, "{c}"),
+            Operand::Lit(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A WHERE predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    Cmp(Operand, CmpOp, Operand),
+    /// `col LIKE 'pattern'` (`%` any run, `_` one char; negated form for
+    /// NOT LIKE).
+    Like {
+        column: String,
+        pattern: String,
+        negated: bool,
+    },
+    IsNull(String),
+    IsNotNull(String),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Cmp(a, op, b) => write!(f, "{a} {} {b}", op.symbol()),
+            Pred::Like {
+                column,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{column} {}LIKE '{}'",
+                if *negated { "NOT " } else { "" },
+                pattern.replace('\'', "''")
+            ),
+            Pred::IsNull(c) => write!(f, "{c} IS NULL"),
+            Pred::IsNotNull(c) => write!(f, "{c} IS NOT NULL"),
+            Pred::And(a, b) => write!(f, "({a} AND {b})"),
+            Pred::Or(a, b) => write!(f, "({a} OR {b})"),
+            Pred::Not(p) => write!(f, "(NOT {p})"),
+        }
+    }
+}
+
+/// SELECT column list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectCols {
+    Star,
+    CountStar,
+    Columns(Vec<String>),
+}
+
+/// ORDER BY clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    pub column: String,
+    pub desc: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    CreateTable {
+        name: String,
+        columns: Vec<Column>,
+        primary_key: Option<usize>,
+    },
+    Insert {
+        table: String,
+        /// Explicit column list, or None for positional.
+        columns: Option<Vec<String>>,
+        values: Vec<SqlValue>,
+    },
+    Select {
+        cols: SelectCols,
+        table: String,
+        where_: Option<Pred>,
+        order_by: Option<OrderBy>,
+        limit: Option<usize>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, SqlValue)>,
+        where_: Option<Pred>,
+    },
+    Delete {
+        table: String,
+        where_: Option<Pred>,
+    },
+    DropTable {
+        name: String,
+    },
+}
+
+impl Stmt {
+    /// The table this statement touches.
+    pub fn table(&self) -> &str {
+        match self {
+            Stmt::CreateTable { name, .. } | Stmt::DropTable { name } => name,
+            Stmt::Insert { table, .. }
+            | Stmt::Select { table, .. }
+            | Stmt::Update { table, .. }
+            | Stmt::Delete { table, .. } => table,
+        }
+    }
+}
+
+/// Helper for building column definitions.
+pub fn col(name: &str, ty: ColType) -> Column {
+    Column {
+        name: name.to_ascii_lowercase(),
+        ty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pred_display() {
+        let p = Pred::And(
+            Box::new(Pred::Cmp(
+                Operand::Column("a".into()),
+                CmpOp::Ge,
+                Operand::Lit(SqlValue::Int(5)),
+            )),
+            Box::new(Pred::IsNotNull("b".into())),
+        );
+        assert_eq!(p.to_string(), "(a >= 5 AND b IS NOT NULL)");
+    }
+
+    #[test]
+    fn stmt_table_accessor() {
+        let s = Stmt::Delete {
+            table: "t".into(),
+            where_: None,
+        };
+        assert_eq!(s.table(), "t");
+    }
+}

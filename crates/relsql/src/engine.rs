@@ -1,0 +1,681 @@
+//! Statement execution.
+
+use crate::ast::{CmpOp, Operand, Pred, SelectCols, Stmt};
+use crate::parser::{parse_stmt, SqlParseError};
+use crate::table::{Row, Table, TableError, TableSchema};
+use crate::value::SqlValue;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    Parse(String),
+    NoSuchTable(String),
+    TableExists(String),
+    NoSuchColumn(String),
+    Table(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "{m}"),
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SqlError::TableExists(t) => write!(f, "table already exists: {t}"),
+            SqlError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            SqlError::Table(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<SqlParseError> for SqlError {
+    fn from(e: SqlParseError) -> Self {
+        SqlError::Parse(e.to_string())
+    }
+}
+
+impl From<TableError> for SqlError {
+    fn from(e: TableError) -> Self {
+        SqlError::Table(e.to_string())
+    }
+}
+
+/// Result of executing a statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Column names for SELECT results.
+    pub columns: Vec<String>,
+    /// Selected rows.
+    pub rows: Vec<Row>,
+    /// Rows inserted/updated/deleted.
+    pub affected: usize,
+    /// Rows examined while evaluating the statement — the cost driver for
+    /// the simulated registry.
+    pub scanned: usize,
+    /// Whether an index satisfied the lookup.
+    pub used_index: bool,
+}
+
+impl QueryResult {
+    /// Approximate wire size of the result set in bytes.
+    pub fn wire_size(&self) -> u64 {
+        let header: u64 = self.columns.iter().map(|c| c.len() as u64 + 2).sum();
+        let body: u64 = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.wire_size() + 2).sum::<u64>())
+            .sum();
+        64 + header + body
+    }
+}
+
+/// A named collection of tables.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, SqlError> {
+        let stmt = parse_stmt(sql)?;
+        self.run(&stmt)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn run(&mut self, stmt: &Stmt) -> Result<QueryResult, SqlError> {
+        match stmt {
+            Stmt::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
+                if self.tables.contains_key(name) {
+                    return Err(SqlError::TableExists(name.clone()));
+                }
+                let schema = TableSchema {
+                    name: name.clone(),
+                    columns: columns.clone(),
+                    primary_key: *primary_key,
+                };
+                self.tables.insert(name.clone(), Table::new(schema));
+                Ok(QueryResult::default())
+            }
+            Stmt::DropTable { name } => {
+                if self.tables.remove(name).is_none() {
+                    return Err(SqlError::NoSuchTable(name.clone()));
+                }
+                Ok(QueryResult::default())
+            }
+            Stmt::Insert {
+                table,
+                columns,
+                values,
+            } => {
+                let t = self.table_mut(table)?;
+                let row = match columns {
+                    None => values.clone(),
+                    Some(cols) => {
+                        // Reorder named values into schema order; missing
+                        // columns become NULL.
+                        if cols.len() != values.len() {
+                            return Err(SqlError::Parse(format!(
+                                "{} columns but {} values",
+                                cols.len(),
+                                values.len()
+                            )));
+                        }
+                        let mut row = vec![SqlValue::Null; t.schema.columns.len()];
+                        for (c, v) in cols.iter().zip(values) {
+                            let i = t
+                                .schema
+                                .column_index(c)
+                                .ok_or_else(|| SqlError::NoSuchColumn(c.clone()))?;
+                            row[i] = v.clone();
+                        }
+                        row
+                    }
+                };
+                t.insert(row)?;
+                Ok(QueryResult {
+                    affected: 1,
+                    ..Default::default()
+                })
+            }
+            Stmt::Select {
+                cols,
+                table,
+                where_,
+                order_by,
+                limit,
+            } => {
+                let t = self.table(table)?;
+                let (mut rids, scanned, used_index) = candidate_rows(t, where_.as_ref())?;
+                // Order.
+                if let Some(ob) = order_by {
+                    let ci = t
+                        .schema
+                        .column_index(&ob.column)
+                        .ok_or_else(|| SqlError::NoSuchColumn(ob.column.clone()))?;
+                    rids.sort_by(|&a, &b| {
+                        let ra = &t.get_row(a).unwrap()[ci];
+                        let rb = &t.get_row(b).unwrap()[ci];
+                        let ord = ra.sort_key().total_cmp(&rb.sort_key());
+                        if ob.desc {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    });
+                }
+                if let Some(n) = limit {
+                    rids.truncate(*n);
+                }
+                // Project.
+                match cols {
+                    SelectCols::CountStar => Ok(QueryResult {
+                        columns: vec!["count(*)".into()],
+                        rows: vec![vec![SqlValue::Int(rids.len() as i64)]],
+                        scanned,
+                        used_index,
+                        ..Default::default()
+                    }),
+                    SelectCols::Star => Ok(QueryResult {
+                        columns: t.schema.column_names(),
+                        rows: rids
+                            .iter()
+                            .map(|&r| t.get_row(r).unwrap().clone())
+                            .collect(),
+                        scanned,
+                        used_index,
+                        ..Default::default()
+                    }),
+                    SelectCols::Columns(names) => {
+                        let idxs: Vec<usize> = names
+                            .iter()
+                            .map(|n| {
+                                t.schema
+                                    .column_index(n)
+                                    .ok_or_else(|| SqlError::NoSuchColumn(n.clone()))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        Ok(QueryResult {
+                            columns: names.clone(),
+                            rows: rids
+                                .iter()
+                                .map(|&r| {
+                                    let row = t.get_row(r).unwrap();
+                                    idxs.iter().map(|&i| row[i].clone()).collect()
+                                })
+                                .collect(),
+                            scanned,
+                            used_index,
+                            ..Default::default()
+                        })
+                    }
+                }
+            }
+            Stmt::Update {
+                table,
+                sets,
+                where_,
+            } => {
+                let t = self.table(table)?;
+                let (rids, scanned, used_index) = candidate_rows(t, where_.as_ref())?;
+                let set_idx: Vec<(usize, SqlValue)> = sets
+                    .iter()
+                    .map(|(c, v)| {
+                        t.schema
+                            .column_index(c)
+                            .map(|i| (i, v.clone()))
+                            .ok_or_else(|| SqlError::NoSuchColumn(c.clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let t = self.table_mut(table)?;
+                for &rid in &rids {
+                    for (ci, v) in &set_idx {
+                        t.update_cell(rid, *ci, v.clone())?;
+                    }
+                }
+                Ok(QueryResult {
+                    affected: rids.len(),
+                    scanned,
+                    used_index,
+                    ..Default::default()
+                })
+            }
+            Stmt::Delete { table, where_ } => {
+                let t = self.table(table)?;
+                let (rids, scanned, used_index) = candidate_rows(t, where_.as_ref())?;
+                let t = self.table_mut(table)?;
+                let mut affected = 0;
+                for rid in rids {
+                    if t.delete_row(rid) {
+                        affected += 1;
+                    }
+                }
+                Ok(QueryResult {
+                    affected,
+                    scanned,
+                    used_index,
+                    ..Default::default()
+                })
+            }
+        }
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, SqlError> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::NoSuchTable(name.into()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, SqlError> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::NoSuchTable(name.into()))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+}
+
+/// Find candidate row ids for a predicate: `(rows, scanned, used_index)`.
+/// An equality comparison of an indexed column against a literal (at the
+/// top level or on the left spine of ANDs) short-circuits to an index
+/// probe; everything else scans.
+fn candidate_rows(
+    t: &Table,
+    where_: Option<&Pred>,
+) -> Result<(Vec<usize>, usize, bool), SqlError> {
+    validate_pred_columns(t, where_)?;
+    if let Some(p) = where_ {
+        if let Some((col, val)) = index_probe(t, p) {
+            if let Some(ids) = t.index_lookup(col, &val) {
+                // Probe then re-filter with the full predicate (the probe
+                // may be one conjunct of a larger AND).
+                let rows: Vec<usize> = ids
+                    .into_iter()
+                    .filter(|&rid| {
+                        t.get_row(rid)
+                            .is_some_and(|row| eval_pred(p, t, row) == Some(true))
+                    })
+                    .collect();
+                let scanned = rows.len().max(1);
+                return Ok((rows, scanned, true));
+            }
+        }
+    }
+    // Full scan.
+    let mut rows = Vec::new();
+    let mut scanned = 0;
+    for (rid, row) in t.iter() {
+        scanned += 1;
+        let keep = match where_ {
+            None => true,
+            Some(p) => eval_pred(p, t, row) == Some(true),
+        };
+        if keep {
+            rows.push(rid);
+        }
+    }
+    Ok((rows, scanned, false))
+}
+
+/// Extract an indexable `col = literal` conjunct.
+fn index_probe(t: &Table, p: &Pred) -> Option<(usize, SqlValue)> {
+    match p {
+        Pred::Cmp(Operand::Column(c), CmpOp::Eq, Operand::Lit(v))
+        | Pred::Cmp(Operand::Lit(v), CmpOp::Eq, Operand::Column(c)) => {
+            let ci = t.schema.column_index(c)?;
+            if t.has_index(ci) {
+                Some((ci, v.clone()))
+            } else {
+                None
+            }
+        }
+        Pred::And(a, b) => index_probe(t, a).or_else(|| index_probe(t, b)),
+        _ => None,
+    }
+}
+
+fn validate_pred_columns(t: &Table, p: Option<&Pred>) -> Result<(), SqlError> {
+    let Some(p) = p else { return Ok(()) };
+    let check = |c: &String| -> Result<(), SqlError> {
+        t.schema
+            .column_index(c)
+            .map(|_| ())
+            .ok_or_else(|| SqlError::NoSuchColumn(c.clone()))
+    };
+    match p {
+        Pred::Cmp(a, _, b) => {
+            if let Operand::Column(c) = a {
+                check(c)?;
+            }
+            if let Operand::Column(c) = b {
+                check(c)?;
+            }
+            Ok(())
+        }
+        Pred::Like { column, .. } => check(column),
+        Pred::IsNull(c) | Pred::IsNotNull(c) => check(c),
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            validate_pred_columns(t, Some(a))?;
+            validate_pred_columns(t, Some(b))
+        }
+        Pred::Not(q) => validate_pred_columns(t, Some(q)),
+    }
+}
+
+/// Three-valued predicate evaluation (`None` = unknown, from NULLs).
+fn eval_pred(p: &Pred, t: &Table, row: &Row) -> Option<bool> {
+    match p {
+        Pred::Cmp(a, op, b) => {
+            let va = operand_value(a, t, row);
+            let vb = operand_value(b, t, row);
+            let ord = va.compare(&vb)?;
+            Some(match op {
+                CmpOp::Eq => ord.is_eq(),
+                CmpOp::Ne => !ord.is_eq(),
+                CmpOp::Lt => ord.is_lt(),
+                CmpOp::Le => ord.is_le(),
+                CmpOp::Gt => ord.is_gt(),
+                CmpOp::Ge => ord.is_ge(),
+            })
+        }
+        Pred::Like {
+            column,
+            pattern,
+            negated,
+        } => {
+            let ci = t.schema.column_index(column)?;
+            match &row[ci] {
+                SqlValue::Null => None,
+                SqlValue::Text(s) => Some(like_match(pattern, s) != *negated),
+                // Non-text values match LIKE via their textual form, as
+                // most SQL dialects coerce.
+                v => Some(like_match(pattern, &v.to_string()) != *negated),
+            }
+        }
+        Pred::IsNull(c) => {
+            let ci = t.schema.column_index(c)?;
+            Some(row[ci].is_null())
+        }
+        Pred::IsNotNull(c) => {
+            let ci = t.schema.column_index(c)?;
+            Some(!row[ci].is_null())
+        }
+        Pred::And(a, b) => {
+            match (eval_pred(a, t, row), eval_pred(b, t, row)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            }
+        }
+        Pred::Or(a, b) => match (eval_pred(a, t, row), eval_pred(b, t, row)) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        Pred::Not(q) => eval_pred(q, t, row).map(|b| !b),
+    }
+}
+
+/// SQL LIKE matching: `%` = any run (including empty), `_` = exactly one
+/// character; case-insensitive like our text comparisons elsewhere.
+fn like_match(pattern: &str, value: &str) -> bool {
+    fn rec(p: &[char], v: &[char]) -> bool {
+        match p.split_first() {
+            None => v.is_empty(),
+            Some(('%', rest)) => {
+                (0..=v.len()).any(|i| rec(rest, &v[i..]))
+            }
+            Some(('_', rest)) => !v.is_empty() && rec(rest, &v[1..]),
+            Some((c, rest)) => {
+                v.first().is_some_and(|x| x.eq_ignore_ascii_case(c)) && rec(rest, &v[1..])
+            }
+        }
+    }
+    let p: Vec<char> = pattern.chars().collect();
+    let v: Vec<char> = value.chars().collect();
+    rec(&p, &v)
+}
+
+fn operand_value(o: &Operand, t: &Table, row: &Row) -> SqlValue {
+    match o {
+        Operand::Lit(v) => v.clone(),
+        Operand::Column(c) => t
+            .schema
+            .column_index(c)
+            .map(|i| row[i].clone())
+            .unwrap_or(SqlValue::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE cpu (host TEXT PRIMARY KEY, site TEXT, load REAL)")
+            .unwrap();
+        for (h, s, l) in [
+            ("lucky0", "anl", 0.2),
+            ("lucky3", "anl", 1.5),
+            ("lucky4", "anl", 0.9),
+            ("uc01", "uc", 2.5),
+            ("uc02", "uc", 0.1),
+        ] {
+            db.execute(&format!("INSERT INTO cpu VALUES ('{h}', '{s}', {l})"))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn select_star_and_projection() {
+        let mut d = db();
+        let r = d.execute("SELECT * FROM cpu").unwrap();
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.columns, vec!["host", "site", "load"]);
+        let r = d.execute("SELECT host FROM cpu WHERE load > 1.0").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.columns, vec!["host"]);
+    }
+
+    #[test]
+    fn where_with_and_or_not() {
+        let mut d = db();
+        let r = d
+            .execute("SELECT host FROM cpu WHERE site = 'anl' AND load < 1.0")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = d
+            .execute("SELECT host FROM cpu WHERE site = 'uc' OR load >= 1.5")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let r = d
+            .execute("SELECT host FROM cpu WHERE NOT site = 'anl'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let mut d = db();
+        let r = d
+            .execute("SELECT host FROM cpu ORDER BY load DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], SqlValue::Text("uc01".into()));
+        assert_eq!(r.rows[1][0], SqlValue::Text("lucky3".into()));
+        let r = d.execute("SELECT host FROM cpu ORDER BY host").unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Text("lucky0".into()));
+    }
+
+    #[test]
+    fn count_star() {
+        let mut d = db();
+        let r = d
+            .execute("SELECT COUNT(*) FROM cpu WHERE site = 'anl'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Int(3));
+    }
+
+    #[test]
+    fn index_probe_on_primary_key() {
+        let mut d = db();
+        let r = d
+            .execute("SELECT load FROM cpu WHERE host = 'lucky3'")
+            .unwrap();
+        assert!(r.used_index);
+        assert_eq!(r.rows.len(), 1);
+        assert!(r.scanned <= 1);
+        // Non-indexed column scans.
+        let r = d.execute("SELECT host FROM cpu WHERE load = 0.9").unwrap();
+        assert!(!r.used_index);
+        assert_eq!(r.scanned, 5);
+        // Index probe inside an AND still applies the full predicate.
+        let r = d
+            .execute("SELECT host FROM cpu WHERE host = 'lucky3' AND load < 1.0")
+            .unwrap();
+        assert!(r.used_index);
+        assert_eq!(r.rows.len(), 0);
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut d = db();
+        let r = d
+            .execute("UPDATE cpu SET load = 9.9 WHERE site = 'uc'")
+            .unwrap();
+        assert_eq!(r.affected, 2);
+        let r = d.execute("SELECT COUNT(*) FROM cpu WHERE load = 9.9").unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Int(2));
+        let r = d.execute("DELETE FROM cpu WHERE site = 'anl'").unwrap();
+        assert_eq!(r.affected, 3);
+        let r = d.execute("SELECT COUNT(*) FROM cpu").unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Int(2));
+    }
+
+    #[test]
+    fn insert_named_columns_fills_nulls() {
+        let mut d = db();
+        d.execute("INSERT INTO cpu (host) VALUES ('bare')").unwrap();
+        let r = d
+            .execute("SELECT site FROM cpu WHERE host = 'bare'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Null);
+        // NULL never matches comparisons.
+        let r = d
+            .execute("SELECT host FROM cpu WHERE site = 'anl' OR site <> 'anl'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 5); // 'bare' excluded
+        let r = d
+            .execute("SELECT host FROM cpu WHERE site IS NULL")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        let mut d = db();
+        assert!(matches!(
+            d.execute("SELECT * FROM nope"),
+            Err(SqlError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            d.execute("SELECT nope FROM cpu"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            d.execute("SELECT * FROM cpu WHERE nope = 1"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            d.execute("CREATE TABLE cpu (a INT)"),
+            Err(SqlError::TableExists(_))
+        ));
+        assert!(matches!(
+            d.execute("INSERT INTO cpu VALUES ('lucky0', 'anl', 0.0)"),
+            Err(SqlError::Table(_)) // duplicate pk
+        ));
+        assert!(d.execute("DROP TABLE cpu").is_ok());
+        assert!(matches!(
+            d.execute("DROP TABLE cpu"),
+            Err(SqlError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn wire_size_grows_with_rows() {
+        let mut d = db();
+        let small = d
+            .execute("SELECT * FROM cpu LIMIT 1")
+            .unwrap()
+            .wire_size();
+        let big = d.execute("SELECT * FROM cpu").unwrap().wire_size();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn like_patterns() {
+        let mut d = db();
+        let r = d
+            .execute("SELECT host FROM cpu WHERE host LIKE 'lucky%'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        let r = d
+            .execute("SELECT host FROM cpu WHERE host LIKE 'uc0_'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = d
+            .execute("SELECT host FROM cpu WHERE host NOT LIKE 'lucky%'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = d
+            .execute("SELECT host FROM cpu WHERE host LIKE '%ck%' AND site = 'anl'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        // Case-insensitive; no match is empty, not an error.
+        let r = d
+            .execute("SELECT host FROM cpu WHERE host LIKE 'LUCKY3'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let r = d
+            .execute("SELECT host FROM cpu WHERE host LIKE 'z%'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 0);
+        // Bad usage is rejected.
+        assert!(d.execute("SELECT host FROM cpu WHERE host LIKE 5").is_err());
+        assert!(d
+            .execute("SELECT host FROM cpu WHERE nosuch LIKE 'x'")
+            .is_err());
+    }
+
+    #[test]
+    fn column_to_column_predicates() {
+        let mut d = Database::new();
+        d.execute("CREATE TABLE p (a INT, b INT)").unwrap();
+        d.execute("INSERT INTO p VALUES (1, 2)").unwrap();
+        d.execute("INSERT INTO p VALUES (3, 3)").unwrap();
+        d.execute("INSERT INTO p VALUES (5, 4)").unwrap();
+        let r = d.execute("SELECT * FROM p WHERE a < b").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let r = d.execute("SELECT * FROM p WHERE a = b").unwrap();
+        assert_eq!(r.rows.len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # relsql — an in-memory relational engine with a SQL subset
+//!
+//! R-GMA presents the Grid monitoring data as one virtual relational
+//! database: Producers advertise tables, the Registry stores producer
+//! metadata in an RDBMS, and Consumers pose SQL queries.  This crate
+//! implements the relational substrate:
+//!
+//! * typed tables with optional primary keys and secondary indexes;
+//! * a SQL subset: `CREATE TABLE`, `INSERT`, `SELECT` (projection,
+//!   `WHERE` with `AND`/`OR`/`NOT` and comparisons, `ORDER BY`, `LIMIT`,
+//!   `COUNT(*)`), `UPDATE` and `DELETE`;
+//! * an executor that uses an index for equality lookups and otherwise
+//!   scans, reporting the rows examined (the simulated CPU cost of a
+//!   query).
+//!
+//! ```
+//! use relsql::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE cpu (host TEXT PRIMARY KEY, load REAL)").unwrap();
+//! db.execute("INSERT INTO cpu VALUES ('lucky3', 0.7)").unwrap();
+//! db.execute("INSERT INTO cpu VALUES ('lucky4', 1.9)").unwrap();
+//! let r = db.execute("SELECT host FROM cpu WHERE load > 1.0").unwrap();
+//! assert_eq!(r.rows.len(), 1);
+//! assert_eq!(r.rows[0][0].to_string(), "'lucky4'");
+//! ```
+
+pub mod ast;
+pub mod engine;
+pub mod lexer;
+pub mod parser;
+pub mod table;
+pub mod value;
+
+pub use ast::{Pred, SelectCols, Stmt};
+pub use engine::{Database, QueryResult, SqlError};
+pub use parser::parse_stmt;
+pub use table::{ColType, Column, Table, TableSchema};
+pub use value::SqlValue;

@@ -1,0 +1,400 @@
+//! Tables, schemas and indexes.
+
+use crate::value::SqlValue;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    Int,
+    Real,
+    Text,
+}
+
+impl ColType {
+    /// Does `v` fit this column (NULL fits everything; INT widens to REAL)?
+    pub fn accepts(&self, v: &SqlValue) -> bool {
+        matches!(
+            (self, v),
+            (_, SqlValue::Null)
+                | (ColType::Int, SqlValue::Int(_))
+                | (ColType::Real, SqlValue::Real(_))
+                | (ColType::Real, SqlValue::Int(_))
+                | (ColType::Text, SqlValue::Text(_))
+        )
+    }
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColType::Int => write!(f, "INT"),
+            ColType::Real => write!(f, "REAL"),
+            ColType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Lowercased name.
+    pub name: String,
+    pub ty: ColType,
+}
+
+/// A table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Lowercased table name.
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Index of the primary-key column, if any.
+    pub primary_key: Option<usize>,
+}
+
+impl TableSchema {
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+/// A row is one value per column.
+pub type Row = Vec<SqlValue>;
+
+/// Index key: a string-normalised form of a value so `BTreeMap` keys are
+/// `Ord` (f64 isn't).  Numbers normalise so 2 and 2.0 share a key.
+fn index_key(v: &SqlValue) -> Option<String> {
+    match v {
+        SqlValue::Null => None,
+        SqlValue::Int(i) => Some(format!("n:{}", *i as f64)),
+        SqlValue::Real(r) => Some(format!("n:{r}")),
+        SqlValue::Text(s) => Some(format!("t:{s}")),
+    }
+}
+
+/// A table: schema, row store and optional per-column equality indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    rows: Vec<Option<Row>>, // tombstoned on delete
+    live: usize,
+    /// column index -> (key -> row ids)
+    indexes: BTreeMap<usize, BTreeMap<String, Vec<usize>>>,
+}
+
+/// Errors raised by table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    Arity { expected: usize, got: usize },
+    TypeMismatch { column: String, value: String },
+    DuplicateKey(String),
+    NoSuchColumn(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Arity { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            TableError::TypeMismatch { column, value } => {
+                write!(f, "value {value} does not fit column {column}")
+            }
+            TableError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
+            TableError::NoSuchColumn(c) => write!(f, "no such column {c}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        let mut t = Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            indexes: BTreeMap::new(),
+        };
+        if let Some(pk) = t.schema.primary_key {
+            t.indexes.insert(pk, BTreeMap::new());
+        }
+        t
+    }
+
+    /// Add a secondary equality index on a column.
+    pub fn create_index(&mut self, column: &str) -> Result<(), TableError> {
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| TableError::NoSuchColumn(column.into()))?;
+        let mut idx: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (rid, row) in self.rows.iter().enumerate() {
+            if let Some(row) = row {
+                if let Some(k) = index_key(&row[col]) {
+                    idx.entry(k).or_default().push(rid);
+                }
+            }
+        }
+        self.indexes.insert(col, idx);
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a full row.
+    pub fn insert(&mut self, row: Row) -> Result<usize, TableError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(TableError::Arity {
+                expected: self.schema.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (col, v) in self.schema.columns.iter().zip(&row) {
+            if !col.ty.accepts(v) {
+                return Err(TableError::TypeMismatch {
+                    column: col.name.clone(),
+                    value: v.to_string(),
+                });
+            }
+        }
+        if let Some(pk) = self.schema.primary_key {
+            if let Some(k) = index_key(&row[pk]) {
+                if self.indexes[&pk].get(&k).is_some_and(|v| !v.is_empty()) {
+                    return Err(TableError::DuplicateKey(row[pk].to_string()));
+                }
+            }
+        }
+        let rid = self.rows.len();
+        for (&col, idx) in self.indexes.iter_mut() {
+            if let Some(k) = index_key(&row[col]) {
+                idx.entry(k).or_default().push(rid);
+            }
+        }
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(rid)
+    }
+
+    /// Row ids matching `value` on `col` via an index, or `None` if the
+    /// column has no index (caller must scan).
+    pub fn index_lookup(&self, col: usize, value: &SqlValue) -> Option<Vec<usize>> {
+        let idx = self.indexes.get(&col)?;
+        let k = index_key(value)?;
+        Some(idx.get(&k).cloned().unwrap_or_default())
+    }
+
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    pub fn get_row(&self, rid: usize) -> Option<&Row> {
+        self.rows.get(rid).and_then(Option::as_ref)
+    }
+
+    /// Delete a row by id; returns whether it was live.
+    pub fn delete_row(&mut self, rid: usize) -> bool {
+        let Some(slot) = self.rows.get_mut(rid) else {
+            return false;
+        };
+        let Some(row) = slot.take() else {
+            return false;
+        };
+        self.live -= 1;
+        for (&col, idx) in self.indexes.iter_mut() {
+            if let Some(k) = index_key(&row[col]) {
+                if let Some(ids) = idx.get_mut(&k) {
+                    ids.retain(|&r| r != rid);
+                }
+            }
+        }
+        true
+    }
+
+    /// Overwrite one column of a row (re-indexing as needed).
+    pub fn update_cell(&mut self, rid: usize, col: usize, v: SqlValue) -> Result<(), TableError> {
+        let ty = self.schema.columns[col].ty;
+        if !ty.accepts(&v) {
+            return Err(TableError::TypeMismatch {
+                column: self.schema.columns[col].name.clone(),
+                value: v.to_string(),
+            });
+        }
+        let Some(Some(row)) = self.rows.get_mut(rid) else {
+            return Ok(());
+        };
+        let old = std::mem::replace(&mut row[col], v.clone());
+        if let Some(idx) = self.indexes.get_mut(&col) {
+            if let Some(k) = index_key(&old) {
+                if let Some(ids) = idx.get_mut(&k) {
+                    ids.retain(|&r| r != rid);
+                }
+            }
+            if let Some(k) = index_key(&v) {
+                idx.entry(k).or_default().push(rid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate `(row_id, row)` over live rows.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|row| (i, row)))
+    }
+
+    /// Total number of row slots (live + tombstones): the scan length.
+    pub fn scan_len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "cpu".into(),
+            columns: vec![
+                Column {
+                    name: "host".into(),
+                    ty: ColType::Text,
+                },
+                Column {
+                    name: "load".into(),
+                    ty: ColType::Real,
+                },
+            ],
+            primary_key: Some(0),
+        }
+    }
+
+    fn row(host: &str, load: f64) -> Row {
+        vec![SqlValue::Text(host.into()), SqlValue::Real(load)]
+    }
+
+    #[test]
+    fn insert_and_iterate() {
+        let mut t = Table::new(schema());
+        t.insert(row("a", 1.0)).unwrap();
+        t.insert(row("b", 2.0)).unwrap();
+        assert_eq!(t.len(), 2);
+        let hosts: Vec<&str> = t
+            .iter()
+            .map(|(_, r)| r[0].as_text().unwrap())
+            .collect();
+        assert_eq!(hosts, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn primary_key_enforced() {
+        let mut t = Table::new(schema());
+        t.insert(row("a", 1.0)).unwrap();
+        assert!(matches!(
+            t.insert(row("a", 9.0)),
+            Err(TableError::DuplicateKey(_))
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn type_checking() {
+        let mut t = Table::new(schema());
+        assert!(matches!(
+            t.insert(vec![SqlValue::Int(1), SqlValue::Real(0.0)]),
+            Err(TableError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(vec![SqlValue::Text("x".into())]),
+            Err(TableError::Arity { .. })
+        ));
+        // INT accepted into REAL column; NULL accepted anywhere.
+        t.insert(vec![SqlValue::Text("y".into()), SqlValue::Int(3)])
+            .unwrap();
+        t.insert(vec![SqlValue::Text("z".into()), SqlValue::Null])
+            .unwrap();
+    }
+
+    #[test]
+    fn index_lookup_matches_scan() {
+        let mut t = Table::new(schema());
+        for i in 0..20 {
+            t.insert(row(&format!("h{i}"), i as f64)).unwrap();
+        }
+        let ids = t
+            .index_lookup(0, &SqlValue::Text("h7".into()))
+            .expect("pk is indexed");
+        assert_eq!(ids.len(), 1);
+        assert_eq!(t.get_row(ids[0]).unwrap()[1], SqlValue::Real(7.0));
+        // Unindexed column.
+        assert!(t.index_lookup(1, &SqlValue::Real(7.0)).is_none());
+        // Secondary index.
+        let mut t2 = t.clone();
+        t2.create_index("load").unwrap();
+        let ids = t2.index_lookup(1, &SqlValue::Real(7.0)).unwrap();
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn int_real_share_index_key() {
+        let mut s = schema();
+        s.primary_key = Some(1);
+        let mut t = Table::new(s);
+        t.insert(vec![SqlValue::Text("a".into()), SqlValue::Int(2)])
+            .unwrap();
+        // 2.0 collides with 2 under numeric key normalisation.
+        assert!(matches!(
+            t.insert(vec![SqlValue::Text("b".into()), SqlValue::Real(2.0)]),
+            Err(TableError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn delete_and_update_maintain_indexes() {
+        let mut t = Table::new(schema());
+        let rid = t.insert(row("a", 1.0)).unwrap();
+        t.insert(row("b", 2.0)).unwrap();
+        assert!(t.delete_row(rid));
+        assert!(!t.delete_row(rid));
+        assert_eq!(t.len(), 1);
+        assert!(t
+            .index_lookup(0, &SqlValue::Text("a".into()))
+            .unwrap()
+            .is_empty());
+        // Now the pk "a" is free again.
+        let rid2 = t.insert(row("a", 5.0)).unwrap();
+        t.update_cell(rid2, 0, SqlValue::Text("c".into())).unwrap();
+        assert!(t
+            .index_lookup(0, &SqlValue::Text("a".into()))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            t.index_lookup(0, &SqlValue::Text("c".into())).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn null_pk_not_indexed() {
+        let mut t = Table::new(schema());
+        t.insert(vec![SqlValue::Null, SqlValue::Real(0.1)]).unwrap();
+        t.insert(vec![SqlValue::Null, SqlValue::Real(0.2)]).unwrap(); // no dup error
+        assert_eq!(t.len(), 2);
+    }
+}

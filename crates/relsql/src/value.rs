@@ -1,0 +1,188 @@
+//! SQL values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A SQL runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlValue {
+    Null,
+    Int(i64),
+    Real(f64),
+    Text(String),
+}
+
+impl SqlValue {
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SqlValue::Null => "NULL",
+            SqlValue::Int(_) => "INT",
+            SqlValue::Real(_) => "REAL",
+            SqlValue::Text(_) => "TEXT",
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, SqlValue::Null)
+    }
+
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            SqlValue::Int(i) => Some(*i as f64),
+            SqlValue::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            SqlValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison semantics: NULL compares as unknown (`None`);
+    /// numbers compare across INT/REAL; strings compare with strings.
+    /// Cross-type comparisons are `None` (treated as no match).
+    pub fn compare(&self, other: &SqlValue) -> Option<Ordering> {
+        match (self, other) {
+            (SqlValue::Null, _) | (_, SqlValue::Null) => None,
+            (SqlValue::Text(a), SqlValue::Text(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (self.as_number()?, other.as_number()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Key form for indexing/sorting: a total order (NULL first, then
+    /// numbers, then text).
+    pub fn sort_key(&self) -> SortKey<'_> {
+        match self {
+            SqlValue::Null => SortKey::Null,
+            SqlValue::Int(i) => SortKey::Num(*i as f64),
+            SqlValue::Real(r) => SortKey::Num(*r),
+            SqlValue::Text(s) => SortKey::Text(s),
+        }
+    }
+
+    /// Estimated size on the wire (textual form).
+    pub fn wire_size(&self) -> u64 {
+        self.to_string().len() as u64
+    }
+}
+
+/// Totally ordered key view of a value.
+#[derive(Debug, PartialEq)]
+pub enum SortKey<'a> {
+    Null,
+    Num(f64),
+    Text(&'a str),
+}
+
+impl PartialOrd for SortKey<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl SortKey<'_> {
+    pub fn total_cmp(&self, other: &Self) -> Ordering {
+        use SortKey::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Num(a), Num(b)) => a.total_cmp(b),
+            (Num(_), Text(_)) => Ordering::Less,
+            (Text(_), Num(_)) => Ordering::Greater,
+            (Text(a), Text(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Null => write!(f, "NULL"),
+            SqlValue::Int(i) => write!(f, "{i}"),
+            SqlValue::Real(r) => {
+                if r.fract() == 0.0 && r.abs() < 1e15 {
+                    write!(f, "{r:.1}")
+                } else {
+                    write!(f, "{r}")
+                }
+            }
+            SqlValue::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            SqlValue::Int(2).compare(&SqlValue::Real(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            SqlValue::Int(1).compare(&SqlValue::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            SqlValue::Text("a".into()).compare(&SqlValue::Text("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(SqlValue::Null.compare(&SqlValue::Int(1)), None);
+        assert_eq!(
+            SqlValue::Text("1".into()).compare(&SqlValue::Int(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn sort_key_total_order() {
+        let vals = [
+            SqlValue::Null,
+            SqlValue::Int(1),
+            SqlValue::Real(2.5),
+            SqlValue::Text("x".into()),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                let ord = a.sort_key().total_cmp(&b.sort_key());
+                if i == j {
+                    assert_eq!(ord, Ordering::Equal);
+                }
+            }
+        }
+        assert_eq!(
+            SqlValue::Null.sort_key().total_cmp(&SqlValue::Int(0).sort_key()),
+            Ordering::Less
+        );
+        assert_eq!(
+            SqlValue::Int(9).sort_key().total_cmp(&SqlValue::Text("a".into()).sort_key()),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn display_and_quote_escaping() {
+        assert_eq!(SqlValue::Int(5).to_string(), "5");
+        assert_eq!(SqlValue::Real(3.0).to_string(), "3.0");
+        assert_eq!(SqlValue::Text("o'brien".into()).to_string(), "'o''brien'");
+        assert_eq!(SqlValue::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(SqlValue::Null.is_null());
+        assert_eq!(SqlValue::Int(3).as_number(), Some(3.0));
+        assert_eq!(SqlValue::Text("t".into()).as_text(), Some("t"));
+        assert_eq!(SqlValue::Int(3).as_text(), None);
+        assert!(SqlValue::Real(1.0).wire_size() > 0);
+    }
+}

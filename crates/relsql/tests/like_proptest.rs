@@ -1,0 +1,56 @@
+//! Property test: the SQL LIKE implementation agrees with a simple
+//! reference matcher over random patterns and inputs.
+
+use proptest::prelude::*;
+use relsql::Database;
+
+/// Reference LIKE matcher (straightforward backtracking over chars).
+fn reference_like(pattern: &str, value: &str) -> bool {
+    fn rec(p: &[u8], v: &[u8]) -> bool {
+        match p.first() {
+            None => v.is_empty(),
+            Some(b'%') => (0..=v.len()).any(|i| rec(&p[1..], &v[i..])),
+            Some(b'_') => !v.is_empty() && rec(&p[1..], &v[1..]),
+            Some(c) => v
+                .first()
+                .is_some_and(|x| x.eq_ignore_ascii_case(c))
+                && rec(&p[1..], &v[1..]),
+        }
+    }
+    rec(pattern.as_bytes(), value.as_bytes())
+}
+
+proptest! {
+    #[test]
+    fn like_matches_reference(
+        values in proptest::collection::vec("[a-c%_]{0,8}", 1..12),
+        pattern in "[a-c%_]{0,6}",
+    ) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, s TEXT)").unwrap();
+        for (i, v) in values.iter().enumerate() {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, '{v}')")).unwrap();
+        }
+        let r = db
+            .execute(&format!("SELECT id FROM t WHERE s LIKE '{pattern}'"))
+            .unwrap();
+        let got: Vec<i64> = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_number().unwrap() as i64)
+            .collect();
+        let expected: Vec<i64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| reference_like(&pattern, v))
+            .map(|(i, _)| i as i64)
+            .collect();
+        prop_assert_eq!(&got, &expected);
+        // NOT LIKE is the exact complement.
+        let r = db
+            .execute(&format!("SELECT COUNT(*) FROM t WHERE s NOT LIKE '{pattern}'"))
+            .unwrap();
+        let n_not = r.rows[0][0].as_number().unwrap() as usize;
+        prop_assert_eq!(n_not, values.len() - expected.len());
+    }
+}

@@ -1,0 +1,62 @@
+//! Producer definitions.
+//!
+//! An R-GMA *Producer* advertises one table and publishes tuples into it
+//! through its hosting ProducerServlet.  The paper's deployments run "10
+//! local Producers" per ProducerServlet, scaled up to 90 in Experiment
+//! Set 3.
+
+use simcore::SimDuration;
+
+/// Definition of one producer.
+pub struct ProducerSpec {
+    /// The advertised table.
+    pub table: String,
+    /// Fixed-attribute predicate stored in the Registry (e.g.
+    /// `site='anl'`).
+    pub predicate: String,
+    /// How often a fresh tuple is published.
+    pub publish_period: SimDuration,
+    /// Number of distinct entities (rows) this producer maintains — a
+    /// LatestProducer keeps one current row per entity.
+    pub entities: usize,
+}
+
+/// Build `n` producers in the spirit of an R-GMA site install: host-level
+/// metric tables, one per producer.
+pub fn default_producers(site: &str, n: usize) -> Vec<ProducerSpec> {
+    let kinds = [
+        "cpuload", "memory", "disk", "network", "processes", "jobs",
+        "queue", "bandwidth", "latency", "services",
+    ];
+    (0..n)
+        .map(|i| {
+            let kind: String = if i < kinds.len() {
+                kinds[i].to_string()
+            } else {
+                format!("metric{i}")
+            };
+            ProducerSpec {
+                table: kind,
+                predicate: format!("site='{site}'"),
+                publish_period: SimDuration::from_secs(30),
+                entities: 8,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_distinct_tables() {
+        let ps = default_producers("anl", 10);
+        assert_eq!(ps.len(), 10);
+        let tables: std::collections::BTreeSet<_> = ps.iter().map(|p| p.table.clone()).collect();
+        assert_eq!(tables.len(), 10);
+        let ps90 = default_producers("anl", 90);
+        assert_eq!(ps90.len(), 90);
+        assert_eq!(ps90[89].table, "metric89");
+    }
+}

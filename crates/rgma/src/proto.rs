@@ -1,0 +1,85 @@
+//! Wire messages of the R-GMA model.
+
+use relsql::SqlValue;
+use simnet::SvcKey;
+
+/// Messages between consumers, servlets and the registry.
+pub enum RgmaMsg {
+    /// Consumer -> ConsumerServlet: run this SQL query over the virtual
+    /// database.
+    ConsumerQuery { sql: String },
+    /// ConsumerServlet (or a test client) -> Registry: which producers
+    /// serve `table`?
+    RegistryLookup { table: String },
+    /// ProducerServlet -> Registry: advertise a producer.
+    RegistryRegister {
+        servlet: SvcKey,
+        table: String,
+        predicate: String,
+    },
+    /// ConsumerServlet (or a direct client) -> ProducerServlet.
+    ProducerQuery { sql: String },
+    /// Consumer -> ProducerServlet: start streaming `table` tuples to
+    /// `sink` every `period_us` microseconds (push mode).
+    Subscribe {
+        table: String,
+        sink: SvcKey,
+        period_us: u64,
+    },
+    /// ProducerServlet -> subscriber sink: a batch of streamed tuples.
+    Stream {
+        table: String,
+        rows: Vec<Vec<SqlValue>>,
+    },
+}
+
+impl RgmaMsg {
+    /// Approximate size on the wire (HTTP + XML encoding overhead; R-GMA
+    /// 1.x spoke XML over HTTP between components).
+    pub fn wire_size(&self) -> u64 {
+        let body = match self {
+            RgmaMsg::ConsumerQuery { sql } | RgmaMsg::ProducerQuery { sql } => sql.len() as u64,
+            RgmaMsg::RegistryLookup { table } => table.len() as u64,
+            RgmaMsg::RegistryRegister {
+                table, predicate, ..
+            } => (table.len() + predicate.len()) as u64,
+            RgmaMsg::Subscribe { table, .. } => table.len() as u64 + 16,
+            RgmaMsg::Stream { rows, .. } => {
+                rows.iter()
+                    .map(|r| r.iter().map(|v| v.wire_size() + 8).sum::<u64>())
+                    .sum::<u64>()
+                    + 32
+            }
+        };
+        240 + body // HTTP headers + XML envelope
+    }
+}
+
+/// Registry answer: the producer servlets holding the table.
+pub struct ProducerList {
+    pub producers: Vec<SvcKey>,
+    pub bytes: u64,
+}
+
+/// Query answer: a relational result set.
+pub struct SqlResultMsg {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<SqlValue>>,
+    pub bytes: u64,
+}
+
+impl SqlResultMsg {
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<SqlValue>>) -> SqlResultMsg {
+        let bytes = 240
+            + columns.iter().map(|c| c.len() as u64 + 8).sum::<u64>()
+            + rows
+                .iter()
+                .map(|r| r.iter().map(|v| v.wire_size() + 8).sum::<u64>())
+                .sum::<u64>();
+        SqlResultMsg {
+            columns,
+            rows,
+            bytes,
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! The Producer and Consumer servlets.
+//!
+//! R-GMA's moving parts are Java servlets, usually remote from the
+//! producers/consumers they act for.  The **ProducerServlet** hosts the
+//! tuple stores of its local producers and answers SQL queries against
+//! them — serialized by the servlet's database lock, which is what makes
+//! its response time grow almost linearly with concurrent users in the
+//! paper's Experiment Set 1.  It also implements the push mode: consumers
+//! subscribe to a table and receive tuple batches on a timer.
+//!
+//! The **ConsumerServlet** "consults the Registry to find suitable
+//! Producers.  Then the servlet, acting on behalf of the Consumer, issues new
+//! queries to the located Producers to request and return the data to
+//! the Consumer."
+
+use crate::producer::ProducerSpec;
+use crate::proto::{ProducerList, RgmaMsg, SqlResultMsg};
+use crate::{DB_FIXED_CPU_US, JVM_DISPATCH_CPU_US, ROW_SCAN_CPU_US, SQL_PARSE_CPU_US};
+use relsql::{parse_stmt, Database, SqlValue, Stmt};
+use simcore::SimDuration;
+use simnet::{CallOutcome, LockKey, Payload, Plan, Service, SubCall, SvcCx, SvcKey};
+use std::collections::HashMap;
+
+/// Tag base for producer publish timers.
+const TIMER_PUBLISH: u64 = 1 << 32;
+/// Tag base for subscription stream timers.
+const TIMER_STREAM: u64 = 2 << 32;
+
+struct Subscription {
+    table: String,
+    sink: SvcKey,
+    period: SimDuration,
+}
+
+/// The ProducerServlet service.
+pub struct ProducerServlet {
+    db: Database,
+    producers: Vec<ProducerSpec>,
+    registry: Option<SvcKey>,
+    /// Own key (set by the deployment; needed for registration).
+    pub me: Option<SvcKey>,
+    /// The servlet's tuple-store lock (registered at deploy time).
+    pub db_lock: Option<LockKey>,
+    subscriptions: Vec<Subscription>,
+    publish_seq: u64,
+    /// Counters.
+    pub queries: u64,
+    pub tuples_published: u64,
+    pub stream_batches: u64,
+}
+
+impl ProducerServlet {
+    pub fn new(producers: Vec<ProducerSpec>) -> ProducerServlet {
+        let mut db = Database::new();
+        for p in &producers {
+            db.execute(&format!(
+                "CREATE TABLE {} (entity TEXT PRIMARY KEY, value REAL, seq INT)",
+                p.table
+            ))
+            .expect("producer table");
+        }
+        ProducerServlet {
+            db,
+            producers,
+            registry: None,
+            me: None,
+            db_lock: None,
+            subscriptions: Vec::new(),
+            publish_seq: 0,
+            queries: 0,
+            tuples_published: 0,
+            stream_batches: 0,
+        }
+    }
+
+    pub fn producer_count(&self) -> usize {
+        self.producers.len()
+    }
+
+    /// Point this servlet at the Registry; registration messages go out
+    /// when the deployment primes timer tag 0.
+    pub fn register_with(&mut self, registry: SvcKey) {
+        self.registry = Some(registry);
+    }
+
+    /// Rows currently stored for `table`.
+    pub fn table_rows(&mut self, table: &str) -> usize {
+        self.db
+            .execute(&format!("SELECT COUNT(*) FROM {table}"))
+            .map(|r| match r.rows[0][0] {
+                SqlValue::Int(n) => n as usize,
+                _ => 0,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Publish one round of tuples for producer `i` (LatestProducer
+    /// semantics: one current row per entity).
+    fn publish(&mut self, i: usize) {
+        let Some(p) = self.producers.get(i) else { return };
+        let table = p.table.clone();
+        let entities = p.entities;
+        self.publish_seq += 1;
+        let seq = self.publish_seq;
+        for e in 0..entities {
+            let val = ((seq * 37 + e as u64 * 11) % 1000) as f64 / 10.0;
+            // Upsert: delete + insert (LatestProducer keeps the newest).
+            let _ = self.db.execute(&format!(
+                "DELETE FROM {table} WHERE entity = 'e{e}'"
+            ));
+            self.db
+                .execute(&format!(
+                    "INSERT INTO {table} VALUES ('e{e}', {val}, {seq})"
+                ))
+                .expect("publish insert");
+            self.tuples_published += 1;
+        }
+    }
+
+    fn run_query(&mut self, sql: &str) -> (SqlResultMsg, usize) {
+        match self.db.execute(sql) {
+            Ok(r) => {
+                let scanned = r.scanned;
+                (SqlResultMsg::new(r.columns, r.rows), scanned)
+            }
+            Err(_) => (SqlResultMsg::new(vec![], vec![]), 1),
+        }
+    }
+
+    /// Cost of a query that touches every producer table (the paper's
+    /// Experiment Set 3 workload asks for all collectors' data).
+    fn all_tables_sql(&self) -> Vec<String> {
+        self.producers
+            .iter()
+            .map(|p| format!("SELECT * FROM {}", p.table))
+            .collect()
+    }
+
+    fn locked(&self, inner: Plan) -> Plan {
+        match self.db_lock {
+            Some(l) => {
+                let mut p = Plan::new().lock(l);
+                p.steps.extend(inner.steps);
+                let at = p
+                    .steps
+                    .iter()
+                    .position(|s| matches!(s, simnet::Step::Reply { .. }))
+                    .unwrap_or(p.steps.len());
+                p.steps.insert(at, simnet::Step::Unlock(l));
+                p
+            }
+            None => inner,
+        }
+    }
+}
+
+impl Service for ProducerServlet {
+    fn handle(&mut self, req: Payload, _cx: &mut SvcCx) -> Plan {
+        let msg = req
+            .downcast::<RgmaMsg>()
+            .expect("ProducerServlet expects RgmaMsg");
+        match *msg {
+            RgmaMsg::ProducerQuery { sql } => {
+                self.queries += 1;
+                if sql == "*ALL*" {
+                    // The all-collectors query: one SELECT per table.
+                    let mut total_rows = Vec::new();
+                    let mut scanned = 0usize;
+                    let mut cols = Vec::new();
+                    for q in self.all_tables_sql() {
+                        let (r, s) = self.run_query(&q);
+                        scanned += s;
+                        cols = r.columns;
+                        total_rows.extend(r.rows);
+                    }
+                    let n_tables = self.producers.len();
+                    let result = SqlResultMsg::new(cols, total_rows);
+                    let bytes = result.bytes;
+                    let cost = JVM_DISPATCH_CPU_US
+                        + (SQL_PARSE_CPU_US + DB_FIXED_CPU_US) * n_tables as f64
+                        + ROW_SCAN_CPU_US * scanned as f64;
+                    return self.locked(Plan::new().cpu(cost).reply(result, bytes));
+                }
+                let (result, scanned) = self.run_query(&sql);
+                let bytes = result.bytes;
+                let cost = JVM_DISPATCH_CPU_US
+                    + SQL_PARSE_CPU_US
+                    + DB_FIXED_CPU_US
+                    + ROW_SCAN_CPU_US * scanned as f64;
+                self.locked(Plan::new().cpu(cost).reply(result, bytes))
+            }
+            RgmaMsg::Subscribe {
+                table,
+                sink,
+                period_us,
+            } => {
+                let idx = self.subscriptions.len() as u64;
+                self.subscriptions.push(Subscription {
+                    table,
+                    sink,
+                    period: SimDuration::from_micros(period_us),
+                });
+                // Arm the stream timer via the reply path: the plan can't
+                // set timers, so emit the first batch from on_timer primed
+                // through an action.
+                _cx.set_timer(SimDuration::from_micros(period_us), TIMER_STREAM | idx);
+                Plan::new().cpu(JVM_DISPATCH_CPU_US).reply((), 300)
+            }
+            other => {
+                debug_assert!(false, "unexpected message ({} bytes)", other.wire_size());
+                Plan::reply_empty()
+            }
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, cx: &mut SvcCx) {
+        if tag == 0 {
+            // Deployment kick: register every producer with the Registry
+            // and start the publish loops.
+            if let (Some(registry), Some(me)) = (self.registry, self.me) {
+                for p in &self.producers {
+                    let msg = RgmaMsg::RegistryRegister {
+                        servlet: me,
+                        table: p.table.clone(),
+                        predicate: p.predicate.clone(),
+                    };
+                    let bytes = msg.wire_size();
+                    cx.send_oneway(registry, msg, bytes);
+                }
+            }
+            for i in 0..self.producers.len() {
+                cx.set_timer(
+                    self.producers[i].publish_period.mul_f64(0.1 + 0.8 * (i as f64 / self.producers.len().max(1) as f64)),
+                    TIMER_PUBLISH | i as u64,
+                );
+            }
+            return;
+        }
+        if tag & TIMER_PUBLISH != 0 && tag & TIMER_STREAM == 0 {
+            let i = (tag & 0xFFFF_FFFF) as usize;
+            self.publish(i);
+            if let Some(p) = self.producers.get(i) {
+                cx.set_timer(p.publish_period, tag);
+            }
+            return;
+        }
+        if tag & TIMER_STREAM != 0 {
+            let i = (tag & 0xFFFF_FFFF) as usize;
+            let Some(sub) = self.subscriptions.get(i) else {
+                return;
+            };
+            let table = sub.table.clone();
+            let sink = sub.sink;
+            let period = sub.period;
+            let r = self
+                .db
+                .execute(&format!("SELECT * FROM {table}"))
+                .ok();
+            let rows = r.map(|r| r.rows).unwrap_or_default();
+            if !rows.is_empty() {
+                self.stream_batches += 1;
+                let msg = RgmaMsg::Stream {
+                    table,
+                    rows,
+                };
+                let bytes = msg.wire_size();
+                cx.send_oneway(sink, msg, bytes);
+            }
+            cx.set_timer(period, tag);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "rgma-producer-servlet"
+    }
+}
+
+/// Pending state of a consumer query inside the ConsumerServlet.
+enum CqStage {
+    /// Waiting for the Registry.
+    Registry { sql: String },
+    /// Waiting for the producers.
+    Producers,
+}
+
+/// The ConsumerServlet service.
+pub struct ConsumerServlet {
+    registry: SvcKey,
+    pending: HashMap<u64, CqStage>,
+    next_cont: u64,
+    /// Counters.
+    pub queries: u64,
+    pub mediations: u64,
+}
+
+impl ConsumerServlet {
+    pub fn new(registry: SvcKey) -> ConsumerServlet {
+        ConsumerServlet {
+            registry,
+            pending: HashMap::new(),
+            next_cont: 0,
+            queries: 0,
+            mediations: 0,
+        }
+    }
+}
+
+impl Service for ConsumerServlet {
+    fn handle(&mut self, req: Payload, _cx: &mut SvcCx) -> Plan {
+        let msg = req
+            .downcast::<RgmaMsg>()
+            .expect("ConsumerServlet expects RgmaMsg");
+        let RgmaMsg::ConsumerQuery { sql } = *msg else {
+            debug_assert!(false, "unexpected message");
+            return Plan::reply_empty();
+        };
+        self.queries += 1;
+        // Which table does the query touch?  (Single-table SELECTs only —
+        // that is all R-GMA 1.x's mediator handled well, too.)
+        let table = match parse_stmt(&sql) {
+            Ok(Stmt::Select { table, .. }) => table,
+            _ => {
+                let result = SqlResultMsg::new(vec![], vec![]);
+                let bytes = result.bytes;
+                return Plan::new()
+                    .cpu(JVM_DISPATCH_CPU_US + SQL_PARSE_CPU_US)
+                    .reply(result, bytes);
+            }
+        };
+        let cont = self.next_cont;
+        self.next_cont += 1;
+        self.pending.insert(cont, CqStage::Registry { sql });
+        let lookup = RgmaMsg::RegistryLookup { table };
+        let bytes = lookup.wire_size();
+        Plan::new()
+            .cpu(JVM_DISPATCH_CPU_US + SQL_PARSE_CPU_US)
+            .call_all(
+                vec![SubCall {
+                    to: self.registry,
+                    payload: Box::new(lookup),
+                    req_bytes: bytes,
+                }],
+                cont,
+            )
+    }
+
+    fn resume(&mut self, cont: u64, outcomes: Vec<CallOutcome>, _cx: &mut SvcCx) -> Plan {
+        match self.pending.remove(&cont) {
+            Some(CqStage::Registry { sql }) => {
+                // Registry answered (or failed: an unreachable Registry is
+                // an error to the consumer, not an empty result).
+                let any_response = outcomes.iter().any(|o| o.response.is_some());
+                if !any_response {
+                    return Plan::new().cpu(2_000.0).fail();
+                }
+                let producers: Vec<SvcKey> = outcomes
+                    .into_iter()
+                    .filter_map(|o| o.response)
+                    .filter_map(|(p, _)| p.downcast::<ProducerList>().ok())
+                    .flat_map(|l| l.producers)
+                    .collect();
+                if producers.is_empty() {
+                    let result = SqlResultMsg::new(vec![], vec![]);
+                    let bytes = result.bytes;
+                    return Plan::new().cpu(2_000.0).reply(result, bytes);
+                }
+                self.mediations += 1;
+                let cont2 = self.next_cont;
+                self.next_cont += 1;
+                self.pending.insert(cont2, CqStage::Producers);
+                let calls: Vec<SubCall> = producers
+                    .into_iter()
+                    .map(|to| {
+                        let q = RgmaMsg::ProducerQuery { sql: sql.clone() };
+                        let bytes = q.wire_size();
+                        SubCall {
+                            to,
+                            payload: Box::new(q),
+                            req_bytes: bytes,
+                        }
+                    })
+                    .collect();
+                Plan::new().cpu(3_000.0).call_all(calls, cont2)
+            }
+            Some(CqStage::Producers) => {
+                // Merge the producer answers; if every producer was
+                // unreachable the query fails.
+                if outcomes.iter().all(|o| o.response.is_none()) {
+                    return Plan::new().cpu(2_000.0).fail();
+                }
+                let mut columns = Vec::new();
+                let mut rows = Vec::new();
+                for o in outcomes {
+                    let Some((p, _)) = o.response else { continue };
+                    if let Ok(r) = p.downcast::<SqlResultMsg>() {
+                        if columns.is_empty() {
+                            columns = r.columns;
+                        }
+                        rows.extend(r.rows);
+                    }
+                }
+                let merge_cost = 2_000.0 + ROW_SCAN_CPU_US * rows.len() as f64;
+                let result = SqlResultMsg::new(columns, rows);
+                let bytes = result.bytes;
+                Plan::new().cpu(merge_cost).reply(result, bytes)
+            }
+            None => {
+                debug_assert!(false, "resume without pending state");
+                Plan::reply_empty()
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "rgma-consumer-servlet"
+    }
+}
+
+/// A consumer-side sink for push-mode tuple streams.
+pub struct TupleSink {
+    /// Tuples received so far.
+    pub tuples: u64,
+    /// Batches received.
+    pub batches: u64,
+}
+
+impl TupleSink {
+    pub fn new() -> TupleSink {
+        TupleSink {
+            tuples: 0,
+            batches: 0,
+        }
+    }
+}
+
+impl Default for TupleSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Service for TupleSink {
+    fn handle(&mut self, req: Payload, _cx: &mut SvcCx) -> Plan {
+        if let Ok(msg) = req.downcast::<RgmaMsg>() {
+            if let RgmaMsg::Stream { rows, .. } = *msg {
+                self.batches += 1;
+                self.tuples += rows.len() as u64;
+                return Plan::new().cpu(500.0 + 50.0 * self.tuples.min(100) as f64).done();
+            }
+        }
+        Plan::new().done()
+    }
+
+    fn name(&self) -> &str {
+        "rgma-tuple-sink"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::producer::default_producers;
+    use simcore::SimTime;
+    use crate::registry::Registry;
+    use simcore::Engine;
+    use simnet::{
+        Client, ClientCx, Eng, Net, NodeId, ReqOutcome, ReqResult, RequestSpec, ServiceConfig,
+        StatsHub, Topology,
+    };
+
+    struct AskSql {
+        from: NodeId,
+        to: SvcKey,
+        at_s: u64,
+        sql: String,
+        results: std::rc::Rc<std::cell::RefCell<Vec<usize>>>,
+    }
+
+    impl Client for AskSql {
+        fn on_start(&mut self, cx: &mut ClientCx) {
+            cx.wake_in(SimDuration::from_secs(self.at_s), 0);
+        }
+        fn on_wake(&mut self, _tag: u64, cx: &mut ClientCx) {
+            let m = RgmaMsg::ConsumerQuery {
+                sql: self.sql.clone(),
+            };
+            let bytes = m.wire_size();
+            cx.submit(
+                RequestSpec {
+                    from: self.from,
+                    to: self.to,
+                    payload: Box::new(m),
+                    req_bytes: bytes,
+                },
+                0,
+            );
+        }
+        fn on_outcome(&mut self, o: ReqOutcome, _cx: &mut ClientCx) {
+            if let ReqResult::Ok(p, _) = o.result {
+                if let Ok(r) = p.downcast::<SqlResultMsg>() {
+                    self.results.borrow_mut().push(r.rows.len());
+                } else {
+                    self.results.borrow_mut().push(usize::MAX);
+                }
+            }
+        }
+    }
+
+    fn deploy() -> (Net, Eng, NodeId, SvcKey, SvcKey, SvcKey) {
+        let mut topo = Topology::new();
+        let client = topo.add_node("uc00", 1, 1.0);
+        let reg_node = topo.add_node("lucky1", 2, 1.0);
+        let ps_node = topo.add_node("lucky3", 2, 1.0);
+        let cs_node = topo.add_node("lucky5", 2, 1.0);
+        for a in [reg_node, ps_node, cs_node] {
+            topo.connect(client, a, 100e6, SimDuration::from_millis(1));
+        }
+        topo.connect(reg_node, ps_node, 100e6, SimDuration::from_micros(200));
+        topo.connect(reg_node, cs_node, 100e6, SimDuration::from_micros(200));
+        topo.connect(ps_node, cs_node, 100e6, SimDuration::from_micros(200));
+        let mut net = Net::new(topo, StatsHub::new(SimTime::ZERO, SimTime::from_secs(600)));
+        let mut eng: Eng = Engine::new(41);
+        // Registry with its DB lock.
+        let lock = net.add_lock(1);
+        let mut registry = Registry::new();
+        registry.db_lock = Some(lock);
+        let reg = net.add_service(
+            reg_node,
+            ServiceConfig::default(),
+            Box::new(registry),
+            &mut eng,
+        );
+        // ProducerServlet with 10 producers.
+        let ps_lock = net.add_lock(1);
+        let mut ps = ProducerServlet::new(default_producers("anl", 10));
+        ps.db_lock = Some(ps_lock);
+        ps.register_with(reg);
+        let ps_key = net.add_service(ps_node, ServiceConfig::default(), Box::new(ps), &mut eng);
+        net.service_as_mut::<ProducerServlet>(ps_key).unwrap().me = Some(ps_key);
+        net.prime_service_timer(&mut eng, ps_key, SimDuration::from_millis(50), 0);
+        // ConsumerServlet.
+        let cs = net.add_service(
+            cs_node,
+            ServiceConfig::default(),
+            Box::new(ConsumerServlet::new(reg)),
+            &mut eng,
+        );
+        (net, eng, client, reg, ps_key, cs)
+    }
+
+    #[test]
+    fn end_to_end_consumer_query() {
+        let (mut net, mut eng, client, reg, ps, cs) = deploy();
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(AskSql {
+            from: client,
+            to: cs,
+            at_s: 90, // give producers time to register & publish
+            sql: "SELECT * FROM cpuload".into(),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(150));
+        let results = results.borrow();
+        assert_eq!(results.len(), 1);
+        // LatestProducer: 8 entities, one row each.
+        assert_eq!(results[0], 8);
+        assert_eq!(net.service_as::<Registry>(reg).map(|r| r.lookups), Some(1));
+        assert_eq!(
+            net.service_as::<ConsumerServlet>(cs).map(|c| c.mediations),
+            Some(1)
+        );
+        assert!(net.service_as::<ProducerServlet>(ps).unwrap().queries >= 1);
+    }
+
+    #[test]
+    fn query_for_unknown_table_returns_empty() {
+        let (mut net, mut eng, client, _reg, _ps, cs) = deploy();
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(AskSql {
+            from: client,
+            to: cs,
+            at_s: 90,
+            sql: "SELECT * FROM nonexistent".into(),
+            results: results.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(150));
+        assert_eq!(*results.borrow(), vec![0]);
+    }
+
+    #[test]
+    fn registry_collects_all_registrations() {
+        let (mut net, mut eng, _client, reg, ps, _cs) = deploy();
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(60));
+        let registry = net.service_as_mut::<Registry>(reg).unwrap();
+        assert_eq!(registry.registrations, 10);
+        assert_eq!(registry.producer_count(), 10);
+        let servlet = net.service_as::<ProducerServlet>(ps).unwrap();
+        assert_eq!(servlet.producer_count(), 10);
+    }
+
+    #[test]
+    fn producers_publish_latest_rows() {
+        let (mut net, mut eng, _client, _reg, ps, _cs) = deploy();
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(120));
+        let servlet = net.service_as_mut::<ProducerServlet>(ps).unwrap();
+        // LatestProducer semantics: row count stays at the entity count
+        // however many publish rounds have passed.
+        assert_eq!(servlet.table_rows("cpuload"), 8);
+        assert!(servlet.tuples_published > 80, "published {}", servlet.tuples_published);
+    }
+
+    #[test]
+    fn push_mode_streams_tuples() {
+        let (mut net, mut eng, client, _reg, ps, _cs) = deploy();
+        // A sink service on the client node.
+        let sink = net.add_service(
+            client,
+            ServiceConfig::default(),
+            Box::new(TupleSink::new()),
+            &mut eng,
+        );
+        // Subscribe via a direct message to the ProducerServlet.
+        struct Subscriber {
+            from: NodeId,
+            to: SvcKey,
+            sink: SvcKey,
+        }
+        impl Client for Subscriber {
+            fn on_start(&mut self, cx: &mut ClientCx) {
+                cx.wake_in(SimDuration::from_secs(70), 0);
+            }
+            fn on_wake(&mut self, _tag: u64, cx: &mut ClientCx) {
+                let m = RgmaMsg::Subscribe {
+                    table: "cpuload".into(),
+                    sink: self.sink,
+                    period_us: 10_000_000,
+                };
+                let bytes = m.wire_size();
+                cx.submit(
+                    RequestSpec {
+                        from: self.from,
+                        to: self.to,
+                        payload: Box::new(m),
+                        req_bytes: bytes,
+                    },
+                    0,
+                );
+            }
+        }
+        net.add_client(Box::new(Subscriber {
+            from: client,
+            to: ps,
+            sink,
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(200));
+        let s = net.service_as::<TupleSink>(sink).unwrap();
+        // ~(200-80)/10 = 12 batches of 8 tuples.
+        assert!(s.batches >= 10, "batches {}", s.batches);
+        assert_eq!(s.tuples, s.batches * 8);
+    }
+}

@@ -1,0 +1,300 @@
+//! Processor-sharing CPU model.
+//!
+//! Each simulated machine owns one [`PsCpu`] with `cores` cores and a
+//! relative `speed` factor (1.0 = the reference 1133 MHz PIII of the paper's
+//! "lucky" testbed nodes).  Runnable tasks share the cores in the classic
+//! egalitarian processor-sharing discipline: with `n` runnable tasks on `c`
+//! cores each task progresses at rate `speed * min(1, c/n)` reference-CPU
+//! seconds per second.  This reproduces the two regimes that matter for the
+//! paper's load metrics:
+//!
+//! * under-subscription (`n <= c`): every task runs at full speed and CPU
+//!   utilisation is `n/c`;
+//! * over-subscription (`n > c`): utilisation is 100 % and the ready queue
+//!   grows, which is what the Linux `load1` (one-minute load average) metric
+//!   reported by Ganglia measures.
+//!
+//! `PsCpu` is a pure state machine: it never touches the event calendar.
+//! The owner (the network world) asks [`PsCpu::next_completion`] after every
+//! mutation and manages a single pending completion event per CPU.
+
+use crate::slab::{Slab, SlabKey};
+use crate::time::SimTime;
+
+/// Token identifying a task to the owner (typically a request id).
+pub type CpuToken = u64;
+
+#[derive(Debug)]
+struct Task {
+    /// Remaining work in *reference-CPU microseconds* (work at speed 1.0).
+    remaining: f64,
+    token: CpuToken,
+}
+
+/// A multi-core processor-sharing CPU.
+pub struct PsCpu {
+    cores: f64,
+    speed: f64,
+    tasks: Slab<Task>,
+    last: SimTime,
+    /// Accumulated busy core-microseconds (for CPU-load accounting).
+    busy_core_us: f64,
+}
+
+/// Tolerance below which a task is considered finished (microseconds of
+/// remaining work); guards against floating-point residue.
+const EPS: f64 = 1e-3;
+
+impl PsCpu {
+    /// Create a CPU with `cores` cores and relative `speed` (1.0 = the
+    /// reference core).
+    pub fn new(cores: u32, speed: f64) -> Self {
+        assert!(cores > 0 && speed > 0.0);
+        PsCpu {
+            cores: cores as f64,
+            speed,
+            tasks: Slab::new(),
+            last: SimTime::ZERO,
+            busy_core_us: 0.0,
+        }
+    }
+
+    pub fn cores(&self) -> u32 {
+        self.cores as u32
+    }
+
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Number of currently runnable tasks (running + ready), the quantity
+    /// the Linux load average counts.
+    pub fn runnable(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Current per-task progress rate in reference-CPU-microseconds per
+    /// microsecond of wall time.
+    fn rate(&self) -> f64 {
+        let n = self.tasks.len() as f64;
+        if n == 0.0 {
+            0.0
+        } else {
+            self.speed * (self.cores / n).min(1.0)
+        }
+    }
+
+    /// Instantaneous utilisation in `[0, 1]` (busy cores / total cores).
+    pub fn utilization(&self) -> f64 {
+        let n = self.tasks.len() as f64;
+        (n / self.cores).min(1.0)
+    }
+
+    /// Total busy core-seconds accumulated since construction, advanced to
+    /// `now`.  Monotonic; callers diff successive readings to get interval
+    /// utilisation.
+    pub fn busy_core_seconds(&mut self, now: SimTime) -> f64 {
+        self.advance_accounting(now);
+        self.busy_core_us / 1e6
+    }
+
+    fn advance_accounting(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last, "CPU time went backwards");
+        let dt = (now - self.last).as_micros() as f64;
+        if dt <= 0.0 {
+            return;
+        }
+        let n = self.tasks.len() as f64;
+        let busy_cores = n.min(self.cores);
+        self.busy_core_us += busy_cores * dt;
+        let rate = self.rate();
+        if rate > 0.0 {
+            let work = rate * dt;
+            for (_, t) in self.tasks.iter_mut() {
+                t.remaining -= work;
+            }
+        }
+        self.last = now;
+    }
+
+    /// Advance the CPU to `now`, returning the tokens of all tasks that have
+    /// finished by then (in submission order).
+    pub fn advance(&mut self, now: SimTime) -> Vec<CpuToken> {
+        self.advance_accounting(now);
+        let finished: Vec<SlabKey> = self
+            .tasks
+            .iter()
+            .filter(|(_, t)| t.remaining <= EPS)
+            .map(|(k, _)| k)
+            .collect();
+        finished
+            .into_iter()
+            .filter_map(|k| self.tasks.remove(k).map(|t| t.token))
+            .collect()
+    }
+
+    /// Submit a task demanding `work_us` reference-CPU microseconds.
+    /// The caller must have called [`PsCpu::advance`] at the current time
+    /// first (all owner entry points do).
+    pub fn submit(&mut self, now: SimTime, work_us: f64, token: CpuToken) -> SlabKey {
+        debug_assert!(work_us >= 0.0);
+        self.advance_accounting(now);
+        self.tasks.insert(Task {
+            remaining: work_us.max(EPS),
+            token,
+        })
+    }
+
+    /// Remove a task before completion (e.g. an aborted request).
+    pub fn abort(&mut self, now: SimTime, key: SlabKey) -> Option<CpuToken> {
+        self.advance_accounting(now);
+        self.tasks.remove(key).map(|t| t.token)
+    }
+
+    /// The absolute time at which the earliest current task will finish, or
+    /// `None` if the CPU is idle.  Changes whenever tasks are added or
+    /// removed, so the owner must re-query after every mutation.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        let rate = self.rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        let min_rem = self
+            .tasks
+            .iter()
+            .map(|(_, t)| t.remaining)
+            .fold(f64::INFINITY, f64::min);
+        if !min_rem.is_finite() {
+            return None;
+        }
+        // Round up so the completion event never fires *before* the work is
+        // done, guaranteeing progress (at least 1 µs ahead when work
+        // remains).
+        let dt_us = (min_rem.max(0.0) / rate).ceil() as u64;
+        Some(SimTime(now.as_micros().saturating_add(dt_us.max(1))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    #[test]
+    fn single_task_full_speed() {
+        let mut cpu = PsCpu::new(2, 1.0);
+        cpu.submit(t(0), 1000.0, 7);
+        let next = cpu.next_completion(t(0)).unwrap();
+        assert_eq!(next, t(1000));
+        let done = cpu.advance(next);
+        assert_eq!(done, vec![7]);
+        assert_eq!(cpu.runnable(), 0);
+    }
+
+    #[test]
+    fn two_tasks_two_cores_no_slowdown() {
+        let mut cpu = PsCpu::new(2, 1.0);
+        cpu.submit(t(0), 1000.0, 1);
+        cpu.submit(t(0), 1000.0, 2);
+        let next = cpu.next_completion(t(0)).unwrap();
+        assert_eq!(next, t(1000));
+        let done = cpu.advance(next);
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn oversubscription_halves_rate() {
+        let mut cpu = PsCpu::new(1, 1.0);
+        cpu.submit(t(0), 1000.0, 1);
+        cpu.submit(t(0), 1000.0, 2);
+        // Two tasks share one core: each runs at rate 0.5.
+        let next = cpu.next_completion(t(0)).unwrap();
+        assert_eq!(next, t(2000));
+        let done = cpu.advance(next);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn speed_factor_scales() {
+        let mut cpu = PsCpu::new(1, 2.0);
+        cpu.submit(t(0), 1000.0, 1);
+        assert_eq!(cpu.next_completion(t(0)).unwrap(), t(500));
+    }
+
+    #[test]
+    fn staggered_arrival_processor_sharing() {
+        let mut cpu = PsCpu::new(1, 1.0);
+        cpu.submit(t(0), 1000.0, 1);
+        // After 500us, task 1 has 500us left; add task 2.
+        assert!(cpu.advance(t(500)).is_empty());
+        cpu.submit(t(500), 500.0, 2);
+        // Both now progress at 0.5: each needs 500 work -> 1000us more.
+        let next = cpu.next_completion(t(500)).unwrap();
+        assert_eq!(next, t(1500));
+        let done = cpu.advance(next);
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn abort_removes_task_and_speeds_up_rest() {
+        let mut cpu = PsCpu::new(1, 1.0);
+        let k1 = cpu.submit(t(0), 1000.0, 1);
+        cpu.submit(t(0), 1000.0, 2);
+        assert!(cpu.advance(t(500)).is_empty()); // each has 750 left
+        assert_eq!(cpu.abort(t(500), k1), Some(1));
+        // Task 2 alone: 750us left at full rate.
+        assert_eq!(cpu.next_completion(t(500)).unwrap(), t(1250));
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let mut cpu = PsCpu::new(2, 1.0);
+        cpu.submit(t(0), 1_000_000.0, 1); // 1 CPU-second of work
+        let _ = cpu.advance(t(500_000));
+        // One task on two cores: one core busy for 0.5s.
+        let busy = cpu.busy_core_seconds(t(500_000));
+        assert!((busy - 0.5).abs() < 1e-6, "busy {busy}");
+        // Utilization is 0.5 (1 of 2 cores).
+        assert!((cpu.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_accounting_saturated() {
+        let mut cpu = PsCpu::new(2, 1.0);
+        for i in 0..6 {
+            cpu.submit(t(0), 10_000_000.0, i);
+        }
+        assert_eq!(cpu.runnable(), 6);
+        assert!((cpu.utilization() - 1.0).abs() < 1e-9);
+        let busy = cpu.busy_core_seconds(t(1_000_000));
+        assert!((busy - 2.0).abs() < 1e-6, "both cores busy for 1s: {busy}");
+    }
+
+    #[test]
+    fn idle_cpu_has_no_completion() {
+        let cpu = PsCpu::new(1, 1.0);
+        assert!(cpu.next_completion(t(0)).is_none());
+    }
+
+    #[test]
+    fn zero_work_finishes_immediately_but_after_now() {
+        let mut cpu = PsCpu::new(1, 1.0);
+        cpu.submit(t(100), 0.0, 9);
+        let next = cpu.next_completion(t(100)).unwrap();
+        assert!(next > t(100));
+        assert_eq!(cpu.advance(next), vec![9]);
+    }
+
+    #[test]
+    fn completion_tokens_in_submission_order() {
+        let mut cpu = PsCpu::new(4, 1.0);
+        cpu.submit(t(0), 100.0, 30);
+        cpu.submit(t(0), 100.0, 10);
+        cpu.submit(t(0), 100.0, 20);
+        let done = cpu.advance(t(200));
+        assert_eq!(done, vec![30, 10, 20]);
+    }
+}

@@ -1,0 +1,334 @@
+//! The event calendar and simulation driver.
+//!
+//! [`Engine<W>`] is generic over a "world" type `W` that owns all mutable
+//! simulation state.  Events are boxed `FnOnce(&mut W, &mut Engine<W>)`
+//! closures; when an event fires it receives exclusive access to both the
+//! world and the engine (so it can schedule or cancel further events).
+//!
+//! Ordering guarantees:
+//! * events fire in nondecreasing time order;
+//! * events scheduled for the same instant fire in scheduling order
+//!   (a stable FIFO tie-break via a monotonic sequence number), which is
+//!   what makes runs deterministic.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event; can be used to cancel it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct EventHandle {
+    slot: u32,
+    gen: u32,
+}
+
+impl EventHandle {
+    /// A handle that never resolves.
+    pub const NULL: EventHandle = EventHandle {
+        slot: u32::MAX,
+        gen: u32::MAX,
+    };
+}
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct EventSlot<W> {
+    gen: u32,
+    f: Option<EventFn<W>>,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct QKey {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+/// The discrete-event simulation engine.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<QKey>>,
+    slots: Vec<EventSlot<W>>,
+    free: Vec<u32>,
+    live: usize,
+    /// Number of events fired so far (for diagnostics / runaway detection).
+    pub fired: u64,
+    /// Root RNG; components should `fork` child streams from it.
+    pub rng: SimRng,
+}
+
+impl<W> Engine<W> {
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            fired: 0,
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.live
+    }
+
+    /// Schedule `f` to fire at absolute time `at` (clamped to `now` if in
+    /// the past, which can happen from floating-point rounding in resource
+    /// models).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventHandle {
+        let at = at.max(self.now);
+        let slot = if let Some(i) = self.free.pop() {
+            self.slots[i as usize].f = Some(Box::new(f));
+            i
+        } else {
+            let i = self.slots.len() as u32;
+            self.slots.push(EventSlot {
+                gen: 0,
+                f: Some(Box::new(f)),
+            });
+            i
+        };
+        let gen = self.slots[slot as usize].gen;
+        let seq = self.seq;
+        self.seq += 1;
+        self.live += 1;
+        self.heap.push(Reverse(QKey {
+            time: at,
+            seq,
+            slot,
+            gen,
+        }));
+        EventHandle { slot, gen }
+    }
+
+    /// Schedule `f` to fire after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventHandle {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Cancel a pending event.  Returns `true` if the event existed and was
+    /// cancelled; cancelling an already-fired or already-cancelled event is
+    /// a harmless no-op.
+    pub fn cancel(&mut self, h: EventHandle) -> bool {
+        if let Some(slot) = self.slots.get_mut(h.slot as usize) {
+            if slot.gen == h.gen && slot.f.is_some() {
+                slot.f = None;
+                slot.gen = slot.gen.wrapping_add(1);
+                self.free.push(h.slot);
+                self.live -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fire the next event, if any at or before `limit`.  Returns `false`
+    /// when the calendar is exhausted or the next event is later than
+    /// `limit` (in which case the clock advances to `limit`... no: the
+    /// clock only advances to event times; callers wanting the clock at
+    /// `limit` should schedule a no-op there).
+    fn step(&mut self, world: &mut W, limit: SimTime) -> bool {
+        loop {
+            let Some(Reverse(top)) = self.heap.peek() else {
+                return false;
+            };
+            if top.time > limit {
+                return false;
+            }
+            let Reverse(key) = self.heap.pop().expect("peeked");
+            let slot = &mut self.slots[key.slot as usize];
+            if slot.gen != key.gen {
+                // Cancelled (and possibly recycled); skip the stale key.
+                continue;
+            }
+            let Some(f) = slot.f.take() else {
+                continue;
+            };
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(key.slot);
+            self.live -= 1;
+            debug_assert!(key.time >= self.now, "time went backwards");
+            self.now = key.time;
+            self.fired += 1;
+            f(world, self);
+            return true;
+        }
+    }
+
+    /// Run until the calendar empties or simulated time would pass `until`.
+    /// Afterwards the clock reads `min(until, last fired event time)`… the
+    /// clock is advanced to exactly `until` on return so subsequent
+    /// scheduling is relative to the horizon.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) {
+        while self.step(world, until) {}
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Run until the calendar is completely empty (use with care: periodic
+    /// events make this nonterminating).
+    pub fn run_to_completion(&mut self, world: &mut W) {
+        while self.step(world, SimTime::MAX) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log {
+        entries: Vec<(u64, &'static str)>,
+    }
+
+    fn eng() -> Engine<Log> {
+        Engine::new(1)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut e = eng();
+        let mut w = Log::default();
+        e.schedule_at(SimTime(30), |w: &mut Log, eng| {
+            w.entries.push((eng.now().as_micros(), "c"))
+        });
+        e.schedule_at(SimTime(10), |w: &mut Log, eng| {
+            w.entries.push((eng.now().as_micros(), "a"))
+        });
+        e.schedule_at(SimTime(20), |w: &mut Log, eng| {
+            w.entries.push((eng.now().as_micros(), "b"))
+        });
+        e.run_until(&mut w, SimTime(100));
+        assert_eq!(w.entries, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(e.now(), SimTime(100));
+    }
+
+    #[test]
+    fn same_time_fifo_order() {
+        let mut e = eng();
+        let mut w = Log::default();
+        for (i, name) in ["first", "second", "third"].iter().enumerate() {
+            let name = *name;
+            let _ = i;
+            e.schedule_at(SimTime(5), move |w: &mut Log, _| w.entries.push((5, name)));
+        }
+        e.run_until(&mut w, SimTime(10));
+        let names: Vec<_> = w.entries.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut e = eng();
+        let mut w = Log::default();
+        let h = e.schedule_at(SimTime(10), |w: &mut Log, _| w.entries.push((10, "x")));
+        assert!(e.cancel(h));
+        assert!(!e.cancel(h)); // double-cancel is a no-op
+        e.run_until(&mut w, SimTime(100));
+        assert!(w.entries.is_empty());
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut e = eng();
+        let mut w = Log::default();
+        e.schedule_at(SimTime(1), |_w: &mut Log, eng| {
+            eng.schedule_in(SimDuration(5), |w: &mut Log, eng| {
+                w.entries.push((eng.now().as_micros(), "chained"));
+            });
+        });
+        e.run_until(&mut w, SimTime(10));
+        assert_eq!(w.entries, vec![(6, "chained")]);
+    }
+
+    #[test]
+    fn past_schedule_clamps_to_now() {
+        let mut e = eng();
+        let mut w = Log::default();
+        e.schedule_at(SimTime(50), |_w: &mut Log, eng| {
+            // "past" event: clamped to now = 50.
+            eng.schedule_at(SimTime(10), |w: &mut Log, eng| {
+                w.entries.push((eng.now().as_micros(), "clamped"));
+            });
+        });
+        e.run_until(&mut w, SimTime(100));
+        assert_eq!(w.entries, vec![(50, "clamped")]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut e = eng();
+        let mut w = Log::default();
+        e.schedule_at(SimTime(10), |w: &mut Log, _| w.entries.push((10, "in")));
+        e.schedule_at(SimTime(200), |w: &mut Log, _| w.entries.push((200, "out")));
+        e.run_until(&mut w, SimTime(100));
+        assert_eq!(w.entries, vec![(10, "in")]);
+        assert_eq!(e.pending(), 1);
+        e.run_until(&mut w, SimTime(300));
+        assert_eq!(w.entries.len(), 2);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_cancelled_events() {
+        let mut e = eng();
+        let mut w = Log::default();
+        let h = e.schedule_at(SimTime(10), |w: &mut Log, _| w.entries.push((10, "dead")));
+        e.cancel(h);
+        // Reuses the slot with a new generation.
+        e.schedule_at(SimTime(10), |w: &mut Log, _| w.entries.push((10, "live")));
+        e.run_until(&mut w, SimTime(20));
+        assert_eq!(w.entries, vec![(10, "live")]);
+    }
+
+    #[test]
+    fn periodic_self_rescheduling() {
+        struct Tick {
+            count: u32,
+        }
+        fn tick(w: &mut Tick, eng: &mut Engine<Tick>) {
+            w.count += 1;
+            if w.count < 5 {
+                eng.schedule_in(SimDuration(10), tick);
+            }
+        }
+        let mut e: Engine<Tick> = Engine::new(0);
+        let mut w = Tick { count: 0 };
+        e.schedule_at(SimTime(0), tick);
+        e.run_to_completion(&mut w);
+        assert_eq!(w.count, 5);
+        assert_eq!(e.now(), SimTime(40));
+    }
+
+    #[test]
+    fn fired_counter_counts() {
+        let mut e = eng();
+        let mut w = Log::default();
+        for t in 0..10 {
+            e.schedule_at(SimTime(t), |_w: &mut Log, _| {});
+        }
+        e.run_until(&mut w, SimTime(100));
+        assert_eq!(e.fired, 10);
+    }
+}

@@ -1,0 +1,1536 @@
+//! The simulation world: request lifecycle and plan execution.
+//!
+//! A request walks through these phases:
+//!
+//! ```text
+//! client ──SYN flow──▶ accept pool ──(granted)──▶ handshake ──req flow──▶
+//!        ◀─refused(RST)─┘ (rejected)                                    │
+//!                                                           worker pool │
+//!                                                                ▼
+//!                                      Plan steps: Cpu / Latency / Lock /
+//!                                      Effect / CallAll / Reply
+//!                                                                │
+//! client ◀──────────── response flow ◀───────────────────────────┘
+//! ```
+//!
+//! Two modelling decisions reproduce the saturation behaviour the paper
+//! reports for all three monitoring systems:
+//!
+//! 1. **Connection attempts are traffic.**  Every SYN exchange is a small
+//!    flow through the same links as the payload, so a retry storm from
+//!    hundreds of blocked users consumes server-side bandwidth — the paper's
+//!    "the network on the server side can no longer handle the traffic from
+//!    the queries".
+//! 2. **Accept pools are bounded.**  Each service accepts at most
+//!    `conn_capacity` concurrent connections with a `backlog`-deep listen
+//!    queue; overflow attempts are refused and clients back off
+//!    exponentially, which caps the number of concurrent queries *presented*
+//!    to a server and makes measured response times of completed queries
+//!    stay bounded while throughput plateaus.
+
+use crate::client::{Client, ClientCx, ClientKey, ReqOutcome, ReqResult};
+use crate::flow::FlowNet;
+use crate::service::{
+    CallOutcome, LockKey, Payload, Service, ServiceConfig, ServiceSlot, Step, SubCall, SvcAction,
+    SvcCx, SvcKey,
+};
+use crate::stats::StatsHub;
+use crate::topology::{NodeId, Topology};
+use simcore::slab::{Slab, SlabKey};
+use simcore::{Acquire, Engine, EventHandle, FifoTokens, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// The engine type used throughout the workspace.
+pub type Eng = Engine<Net>;
+
+/// Key identifying an in-flight request.
+pub type ReqKey = SlabKey;
+
+/// What a client wants to send.
+pub struct RequestSpec {
+    pub from: NodeId,
+    pub to: SvcKey,
+    pub payload: Payload,
+    pub req_bytes: u64,
+}
+
+/// Who is waiting for this request's outcome.
+enum Origin {
+    Client { key: ClientKey, tag: u64 },
+    Parent { req: ReqKey, index: u32 },
+    /// Fire-and-forget one-way message.
+    None,
+}
+
+/// Where the request is parked (for resumption routing and sanity checks).
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Waiting {
+    SynFlow,
+    ConnPool,
+    Handshake,
+    ReqFlow,
+    WorkerPool,
+    Cpu,
+    Latency,
+    Lock,
+    Children,
+    RespFlow,
+}
+
+struct PendingCalls {
+    cont: u64,
+    outcomes: Vec<CallOutcome>,
+    remaining: u32,
+}
+
+struct RequestState {
+    origin: Origin,
+    from: NodeId,
+    to: SvcKey,
+    payload: Option<Payload>,
+    req_bytes: u64,
+    submitted: SimTime,
+    oneway: bool,
+    waiting: Waiting,
+    has_conn: bool,
+    has_worker: bool,
+    held_locks: Vec<LockKey>,
+    steps: VecDeque<Step>,
+    pending: Option<PendingCalls>,
+}
+
+/// Bytes of a SYN/SYN-ACK control exchange (with kernel retransmissions a
+/// connection attempt is a handful of packets).
+pub const SYN_BYTES: u64 = 600;
+
+// Flow-token kind tags (top bits of the packed token).
+const FK_SYN: u64 = 1;
+const FK_REQ: u64 = 2;
+const FK_RESP: u64 = 3;
+
+fn pack(kind: u64, key: SlabKey) -> u64 {
+    (kind << 60) | ((key.index as u64) << 30) | (key.gen as u64 & 0x3FFF_FFFF)
+}
+
+fn unpack(token: u64) -> (u64, SlabKey) {
+    (
+        token >> 60,
+        SlabKey {
+            index: ((token >> 30) & 0x3FFF_FFFF) as u32,
+            gen: (token & 0x3FFF_FFFF) as u32,
+        },
+    )
+}
+
+// CPU-token kinds.
+const CK_REQUEST: u64 = 0;
+const CK_CLIENT_WORK: u64 = 4;
+
+fn req_ticket(key: ReqKey) -> u64 {
+    pack(CK_REQUEST, key)
+}
+
+fn ticket_req(ticket: u64) -> ReqKey {
+    unpack(ticket).1
+}
+
+/// The simulation world.
+pub struct Net {
+    pub topo: Topology,
+    flows: FlowNet,
+    flow_event: EventHandle,
+    pub services: Slab<ServiceSlot>,
+    clients: Slab<Box<dyn Client>>,
+    requests: Slab<RequestState>,
+    client_work: Slab<(ClientKey, u64)>,
+    locks: Slab<FifoTokens>,
+    pub stats: StatsHub,
+}
+
+impl Net {
+    pub fn new(topo: Topology, stats: StatsHub) -> Self {
+        Net {
+            topo,
+            flows: FlowNet::new(),
+            flow_event: EventHandle::NULL,
+            services: Slab::new(),
+            clients: Slab::new(),
+            requests: Slab::new(),
+            client_work: Slab::new(),
+            locks: Slab::new(),
+            stats,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deployment API
+    // ------------------------------------------------------------------
+
+    /// Deploy a service on a node.
+    pub fn add_service(
+        &mut self,
+        node: NodeId,
+        config: ServiceConfig,
+        svc: Box<dyn Service>,
+        eng: &mut Eng,
+    ) -> SvcKey {
+        let conns = FifoTokens::bounded(config.conn_capacity, config.backlog);
+        let workers = config.workers.map(FifoTokens::new);
+        let rng = eng.rng.fork(self.services.len() as u64 + 1000);
+        self.services.insert(ServiceSlot {
+            node,
+            config,
+            stats: Default::default(),
+            svc: Some(svc),
+            conns,
+            workers,
+            rng,
+        })
+    }
+
+    /// Register a client.
+    pub fn add_client(&mut self, client: Box<dyn Client>) -> ClientKey {
+        self.clients.insert(client)
+    }
+
+    /// Register a FIFO lock (e.g. a database critical section).
+    pub fn add_lock(&mut self, tokens: u32) -> LockKey {
+        self.locks.insert(FifoTokens::new(tokens))
+    }
+
+    /// Kick off the simulation: schedule `on_start` for every client at
+    /// t = 0 (in registration order).
+    pub fn start(&mut self, eng: &mut Eng) {
+        for key in self.clients.keys() {
+            eng.schedule_at(SimTime::ZERO, move |net: &mut Net, eng| {
+                net.with_client(eng, key, |c, cx| c.on_start(cx));
+            });
+        }
+    }
+
+    /// Start a single client that was added after [`Net::start`] ran.
+    pub fn start_client(&mut self, eng: &mut Eng, key: ClientKey) {
+        eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
+            net.with_client(eng, key, |c, cx| c.on_start(cx));
+        });
+    }
+
+    /// Give a service an initial timer (e.g. a periodic advertise loop)
+    /// before the simulation starts.
+    pub fn prime_service_timer(&mut self, eng: &mut Eng, svc: SvcKey, dur: SimDuration, tag: u64) {
+        eng.schedule_in(dur, move |net: &mut Net, eng| net.svc_timer(eng, svc, tag));
+    }
+
+    /// Immutable access to a deployed service (downcast by the caller).
+    pub fn service(&self, key: SvcKey) -> Option<&dyn Service> {
+        self.services.get(key).and_then(|s| s.svc.as_deref())
+    }
+
+    /// Mutable access to a deployed service (for test setup and deployment
+    /// wiring; never call this from inside that service's own callbacks).
+    pub fn service_mut(&mut self, key: SvcKey) -> Option<&mut (dyn Service + 'static)> {
+        self.services.get_mut(key).and_then(|s| s.svc.as_mut().map(|b| b.as_mut()))
+    }
+
+    /// Downcast a registered client to its concrete type (for inspecting
+    /// monitors and user state after a run).
+    pub fn client_as<T: 'static>(&self, key: ClientKey) -> Option<&T> {
+        self.clients
+            .get(key)
+            .and_then(|c| c.as_any().downcast_ref())
+    }
+
+    /// Downcast a deployed service to its concrete type (for inspection
+    /// after a run and deployment wiring).
+    pub fn service_as<T: 'static>(&self, key: SvcKey) -> Option<&T> {
+        self.service(key).and_then(|s| s.as_any().downcast_ref())
+    }
+
+    /// Mutable downcast of a deployed service.
+    pub fn service_as_mut<T: 'static>(&mut self, key: SvcKey) -> Option<&mut T> {
+        self.service_mut(key)
+            .and_then(|s| s.as_any_mut().downcast_mut())
+    }
+
+    pub fn service_node(&self, key: SvcKey) -> NodeId {
+        self.services.get(key).expect("service").node
+    }
+
+    pub fn service_stats(&self, key: SvcKey) -> &crate::service::ServiceStats {
+        &self.services.get(key).expect("service").stats
+    }
+
+    /// Refused-connection count of a service (admission drops).
+    pub fn service_refusals(&self, key: SvcKey) -> u64 {
+        self.services.get(key).expect("service").conns.rejected_total
+    }
+
+    /// Number of in-flight requests (diagnostics).
+    pub fn inflight(&self) -> usize {
+        self.requests.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Node metrics (read by the ganglia crate)
+    // ------------------------------------------------------------------
+
+    /// Instantaneous runnable-task count on a node (what `load1` samples).
+    pub fn node_runnable(&self, node: NodeId) -> usize {
+        self.topo.node(node).cpu.runnable()
+    }
+
+    /// Monotonic busy core-seconds of a node's CPU.
+    pub fn node_busy_core_seconds(&mut self, node: NodeId, now: SimTime) -> f64 {
+        self.topo.node_mut(node).cpu.busy_core_seconds(now)
+    }
+
+    pub fn node_cores(&self, node: NodeId) -> u32 {
+        self.topo.node(node).cpu.cores()
+    }
+
+    // ------------------------------------------------------------------
+    // Client-facing operations
+    // ------------------------------------------------------------------
+
+    pub(crate) fn submit_from_client(
+        &mut self,
+        eng: &mut Eng,
+        client: ClientKey,
+        tag: u64,
+        spec: RequestSpec,
+    ) {
+        let req = self.new_request(
+            Origin::Client { key: client, tag },
+            spec,
+            eng.now(),
+            false,
+        );
+        self.start_syn(eng, req);
+    }
+
+    pub(crate) fn wake_client(&mut self, eng: &mut Eng, key: ClientKey, tag: u64) {
+        self.with_client(eng, key, |c, cx| c.on_wake(tag, cx));
+    }
+
+    fn with_client(
+        &mut self,
+        eng: &mut Eng,
+        key: ClientKey,
+        f: impl FnOnce(&mut dyn Client, &mut ClientCx),
+    ) {
+        let Some(mut client) = self.clients.take(key) else {
+            return;
+        };
+        {
+            let mut cx = ClientCx {
+                net: self,
+                eng,
+                me: key,
+            };
+            f(client.as_mut(), &mut cx);
+        }
+        self.clients.put_back(key, client);
+    }
+
+    // ------------------------------------------------------------------
+    // Request lifecycle
+    // ------------------------------------------------------------------
+
+    fn new_request(
+        &mut self,
+        origin: Origin,
+        spec: RequestSpec,
+        now: SimTime,
+        oneway: bool,
+    ) -> ReqKey {
+        self.requests.insert(RequestState {
+            origin,
+            from: spec.from,
+            to: spec.to,
+            payload: Some(spec.payload),
+            req_bytes: spec.req_bytes,
+            submitted: now,
+            oneway,
+            waiting: Waiting::SynFlow,
+            has_conn: false,
+            has_worker: false,
+            held_locks: Vec::new(),
+            steps: VecDeque::new(),
+            pending: None,
+        })
+    }
+
+    /// Phase 1: the SYN exchange, modelled as a small flow so connection
+    /// attempts consume bandwidth.
+    fn start_syn(&mut self, eng: &mut Eng, req: ReqKey) {
+        let (from, to_node) = {
+            let r = self.requests.get(req).expect("request");
+            (r.from, self.service_node(r.to))
+        };
+        if self.requests.get(req).unwrap().oneway {
+            // Datagram: straight to payload transfer.
+            self.requests.get_mut(req).unwrap().waiting = Waiting::ReqFlow;
+            let bytes = self.requests.get(req).unwrap().req_bytes;
+            self.start_flow(eng, from, to_node, bytes, pack(FK_REQ, req));
+            return;
+        }
+        self.requests.get_mut(req).unwrap().waiting = Waiting::SynFlow;
+        self.start_flow(eng, from, to_node, SYN_BYTES, pack(FK_SYN, req));
+    }
+
+    /// SYN arrived at the server: try to enter the accept pool.
+    fn syn_arrived(&mut self, eng: &mut Eng, req: ReqKey) {
+        let to = self.requests.get(req).expect("request").to;
+        let slot = self.services.get_mut(to).expect("service");
+        match slot.conns.acquire(req_ticket(req)) {
+            Acquire::Granted => {
+                self.requests.get_mut(req).unwrap().has_conn = true;
+                self.begin_handshake(eng, req);
+            }
+            Acquire::Queued => {
+                self.requests.get_mut(req).unwrap().waiting = Waiting::ConnPool;
+            }
+            Acquire::Rejected => {
+                slot.stats.conns_refused += 1;
+                self.stats.incr("conn_refused");
+                self.fail_request(eng, req, /*refused=*/ true);
+            }
+        }
+    }
+
+    /// Phase 2: handshake — 1 RTT for TCP plus the service's session-setup
+    /// extras (GSI rounds, credential checks).
+    fn begin_handshake(&mut self, eng: &mut Eng, req: ReqKey) {
+        let r = self.requests.get_mut(req).expect("request");
+        r.waiting = Waiting::Handshake;
+        r.has_conn = true;
+        let to = r.to;
+        let from = r.from;
+        let slot = self.services.get(to).expect("service");
+        let setup = slot.config.setup;
+        let rtt = self.topo.rtt(from, slot.node);
+        let delay = rtt.mul_f64(1.0 + setup.extra_rtts) + setup.fixed;
+        eng.schedule_in(delay, move |net: &mut Net, eng| net.send_request(eng, req));
+    }
+
+    /// Phase 3: transfer the request body.
+    fn send_request(&mut self, eng: &mut Eng, req: ReqKey) {
+        let (from, to_node, bytes) = {
+            let r = self.requests.get_mut(req).expect("request");
+            r.waiting = Waiting::ReqFlow;
+            (r.from, self.services.get(r.to).unwrap().node, r.req_bytes)
+        };
+        self.start_flow(eng, from, to_node, bytes, pack(FK_REQ, req));
+    }
+
+    /// Phase 4: request body received — acquire a worker, then plan.
+    fn request_arrived(&mut self, eng: &mut Eng, req: ReqKey) {
+        let to = self.requests.get(req).expect("request").to;
+        let slot = self.services.get_mut(to).expect("service");
+        if self.requests.get(req).unwrap().oneway {
+            slot.stats.oneways_received += 1;
+            // One-way messages bypass the worker pool (they are handled by
+            // the server's event loop; their CPU demand still contends).
+            self.start_plan(eng, req);
+            return;
+        }
+        let need_worker = slot.workers.is_some();
+        if need_worker {
+            match slot.workers.as_mut().unwrap().acquire(req_ticket(req)) {
+                Acquire::Granted => {
+                    self.requests.get_mut(req).unwrap().has_worker = true;
+                    self.start_plan(eng, req);
+                }
+                Acquire::Queued => {
+                    self.requests.get_mut(req).unwrap().waiting = Waiting::WorkerPool;
+                }
+                Acquire::Rejected => unreachable!("worker pools are unbounded"),
+            }
+        } else {
+            self.start_plan(eng, req);
+        }
+    }
+
+    /// Phase 5: ask the service for its plan and start executing.
+    fn start_plan(&mut self, eng: &mut Eng, req: ReqKey) {
+        let (to, payload, oneway) = {
+            let r = self.requests.get_mut(req).expect("request");
+            (r.to, r.payload.take().expect("payload"), r.oneway)
+        };
+        let setup_cpu = {
+            let slot = self.services.get_mut(to).expect("service");
+            slot.stats.requests_handled += 1;
+            if oneway {
+                0.0
+            } else {
+                slot.config.setup.server_cpu_us
+            }
+        };
+        let plan = self.with_service(eng, to, |svc, cx| svc.handle(payload, cx));
+        let r = self.requests.get_mut(req).expect("request");
+        r.steps = plan.steps.into();
+        if setup_cpu > 0.0 {
+            r.steps.push_front(Step::Cpu(setup_cpu));
+        }
+        self.advance_steps(eng, req);
+    }
+
+    /// Execute plan steps until the request blocks or finishes.
+    fn advance_steps(&mut self, eng: &mut Eng, req: ReqKey) {
+        loop {
+            let Some(step) = self.requests.get_mut(req).and_then(|r| r.steps.pop_front()) else {
+                // Plan exhausted without Reply: end of a one-way (or a
+                // service that chose not to respond — treated as done).
+                self.cleanup_finished(eng, req, None);
+                return;
+            };
+            match step {
+                Step::Cpu(us) => {
+                    let node = self.service_node(self.requests.get(req).unwrap().to);
+                    self.requests.get_mut(req).unwrap().waiting = Waiting::Cpu;
+                    let now = eng.now();
+                    let cpu = &mut self.topo.node_mut(node).cpu;
+                    let _ = cpu.advance(now); // normally empty; tick event handles completions
+                    cpu.submit(now, us, req_ticket(req));
+                    self.resched_cpu(eng, node);
+                    return;
+                }
+                Step::Latency(d) => {
+                    self.requests.get_mut(req).unwrap().waiting = Waiting::Latency;
+                    eng.schedule_in(d, move |net: &mut Net, eng| {
+                        if let Some(r) = net.requests.get_mut(req) {
+                            r.waiting = Waiting::Cpu;
+                        }
+                        net.advance_steps(eng, req);
+                    });
+                    return;
+                }
+                Step::Lock(l) => {
+                    match self
+                        .locks
+                        .get_mut(l)
+                        .expect("lock")
+                        .acquire(req_ticket(req))
+                    {
+                        Acquire::Granted => {
+                            self.requests.get_mut(req).unwrap().held_locks.push(l);
+                            continue;
+                        }
+                        Acquire::Queued => {
+                            self.requests.get_mut(req).unwrap().waiting = Waiting::Lock;
+                            // Remember which lock we are waiting for by
+                            // pushing the Lock step back in front: on grant
+                            // we mark it held directly.
+                            return;
+                        }
+                        Acquire::Rejected => unreachable!("locks are unbounded"),
+                    }
+                }
+                Step::Unlock(l) => {
+                    let r = self.requests.get_mut(req).expect("request");
+                    if let Some(pos) = r.held_locks.iter().position(|&h| h == l) {
+                        r.held_locks.swap_remove(pos);
+                    } else {
+                        debug_assert!(false, "unlock of a lock not held");
+                    }
+                    self.release_lock(eng, l);
+                    continue;
+                }
+                Step::Effect { code, arg } => {
+                    let to = self.requests.get(req).unwrap().to;
+                    let now = eng.now();
+                    if let Some(slot) = self.services.get_mut(to) {
+                        if let Some(svc) = slot.svc.as_mut() {
+                            svc.effect(code, arg, now);
+                        }
+                    }
+                    continue;
+                }
+                Step::Send { to, payload, bytes } => {
+                    let from = self.service_node(self.requests.get(req).unwrap().to);
+                    let oneway = self.new_request(
+                        Origin::None,
+                        RequestSpec {
+                            from,
+                            to,
+                            payload,
+                            req_bytes: bytes,
+                        },
+                        eng.now(),
+                        true,
+                    );
+                    self.start_syn(eng, oneway);
+                    continue;
+                }
+                Step::CallAll { calls, cont } => {
+                    debug_assert!(
+                        self.requests.get(req).unwrap().steps.is_empty(),
+                        "CallAll must be the final step"
+                    );
+                    self.requests.get_mut(req).unwrap().waiting = Waiting::Children;
+                    if calls.is_empty() {
+                        // Degenerate fan-out: resume on a zero-delay event to
+                        // preserve "no synchronous callback" discipline.
+                        self.requests.get_mut(req).unwrap().pending = Some(PendingCalls {
+                            cont,
+                            outcomes: Vec::new(),
+                            remaining: 0,
+                        });
+                        eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
+                            net.resume_parent(eng, req)
+                        });
+                        return;
+                    }
+                    let n = calls.len() as u32;
+                    self.requests.get_mut(req).unwrap().pending = Some(PendingCalls {
+                        cont,
+                        outcomes: Vec::with_capacity(n as usize),
+                        remaining: n,
+                    });
+                    let from = self.service_node(self.requests.get(req).unwrap().to);
+                    for (i, call) in calls.into_iter().enumerate() {
+                        let SubCall {
+                            to,
+                            payload,
+                            req_bytes,
+                        } = call;
+                        let child = self.new_request(
+                            Origin::Parent {
+                                req,
+                                index: i as u32,
+                            },
+                            RequestSpec {
+                                from,
+                                to,
+                                payload,
+                                req_bytes,
+                            },
+                            eng.now(),
+                            false,
+                        );
+                        self.start_syn(eng, child);
+                    }
+                    return;
+                }
+                Step::Fail => {
+                    debug_assert!(
+                        self.requests.get(req).unwrap().steps.is_empty(),
+                        "Fail must be the final step"
+                    );
+                    // Release locks before failing.
+                    let locks = std::mem::take(&mut self.requests.get_mut(req).unwrap().held_locks);
+                    for l in locks {
+                        self.release_lock(eng, l);
+                    }
+                    self.fail_request(eng, req, /*refused=*/ false);
+                    return;
+                }
+                Step::Reply { payload, bytes } => {
+                    debug_assert!(
+                        self.requests.get(req).unwrap().steps.is_empty(),
+                        "Reply must be the final step"
+                    );
+                    let r = self.requests.get_mut(req).expect("request");
+                    debug_assert!(
+                        r.held_locks.is_empty(),
+                        "reply while holding locks — add Unlock steps"
+                    );
+                    if r.oneway {
+                        // One-ways cannot reply; drop the payload.
+                        drop(payload);
+                        self.cleanup_finished(eng, req, None);
+                        return;
+                    }
+                    r.waiting = Waiting::RespFlow;
+                    r.payload = Some(payload);
+                    r.req_bytes = bytes; // reuse field for response size
+                    let from = r.from;
+                    let to = r.to;
+                    // The worker is done once the response is handed to the
+                    // kernel... in reality the thread blocks on the write;
+                    // holding the worker during the response transfer is what
+                    // makes saturated networks back up into the thread pool.
+                    let to_node = self.service_node(to);
+                    let slot = self.services.get_mut(to).unwrap();
+                    slot.stats.replies_sent += 1;
+                    self.start_flow(eng, to_node, from, bytes, pack(FK_RESP, req));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Run a service callback with the take/put-back discipline.
+    fn with_service<T>(
+        &mut self,
+        eng: &mut Eng,
+        key: SvcKey,
+        f: impl FnOnce(&mut dyn Service, &mut SvcCx) -> T,
+    ) -> T {
+        let slot = self.services.get_mut(key).expect("service");
+        let mut svc = slot.svc.take().expect("service reentrancy");
+        let mut rng = slot.rng.clone();
+        let mut actions = Vec::new();
+        let out = {
+            let mut cx = SvcCx {
+                now: eng.now(),
+                me: key,
+                rng: &mut rng,
+                actions: &mut actions,
+            };
+            f(svc.as_mut(), &mut cx)
+        };
+        let slot = self.services.get_mut(key).expect("service");
+        slot.rng = rng;
+        slot.svc = Some(svc);
+        self.apply_actions(eng, key, actions);
+        out
+    }
+
+    fn apply_actions(&mut self, eng: &mut Eng, svc: SvcKey, actions: Vec<SvcAction>) {
+        for a in actions {
+            match a {
+                SvcAction::Timer { dur, tag } => {
+                    eng.schedule_in(dur, move |net: &mut Net, eng| net.svc_timer(eng, svc, tag));
+                }
+                SvcAction::OneWay { to, payload, bytes } => {
+                    let from = self.service_node(svc);
+                    let req = self.new_request(
+                        Origin::None,
+                        RequestSpec {
+                            from,
+                            to,
+                            payload,
+                            req_bytes: bytes,
+                        },
+                        eng.now(),
+                        true,
+                    );
+                    self.start_syn(eng, req);
+                }
+            }
+        }
+    }
+
+    fn svc_timer(&mut self, eng: &mut Eng, svc: SvcKey, tag: u64) {
+        if self.services.get(svc).is_none() {
+            return;
+        }
+        self.with_service(eng, svc, |s, cx| s.on_timer(tag, cx));
+    }
+
+    /// A sub-call finished (or failed); if all siblings are done, resume the
+    /// parent service.
+    fn child_done(
+        &mut self,
+        eng: &mut Eng,
+        parent: ReqKey,
+        index: u32,
+        response: Option<(Payload, u64)>,
+    ) {
+        let Some(r) = self.requests.get_mut(parent) else {
+            return;
+        };
+        let Some(p) = r.pending.as_mut() else {
+            debug_assert!(false, "child completion without pending calls");
+            return;
+        };
+        p.outcomes.push(CallOutcome { index, response });
+        p.remaining -= 1;
+        if p.remaining == 0 {
+            self.resume_parent(eng, parent);
+        }
+    }
+
+    fn resume_parent(&mut self, eng: &mut Eng, parent: ReqKey) {
+        let Some(r) = self.requests.get_mut(parent) else {
+            return;
+        };
+        let PendingCalls { cont, mut outcomes, .. } = r.pending.take().expect("pending");
+        outcomes.sort_by_key(|o| o.index);
+        let to = r.to;
+        let plan = self.with_service(eng, to, |svc, cx| svc.resume(cont, outcomes, cx));
+        let r = self.requests.get_mut(parent).expect("request");
+        r.steps = plan.steps.into();
+        self.advance_steps(eng, parent);
+    }
+
+    /// Response transfer finished: release server-side resources and
+    /// deliver to the requester after the path's propagation latency.
+    fn response_sent(&mut self, eng: &mut Eng, req: ReqKey) {
+        let (to, from) = {
+            let r = self.requests.get(req).expect("request");
+            (r.to, r.from)
+        };
+        self.release_server_side(eng, req);
+        let latency = self
+            .topo
+            .one_way_latency(self.service_node(to), from);
+        eng.schedule_in(latency, move |net: &mut Net, eng| {
+            net.deliver_response(eng, req)
+        });
+    }
+
+    fn deliver_response(&mut self, eng: &mut Eng, req: ReqKey) {
+        let Some(state) = self.requests.remove(req) else {
+            return;
+        };
+        let payload = state.payload.expect("response payload");
+        let bytes = state.req_bytes;
+        match state.origin {
+            Origin::Client { key, tag } => {
+                let outcome = ReqOutcome {
+                    tag,
+                    result: ReqResult::Ok(payload, bytes),
+                    submitted: state.submitted,
+                    completed: eng.now(),
+                };
+                self.with_client(eng, key, |c, cx| c.on_outcome(outcome, cx));
+            }
+            Origin::Parent { req: parent, index } => {
+                self.child_done(eng, parent, index, Some((payload, bytes)));
+            }
+            Origin::None => {}
+        }
+    }
+
+    /// Refusal / failure path: notify the origin after the return latency.
+    fn fail_request(&mut self, eng: &mut Eng, req: ReqKey, refused: bool) {
+        self.release_server_side(eng, req);
+        let (to, from) = {
+            let r = self.requests.get(req).expect("request");
+            (r.to, r.from)
+        };
+        let latency = self.topo.one_way_latency(self.service_node(to), from);
+        eng.schedule_in(latency, move |net: &mut Net, eng| {
+            let Some(state) = net.requests.remove(req) else {
+                return;
+            };
+            match state.origin {
+                Origin::Client { key, tag } => {
+                    let outcome = ReqOutcome {
+                        tag,
+                        result: if refused {
+                            ReqResult::Refused
+                        } else {
+                            ReqResult::Failed
+                        },
+                        submitted: state.submitted,
+                        completed: eng.now(),
+                    };
+                    net.with_client(eng, key, |c, cx| c.on_outcome(outcome, cx));
+                }
+                Origin::Parent { req: parent, index } => {
+                    net.child_done(eng, parent, index, None);
+                }
+                Origin::None => {}
+            }
+        });
+    }
+
+    /// Release conn/worker/locks held by a finishing request.
+    fn release_server_side(&mut self, eng: &mut Eng, req: ReqKey) {
+        let (to, has_conn, has_worker, locks) = {
+            let r = self.requests.get_mut(req).expect("request");
+            (
+                r.to,
+                std::mem::take(&mut r.has_conn),
+                std::mem::take(&mut r.has_worker),
+                std::mem::take(&mut r.held_locks),
+            )
+        };
+        for l in locks {
+            self.release_lock(eng, l);
+        }
+        if has_worker {
+            let next = self
+                .services
+                .get_mut(to)
+                .and_then(|s| s.workers.as_mut())
+                .and_then(|w| w.release());
+            if let Some(ticket) = next {
+                let granted = ticket_req(ticket);
+                if let Some(r) = self.requests.get_mut(granted) {
+                    r.has_worker = true;
+                }
+                eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
+                    net.start_plan(eng, granted)
+                });
+            }
+        }
+        if has_conn {
+            let next = self.services.get_mut(to).and_then(|s| s.conns.release());
+            if let Some(ticket) = next {
+                let granted = ticket_req(ticket);
+                eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
+                    if net.requests.contains(granted) {
+                        net.begin_handshake(eng, granted);
+                    }
+                });
+            }
+        }
+    }
+
+    fn cleanup_finished(&mut self, eng: &mut Eng, req: ReqKey, _payload: Option<Payload>) {
+        self.release_server_side(eng, req);
+        let state = self.requests.remove(req);
+        if let Some(state) = state {
+            // A request that ends without a reply only makes sense for
+            // one-ways; report a failure otherwise so callers aren't left
+            // hanging.
+            match state.origin {
+                Origin::None => {}
+                Origin::Client { key, tag } => {
+                    let outcome = ReqOutcome {
+                        tag,
+                        result: ReqResult::Failed,
+                        submitted: state.submitted,
+                        completed: eng.now(),
+                    };
+                    self.with_client(eng, key, |c, cx| c.on_outcome(outcome, cx));
+                }
+                Origin::Parent { req: parent, index } => {
+                    self.child_done(eng, parent, index, None);
+                }
+            }
+        }
+    }
+
+    fn release_lock(&mut self, eng: &mut Eng, l: LockKey) {
+        if let Some(next) = self.locks.get_mut(l).and_then(|lk| lk.release()) {
+            let granted = ticket_req(next);
+            if let Some(r) = self.requests.get_mut(granted) {
+                r.held_locks.push(l);
+                r.waiting = Waiting::Cpu;
+            }
+            eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
+                net.advance_steps(eng, granted)
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resource event plumbing
+    // ------------------------------------------------------------------
+
+    fn start_flow(&mut self, eng: &mut Eng, from: NodeId, to: NodeId, bytes: u64, token: u64) {
+        let now = eng.now();
+        // Collect any flows that finish exactly now so their completions are
+        // not lost when we advance the clock inside FlowNet.
+        let done = self.flows.advance(&self.topo, now);
+        let path = self.topo.route(from, to).to_vec();
+        self.flows.start(&self.topo, now, path, bytes, token);
+        self.resched_flows(eng);
+        for t in done {
+            self.dispatch_flow_token(eng, t);
+        }
+    }
+
+    fn flow_tick(&mut self, eng: &mut Eng) {
+        let now = eng.now();
+        let done = self.flows.advance(&self.topo, now);
+        self.resched_flows(eng);
+        for t in done {
+            self.dispatch_flow_token(eng, t);
+        }
+    }
+
+    fn dispatch_flow_token(&mut self, eng: &mut Eng, token: u64) {
+        let (kind, key) = unpack(token);
+        if !self.requests.contains(key) {
+            return;
+        }
+        match kind {
+            FK_SYN => {
+                // SYN flow done; add propagation latency then admission.
+                let (to, from) = {
+                    let r = self.requests.get(key).unwrap();
+                    (r.to, r.from)
+                };
+                let latency = self.topo.one_way_latency(from, self.service_node(to));
+                eng.schedule_in(latency, move |net: &mut Net, eng| {
+                    if net.requests.contains(key) {
+                        net.syn_arrived(eng, key);
+                    }
+                });
+            }
+            FK_REQ => {
+                let (to, from) = {
+                    let r = self.requests.get(key).unwrap();
+                    (r.to, r.from)
+                };
+                let latency = self.topo.one_way_latency(from, self.service_node(to));
+                eng.schedule_in(latency, move |net: &mut Net, eng| {
+                    if net.requests.contains(key) {
+                        net.request_arrived(eng, key);
+                    }
+                });
+            }
+            FK_RESP => self.response_sent(eng, key),
+            _ => debug_assert!(false, "unknown flow token kind {kind}"),
+        }
+    }
+
+    fn resched_flows(&mut self, eng: &mut Eng) {
+        eng.cancel(self.flow_event);
+        self.flow_event = match self.flows.next_completion(eng.now()) {
+            Some(t) => eng.schedule_at(t, |net: &mut Net, eng| net.flow_tick(eng)),
+            None => EventHandle::NULL,
+        };
+    }
+
+    fn cpu_tick(&mut self, eng: &mut Eng, node: NodeId) {
+        let now = eng.now();
+        let done = self.topo.node_mut(node).cpu.advance(now);
+        self.resched_cpu(eng, node);
+        for token in done {
+            let (kind, key) = unpack(token);
+            match kind {
+                CK_REQUEST => {
+                    if self.requests.contains(key) {
+                        self.advance_steps(eng, key);
+                    }
+                }
+                CK_CLIENT_WORK => {
+                    if let Some((client, tag)) = self.client_work.remove(key) {
+                        self.with_client(eng, client, |c, cx| c.on_wake(tag, cx));
+                    }
+                }
+                _ => debug_assert!(false, "unknown CPU token kind {kind}"),
+            }
+        }
+    }
+
+    /// Submit client-side CPU work (the user script forking its query
+    /// tool); the client's `on_wake(tag)` fires when it completes.
+    pub(crate) fn client_cpu(
+        &mut self,
+        eng: &mut Eng,
+        client: ClientKey,
+        node: NodeId,
+        work_us: f64,
+        tag: u64,
+    ) {
+        let key = self.client_work.insert((client, tag));
+        let now = eng.now();
+        let cpu = &mut self.topo.node_mut(node).cpu;
+        let _ = cpu.advance(now);
+        cpu.submit(now, work_us, pack(CK_CLIENT_WORK, key));
+        self.resched_cpu(eng, node);
+    }
+
+    fn resched_cpu(&mut self, eng: &mut Eng, node: NodeId) {
+        let handle = self.topo.node(node).cpu_event;
+        eng.cancel(handle);
+        let next = self.topo.node(node).cpu.next_completion(eng.now());
+        self.topo.node_mut(node).cpu_event = match next {
+            Some(t) => eng.schedule_at(t, move |net: &mut Net, eng| net.cpu_tick(eng, node)),
+            None => EventHandle::NULL,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Plan, SetupCost};
+
+    /// Echo service: fixed CPU cost, replies with the request string.
+    struct Echo {
+        cpu_us: f64,
+    }
+
+    impl Service for Echo {
+        fn handle(&mut self, req: Payload, _cx: &mut SvcCx) -> Plan {
+            let msg = *req.downcast::<String>().expect("string payload");
+            Plan::new().cpu(self.cpu_us).reply(format!("echo:{msg}"), 256)
+        }
+        fn name(&self) -> &str {
+            "echo"
+        }
+    }
+
+    /// One-shot client: sends one request at start, records the outcome.
+    struct OneShot {
+        from: NodeId,
+        to: SvcKey,
+        got: std::rc::Rc<std::cell::RefCell<Vec<(String, f64)>>>,
+    }
+
+    impl Client for OneShot {
+        fn on_start(&mut self, cx: &mut ClientCx) {
+            cx.submit(
+                RequestSpec {
+                    from: self.from,
+                    to: self.to,
+                    payload: Box::new(String::from("hi")),
+                    req_bytes: 512,
+                },
+                1,
+            );
+        }
+        fn on_outcome(&mut self, outcome: ReqOutcome, _cx: &mut ClientCx) {
+            if let ReqResult::Ok(p, _) = outcome.result {
+                let s = *p.downcast::<String>().unwrap();
+                let rt = (outcome.completed - outcome.submitted).as_secs_f64();
+                self.got.borrow_mut().push((s, rt));
+            } else {
+                self.got.borrow_mut().push((String::from("FAIL"), 0.0));
+            }
+        }
+    }
+
+    fn two_node_net() -> (Net, Eng, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let a = topo.add_node("client", 1, 1.0);
+        let b = topo.add_node("server", 2, 1.0);
+        topo.connect(a, b, 100e6, SimDuration::from_micros(500));
+        let stats = StatsHub::new(SimTime::ZERO, SimTime::from_secs(1000));
+        let net = Net::new(topo, stats);
+        let eng: Eng = Engine::new(7);
+        (net, eng, a, b)
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let svc = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Echo { cpu_us: 1000.0 }),
+            &mut eng,
+        );
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(OneShot {
+            from: a,
+            to: svc,
+            got: got.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "echo:hi");
+        // RT must include at least 2 RTTs (~2ms) + 1ms CPU.
+        assert!(got[0].1 > 0.003, "rt {}", got[0].1);
+        assert!(got[0].1 < 0.1, "rt {}", got[0].1);
+        assert_eq!(net.inflight(), 0);
+        assert_eq!(net.service_stats(svc).replies_sent, 1);
+    }
+
+    #[test]
+    fn setup_cost_adds_fixed_latency() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let mut cfg = ServiceConfig::default();
+        cfg.setup = SetupCost {
+            extra_rtts: 2.0,
+            fixed: SimDuration::from_secs(2),
+            server_cpu_us: 100.0,
+        };
+        let svc = net.add_service(b, cfg, Box::new(Echo { cpu_us: 100.0 }), &mut eng);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(OneShot {
+            from: a,
+            to: svc,
+            got: got.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].1 > 2.0, "rt {} should include GSI-like fixed cost", got[0].1);
+        assert!(got[0].1 < 2.2);
+    }
+
+    /// Client that fires `n` requests at once (tests conn admission).
+    struct Burst {
+        from: NodeId,
+        to: SvcKey,
+        n: u32,
+        ok: std::rc::Rc<std::cell::RefCell<(u32, u32)>>, // (ok, refused)
+    }
+
+    impl Client for Burst {
+        fn on_start(&mut self, cx: &mut ClientCx) {
+            for i in 0..self.n {
+                cx.submit(
+                    RequestSpec {
+                        from: self.from,
+                        to: self.to,
+                        payload: Box::new(String::from("x")),
+                        req_bytes: 200,
+                    },
+                    i as u64,
+                );
+            }
+        }
+        fn on_outcome(&mut self, outcome: ReqOutcome, _cx: &mut ClientCx) {
+            let mut s = self.ok.borrow_mut();
+            match outcome.result {
+                ReqResult::Ok(..) => s.0 += 1,
+                _ => s.1 += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn admission_refuses_overflow() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let cfg = ServiceConfig {
+            conn_capacity: 2,
+            backlog: 3,
+            workers: Some(2),
+            setup: SetupCost::plain(),
+        };
+        let svc = net.add_service(b, cfg, Box::new(Echo { cpu_us: 50_000.0 }), &mut eng);
+        let ok = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 20,
+            ok: ok.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(60));
+        let (ok_n, refused_n) = *ok.borrow();
+        assert_eq!(ok_n + refused_n, 20);
+        // Only capacity+backlog = 5 can be in the building at once; the
+        // burst arrives together so most are refused.
+        assert_eq!(ok_n, 5, "refused={refused_n}");
+        assert_eq!(net.service_refusals(svc), 15);
+        assert_eq!(net.inflight(), 0);
+    }
+
+    #[test]
+    fn worker_pool_serialises_cpu() {
+        // 1 worker, 10ms CPU each, 4 requests => last response ~40ms+.
+        let (mut net, mut eng, a, b) = two_node_net();
+        let cfg = ServiceConfig {
+            conn_capacity: 100,
+            backlog: 100,
+            workers: Some(1),
+            setup: SetupCost::plain(),
+        };
+        let svc = net.add_service(b, cfg, Box::new(Echo { cpu_us: 10_000.0 }), &mut eng);
+        let ok = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 4,
+            ok: ok.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        assert_eq!(ok.borrow().0, 4);
+        // With a single worker the four 10ms jobs cannot overlap: total
+        // service span >= 40ms. We can't observe per-request times here,
+        // but the engine's clock advanced past the serial sum when the last
+        // response arrived; verify indirectly via stats (replies == 4).
+        assert_eq!(net.service_stats(svc).replies_sent, 4);
+    }
+
+    /// A service that fans out to two backends and aggregates.
+    struct FanOut {
+        backends: Vec<SvcKey>,
+    }
+
+    impl Service for FanOut {
+        fn handle(&mut self, _req: Payload, _cx: &mut SvcCx) -> Plan {
+            let calls = self
+                .backends
+                .iter()
+                .map(|&b| SubCall {
+                    to: b,
+                    payload: Box::new(String::from("sub")),
+                    req_bytes: 128,
+                })
+                .collect();
+            Plan::new().cpu(100.0).call_all(calls, 42)
+        }
+        fn resume(&mut self, cont: u64, outcomes: Vec<CallOutcome>, _cx: &mut SvcCx) -> Plan {
+            assert_eq!(cont, 42);
+            let n_ok = outcomes.iter().filter(|o| o.response.is_some()).count();
+            Plan::new().cpu(100.0).reply(format!("agg:{n_ok}"), 512)
+        }
+        fn name(&self) -> &str {
+            "fanout"
+        }
+    }
+
+    #[test]
+    fn fanout_aggregation() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let e1 = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Echo { cpu_us: 500.0 }),
+            &mut eng,
+        );
+        let e2 = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Echo { cpu_us: 500.0 }),
+            &mut eng,
+        );
+        let agg = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(FanOut {
+                backends: vec![e1, e2],
+            }),
+            &mut eng,
+        );
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(OneShot {
+            from: a,
+            to: agg,
+            got: got.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "agg:2");
+        assert_eq!(net.inflight(), 0);
+    }
+
+    /// Service with a periodic timer that sends one-ways to a sink.
+    struct Beacon {
+        sink: SvcKey,
+        period: SimDuration,
+        sent: u32,
+    }
+
+    impl Service for Beacon {
+        fn handle(&mut self, _req: Payload, _cx: &mut SvcCx) -> Plan {
+            Plan::reply_empty()
+        }
+        fn on_timer(&mut self, _tag: u64, cx: &mut SvcCx) {
+            self.sent += 1;
+            cx.send_oneway(self.sink, String::from("ad"), 1024);
+            if self.sent < 5 {
+                cx.set_timer(self.period, 0);
+            }
+        }
+        fn name(&self) -> &str {
+            "beacon"
+        }
+    }
+
+    /// Sink counting one-way messages.
+    struct Sink {
+        seen: u32,
+    }
+
+    impl Service for Sink {
+        fn handle(&mut self, _req: Payload, _cx: &mut SvcCx) -> Plan {
+            self.seen += 1;
+            Plan::new().cpu(50.0).done()
+        }
+        fn name(&self) -> &str {
+            "sink"
+        }
+    }
+
+    #[test]
+    fn timers_and_oneway_messages() {
+        let (mut net, mut eng, _a, b) = two_node_net();
+        let sink = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Sink { seen: 0 }),
+            &mut eng,
+        );
+        let beacon = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Beacon {
+                sink,
+                period: SimDuration::from_secs(1),
+                sent: 0,
+            }),
+            &mut eng,
+        );
+        net.prime_service_timer(&mut eng, beacon, SimDuration::from_secs(1), 0);
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(30));
+        let sink_svc: &Sink = net.service_as(sink).expect("downcast");
+        assert_eq!(sink_svc.seen, 5);
+        assert_eq!(net.service_stats(sink).oneways_received, 5);
+        assert_eq!(net.inflight(), 0);
+    }
+
+    /// Service exercising locks: two lock-guarded CPU sections.
+    struct Locked {
+        lock: LockKey,
+    }
+
+    impl Service for Locked {
+        fn handle(&mut self, _req: Payload, _cx: &mut SvcCx) -> Plan {
+            Plan::new()
+                .lock(self.lock)
+                .cpu(10_000.0)
+                .unlock(self.lock)
+                .reply((), 64)
+        }
+        fn name(&self) -> &str {
+            "locked"
+        }
+    }
+
+    #[test]
+    fn lock_serialises_critical_sections() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let lock = net.add_lock(1);
+        let svc = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Locked { lock }),
+            &mut eng,
+        );
+        let ok = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 3,
+            ok: ok.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        assert_eq!(ok.borrow().0, 3);
+        assert_eq!(net.inflight(), 0);
+    }
+
+    /// Service that fails every request after consuming some CPU.
+    struct Failing;
+
+    impl Service for Failing {
+        fn handle(&mut self, _req: Payload, _cx: &mut SvcCx) -> Plan {
+            Plan::new().cpu(5_000.0).fail()
+        }
+        fn name(&self) -> &str {
+            "failing"
+        }
+    }
+
+    #[test]
+    fn fail_step_reports_failure_and_releases_resources() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let cfg = ServiceConfig {
+            conn_capacity: 2,
+            backlog: 0,
+            workers: Some(1),
+            setup: SetupCost::plain(),
+        };
+        let svc = net.add_service(b, cfg, Box::new(Failing), &mut eng);
+        let ok = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 2,
+            ok: ok.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        // Both fit the pool, both fail (Burst counts non-Ok in .1).
+        assert_eq!(*ok.borrow(), (0, 2));
+        // Conn and worker tokens were released: nothing leaks.
+        assert_eq!(net.inflight(), 0);
+        // The pool is empty again: a fresh burst is admitted, not refused.
+        let ok2 = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        let late = net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 2,
+            ok: ok2.clone(),
+        }));
+        net.start_client(&mut eng, late);
+        eng.run_until(&mut net, SimTime::from_secs(20));
+        assert_eq!(*ok2.borrow(), (0, 2));
+        assert_eq!(net.service_refusals(svc), 0);
+    }
+
+    /// Service whose plan sends a one-way notification mid-request.
+    struct Notifier {
+        sink: SvcKey,
+    }
+
+    impl Service for Notifier {
+        fn handle(&mut self, _req: Payload, _cx: &mut SvcCx) -> Plan {
+            Plan::new()
+                .cpu(500.0)
+                .send(self.sink, String::from("note"), 256)
+                .reply((), 64)
+        }
+        fn name(&self) -> &str {
+            "notifier"
+        }
+    }
+
+    #[test]
+    fn send_step_delivers_oneway_while_replying() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let sink = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Sink { seen: 0 }),
+            &mut eng,
+        );
+        let svc = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Notifier { sink }),
+            &mut eng,
+        );
+        let ok = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 4,
+            ok: ok.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        assert_eq!(ok.borrow().0, 4);
+        let sink_ref: &Sink = net.service_as(sink).unwrap();
+        assert_eq!(sink_ref.seen, 4);
+        assert_eq!(net.inflight(), 0);
+    }
+
+    #[test]
+    fn client_cpu_contends_on_the_client_host() {
+        // Two client-side jobs on a 1-core host take twice one job's time.
+        struct CpuUser {
+            node: NodeId,
+            jobs: u32,
+            finished_at: std::rc::Rc<std::cell::RefCell<Vec<f64>>>,
+        }
+        impl Client for CpuUser {
+            fn on_start(&mut self, cx: &mut ClientCx) {
+                for _ in 0..self.jobs {
+                    cx.spend_cpu(self.node, 1_000_000.0, 7); // 1 CPU-second
+                }
+            }
+            fn on_wake(&mut self, tag: u64, cx: &mut ClientCx) {
+                assert_eq!(tag, 7);
+                self.finished_at
+                    .borrow_mut()
+                    .push(cx.now().as_secs_f64());
+            }
+        }
+        let (mut net, mut eng, a, _b) = two_node_net();
+        let finished = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(CpuUser {
+            node: a,
+            jobs: 2,
+            finished_at: finished.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        let f = finished.borrow();
+        assert_eq!(f.len(), 2);
+        // Processor sharing: both 1s jobs finish together at ~2s.
+        assert!((f[0] - 2.0).abs() < 0.01, "{f:?}");
+        assert!((f[1] - 2.0).abs() < 0.01, "{f:?}");
+    }
+}

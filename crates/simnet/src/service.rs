@@ -1,0 +1,387 @@
+//! Services and execution plans.
+//!
+//! A [`Service`] is a simulated server process (a GRIS, a Registry, a
+//! Hawkeye Manager...).  When a request arrives, the service's
+//! [`Service::handle`] inspects the payload and its own state and returns a
+//! [`Plan`]: the sequence of resource demands the request will exert.
+//! Plans are executed by [`crate::net::Net`] against the host CPU, the
+//! network, lock tables and other services.
+//!
+//! The split keeps protocol logic (in the `mds`/`rgma`/`hawkeye` crates)
+//! free of event-scheduling concerns, and keeps the executor generic.
+
+use crate::topology::NodeId;
+use simcore::slab::SlabKey;
+use simcore::{SimDuration, SimRng, SimTime};
+use std::any::Any;
+
+/// Key identifying a deployed service instance.
+pub type SvcKey = SlabKey;
+
+/// Key identifying a lock registered with the world.
+pub type LockKey = SlabKey;
+
+/// Message payloads are dynamically typed; each protocol crate downcasts
+/// to its own request/response enums.
+pub type Payload = Box<dyn Any>;
+
+/// One resource-demand step of a plan.
+pub enum Step {
+    /// Consume reference-CPU microseconds on the service's host.
+    Cpu(f64),
+    /// A fixed delay that consumes no shared resource (e.g. a disk seek or
+    /// an authentication handshake dominated by round trips).
+    Latency(SimDuration),
+    /// Acquire a FIFO lock (blocks until granted).
+    Lock(LockKey),
+    /// Release a previously acquired lock.
+    Unlock(LockKey),
+    /// Invoke `Service::effect(code, arg)` — a state mutation that happens
+    /// at this point of simulated time (e.g. "insert fetched data into the
+    /// cache").
+    Effect { code: u32, arg: u64 },
+    /// Send a one-way message (no reply expected) to another service at
+    /// this point of the plan, then continue with the next step.
+    Send {
+        to: SvcKey,
+        payload: Payload,
+        bytes: u64,
+    },
+    /// Issue sub-requests to other services and wait for all of them; the
+    /// service's `resume(cont, outcomes)` is then called for the
+    /// continuation plan.  Must be the final step of a plan.
+    CallAll { calls: Vec<SubCall>, cont: u64 },
+    /// Send the response (`bytes` on the wire) and finish.  Must be the
+    /// final step of a plan.
+    Reply { payload: Payload, bytes: u64 },
+    /// Abort the request with an error: the requester sees a failure
+    /// (e.g. a servlet whose backend is unreachable).  Must be the final
+    /// step of a plan.
+    Fail,
+}
+
+impl std::fmt::Debug for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Step::Cpu(us) => write!(f, "Cpu({us}µs)"),
+            Step::Latency(d) => write!(f, "Latency({d:?})"),
+            Step::Lock(k) => write!(f, "Lock({k:?})"),
+            Step::Unlock(k) => write!(f, "Unlock({k:?})"),
+            Step::Effect { code, arg } => write!(f, "Effect({code},{arg})"),
+            Step::Send { bytes, .. } => write!(f, "Send({bytes}B)"),
+            Step::CallAll { calls, cont } => {
+                write!(f, "CallAll(n={}, cont={cont})", calls.len())
+            }
+            Step::Reply { bytes, .. } => write!(f, "Reply({bytes}B)"),
+            Step::Fail => write!(f, "Fail"),
+        }
+    }
+}
+
+/// A sub-request issued from within a plan.
+pub struct SubCall {
+    pub to: SvcKey,
+    pub payload: Payload,
+    pub req_bytes: u64,
+}
+
+/// Outcome of one sub-call, delivered to [`Service::resume`].
+pub struct CallOutcome {
+    /// Index in the original `calls` vector.
+    pub index: u32,
+    /// `Some((payload, bytes))` on success, `None` if the sub-request was
+    /// refused or failed.
+    pub response: Option<(Payload, u64)>,
+}
+
+/// An ordered list of steps.
+pub struct Plan {
+    pub steps: Vec<Step>,
+}
+
+impl Plan {
+    pub fn new() -> Self {
+        Plan { steps: Vec::new() }
+    }
+
+    /// A plan that replies immediately with an empty payload.
+    pub fn reply_empty() -> Self {
+        Plan::new().reply((), 64)
+    }
+
+    pub fn cpu(mut self, ref_cpu_us: f64) -> Self {
+        self.steps.push(Step::Cpu(ref_cpu_us));
+        self
+    }
+
+    pub fn latency(mut self, d: SimDuration) -> Self {
+        self.steps.push(Step::Latency(d));
+        self
+    }
+
+    pub fn lock(mut self, l: LockKey) -> Self {
+        self.steps.push(Step::Lock(l));
+        self
+    }
+
+    pub fn unlock(mut self, l: LockKey) -> Self {
+        self.steps.push(Step::Unlock(l));
+        self
+    }
+
+    pub fn effect(mut self, code: u32, arg: u64) -> Self {
+        self.steps.push(Step::Effect { code, arg });
+        self
+    }
+
+    pub fn send<T: Any>(mut self, to: SvcKey, payload: T, bytes: u64) -> Self {
+        self.steps.push(Step::Send {
+            to,
+            payload: Box::new(payload),
+            bytes,
+        });
+        self
+    }
+
+    pub fn call_all(mut self, calls: Vec<SubCall>, cont: u64) -> Self {
+        self.steps.push(Step::CallAll { calls, cont });
+        self
+    }
+
+    pub fn reply<T: Any>(mut self, payload: T, bytes: u64) -> Self {
+        self.steps.push(Step::Reply {
+            payload: Box::new(payload),
+            bytes,
+        });
+        self
+    }
+
+    /// Terminate without sending a response (one-way messages).
+    pub fn done(self) -> Self {
+        self
+    }
+
+    /// Abort with an error after the accumulated steps.
+    pub fn fail(mut self) -> Self {
+        self.steps.push(Step::Fail);
+        self
+    }
+}
+
+impl Default for Plan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Deferred actions a service can emit from any callback (timers,
+/// spontaneous one-way messages).  Applied by the world after the callback
+/// returns.
+pub enum SvcAction {
+    /// Fire `on_timer(tag)` after `dur`.
+    Timer { dur: SimDuration, tag: u64 },
+    /// Send a one-way message (datagram-like: no connection, no response).
+    OneWay {
+        to: SvcKey,
+        payload: Payload,
+        bytes: u64,
+    },
+}
+
+/// Context passed to service callbacks.
+pub struct SvcCx<'a> {
+    pub now: SimTime,
+    /// The service's own key (available for self-addressed sub-calls).
+    pub me: SvcKey,
+    /// This service's deterministic RNG stream.
+    pub rng: &'a mut SimRng,
+    pub(crate) actions: &'a mut Vec<SvcAction>,
+}
+
+impl<'a> SvcCx<'a> {
+    /// Construct a bare context for driving a service outside a `Net`
+    /// (unit tests of protocol crates).
+    pub fn for_tests(
+        now: SimTime,
+        me: SvcKey,
+        rng: &'a mut SimRng,
+        actions: &'a mut Vec<SvcAction>,
+    ) -> SvcCx<'a> {
+        SvcCx {
+            now,
+            me,
+            rng,
+            actions,
+        }
+    }
+}
+
+impl SvcCx<'_> {
+    pub fn set_timer(&mut self, dur: SimDuration, tag: u64) {
+        self.actions.push(SvcAction::Timer { dur, tag });
+    }
+
+    pub fn send_oneway<T: Any>(&mut self, to: SvcKey, payload: T, bytes: u64) {
+        self.actions.push(SvcAction::OneWay {
+            to,
+            payload: Box::new(payload),
+            bytes,
+        });
+    }
+}
+
+/// Object-safe downcasting support, blanket-implemented for every concrete
+/// type so [`Service`] implementations get it for free.
+pub trait AsAny {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A simulated server process.
+pub trait Service: AsAny + 'static {
+    /// A request has been fully received; return the execution plan.
+    fn handle(&mut self, req: Payload, cx: &mut SvcCx) -> Plan;
+
+    /// All sub-calls of a `CallAll` step completed; return the continuation
+    /// plan.
+    fn resume(&mut self, cont: u64, outcomes: Vec<CallOutcome>, cx: &mut SvcCx) -> Plan {
+        let _ = (cont, outcomes, cx);
+        Plan::reply_empty()
+    }
+
+    /// A timer set via [`SvcCx::set_timer`] fired.
+    fn on_timer(&mut self, tag: u64, cx: &mut SvcCx) {
+        let _ = (tag, cx);
+    }
+
+    /// A state mutation scheduled by a [`Step::Effect`] is due.
+    fn effect(&mut self, code: u32, arg: u64, now: SimTime) {
+        let _ = (code, arg, now);
+    }
+
+    /// Human-readable name for traces and panics.
+    fn name(&self) -> &str {
+        "service"
+    }
+}
+
+/// Session-establishment cost between a client and this service.
+///
+/// MDS 2.1 performs a GSI-authenticated LDAP bind whose cost is dominated by
+/// extra round trips and credential verification; other services have a
+/// plain TCP handshake.  The fixed-latency component is *not* a shared
+/// resource: it delays the requester without consuming server capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct SetupCost {
+    /// Extra round trips beyond the TCP handshake (TLS/GSI exchanges).
+    pub extra_rtts: f64,
+    /// Fixed additional latency (credential checks, delegation).
+    pub fixed: SimDuration,
+    /// Reference-CPU microseconds spent on the server per new session.
+    pub server_cpu_us: f64,
+}
+
+impl SetupCost {
+    /// A bare TCP handshake.
+    pub fn plain() -> Self {
+        SetupCost {
+            extra_rtts: 0.0,
+            fixed: SimDuration::ZERO,
+            server_cpu_us: 50.0,
+        }
+    }
+}
+
+/// Static configuration of a deployed service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Max concurrently accepted connections.
+    pub conn_capacity: u32,
+    /// Listen-backlog length; connection attempts beyond
+    /// `conn_capacity + backlog` are refused.
+    pub backlog: u32,
+    /// Worker threads executing plans (None = unlimited concurrency).
+    pub workers: Option<u32>,
+    /// Session-establishment cost.
+    pub setup: SetupCost,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            conn_capacity: 1024,
+            backlog: 128,
+            workers: None,
+            setup: SetupCost::plain(),
+        }
+    }
+}
+
+/// Per-service runtime counters.
+#[derive(Debug, Default, Clone)]
+pub struct ServiceStats {
+    pub requests_handled: u64,
+    pub replies_sent: u64,
+    pub oneways_received: u64,
+    pub conns_refused: u64,
+}
+
+/// A deployed service instance: the trait object plus its placement,
+/// configuration and runtime resources.
+pub struct ServiceSlot {
+    pub node: NodeId,
+    pub config: ServiceConfig,
+    pub stats: ServiceStats,
+    pub(crate) svc: Option<Box<dyn Service>>,
+    pub(crate) conns: simcore::FifoTokens,
+    pub(crate) workers: Option<simcore::FifoTokens>,
+    pub(crate) rng: SimRng,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_orders_steps() {
+        let p = Plan::new()
+            .cpu(10.0)
+            .latency(SimDuration::from_millis(1))
+            .effect(7, 9)
+            .reply("ok", 128);
+        assert_eq!(p.steps.len(), 4);
+        assert!(matches!(p.steps[0], Step::Cpu(x) if x == 10.0));
+        assert!(matches!(p.steps[3], Step::Reply { bytes: 128, .. }));
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = ServiceConfig::default();
+        assert!(c.conn_capacity > 0);
+        assert!(c.workers.is_none());
+        assert_eq!(c.setup.extra_rtts, 0.0);
+    }
+
+    #[test]
+    fn step_debug_formats() {
+        let s = format!("{:?}", Step::Cpu(5.0));
+        assert!(s.contains("Cpu"));
+        let s = format!(
+            "{:?}",
+            Step::CallAll {
+                calls: vec![],
+                cont: 3
+            }
+        );
+        assert!(s.contains("cont=3"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the network substrate's invariants.
+
+use proptest::prelude::*;
+use simcore::{SimDuration, SimRng, SimTime};
+use simnet::flow::FlowNet;
+use simnet::{LinkId, Topology};
+
+/// A random small topology plus random flow paths over it.
+fn arb_case() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>, Vec<u64>)> {
+    let caps = proptest::collection::vec(1.0e6..100.0e6f64, 2..6);
+    caps.prop_flat_map(|caps| {
+        let n_links = caps.len();
+        let path = proptest::collection::vec(0..n_links, 1..=n_links.min(3));
+        let flows = proptest::collection::vec(path, 1..20);
+        let sizes = proptest::collection::vec(1_000u64..1_000_000, 1..20);
+        (Just(caps), flows, sizes)
+    })
+}
+
+fn build_topo(caps: &[f64]) -> (Topology, Vec<LinkId>) {
+    let mut t = Topology::new();
+    let _ = t.add_node("x", 1, 1.0);
+    let links = caps
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| t.add_link(format!("l{i}"), c, SimDuration::from_micros(10)))
+        .collect();
+    (t, links)
+}
+
+proptest! {
+    /// Max-min fairness invariants: no link is oversubscribed and every
+    /// flow makes progress.
+    #[test]
+    fn fair_share_conserves_capacity((caps, paths, sizes) in arb_case()) {
+        let (topo, links) = build_topo(&caps);
+        let mut fnet = FlowNet::new();
+        let mut keys = Vec::new();
+        let n = paths.len().min(sizes.len());
+        for i in 0..n {
+            let mut path: Vec<LinkId> = paths[i].iter().map(|&j| links[j]).collect();
+            path.dedup();
+            keys.push((fnet.start(&topo, SimTime(0), path.clone(), sizes[i], i as u64), path));
+        }
+        // Per-link load never exceeds capacity (with small f64 slack).
+        let mut load = vec![0.0f64; caps.len()];
+        for (k, path) in &keys {
+            let rate = fnet.rate_of(*k).expect("flow exists");
+            prop_assert!(rate > 0.0, "every flow gets positive rate");
+            for l in path {
+                load[l.0 as usize] += rate;
+            }
+        }
+        for (i, &cap) in caps.iter().enumerate() {
+            let cap_per_us = cap / 1e6;
+            prop_assert!(
+                load[i] <= cap_per_us * (1.0 + 1e-9),
+                "link {i} oversubscribed: {} > {}",
+                load[i],
+                cap_per_us
+            );
+        }
+    }
+
+    /// All flows eventually complete, and simulated completion times are
+    /// consistent with work-conservation: total bits delivered divided by
+    /// elapsed time never exceeds the sum of capacities.
+    #[test]
+    fn flows_drain_completely((caps, paths, sizes) in arb_case()) {
+        let (topo, links) = build_topo(&caps);
+        let mut fnet = FlowNet::new();
+        let n = paths.len().min(sizes.len());
+        let mut total_bits = 0.0;
+        for i in 0..n {
+            let mut path: Vec<LinkId> = paths[i].iter().map(|&j| links[j]).collect();
+            path.dedup();
+            total_bits += (sizes[i].max(1) * 8) as f64;
+            fnet.start(&topo, SimTime(0), path, sizes[i], i as u64);
+        }
+        let mut now = SimTime(0);
+        let mut completed = 0usize;
+        let mut guard = 0;
+        while fnet.active() > 0 {
+            let next = fnet.next_completion(now).expect("progress while active");
+            prop_assert!(next > now, "time must advance");
+            now = next;
+            completed += fnet.advance(&topo, now).len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "runaway");
+        }
+        prop_assert_eq!(completed, n);
+        // Work conservation bound: elapsed >= total_bits / sum(caps).
+        let elapsed_us = now.as_micros() as f64;
+        let cap_sum_per_us: f64 = caps.iter().map(|c| c / 1e6).sum();
+        prop_assert!(
+            elapsed_us * cap_sum_per_us >= total_bits * (1.0 - 1e-6),
+            "finished faster than physically possible"
+        );
+    }
+
+    /// Fairness is scale-free in flow order: permuting start order of
+    /// simultaneous flows does not change each flow's rate.
+    #[test]
+    fn rates_independent_of_insertion_order(
+        (caps, paths, sizes) in arb_case(),
+        seed in 0u64..1000,
+    ) {
+        let (topo, links) = build_topo(&caps);
+        let n = paths.len().min(sizes.len());
+        let canonical: Vec<Vec<LinkId>> = (0..n)
+            .map(|i| {
+                let mut p: Vec<LinkId> = paths[i].iter().map(|&j| links[j]).collect();
+                p.dedup();
+                p
+            })
+            .collect();
+        let run = |order: &[usize]| -> Vec<f64> {
+            let mut fnet = FlowNet::new();
+            let mut keys = vec![None; n];
+            for &i in order {
+                keys[i] = Some(fnet.start(
+                    &topo,
+                    SimTime(0),
+                    canonical[i].clone(),
+                    sizes[i],
+                    i as u64,
+                ));
+            }
+            keys.into_iter()
+                .map(|k| fnet.rate_of(k.unwrap()).unwrap())
+                .collect()
+        };
+        let forward: Vec<usize> = (0..n).collect();
+        let mut shuffled: Vec<usize> = (0..n).collect();
+        let mut rng = SimRng::new(seed);
+        rng.shuffle(&mut shuffled);
+        let a = run(&forward);
+        let b = run(&shuffled);
+        for i in 0..n {
+            prop_assert!((a[i] - b[i]).abs() < 1e-9 * a[i].max(1.0),
+                "flow {i}: {} vs {}", a[i], b[i]);
+        }
+    }
+}

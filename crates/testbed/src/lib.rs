@@ -1,0 +1,261 @@
+//! # testbed — the Lucky/UC experimental platform
+//!
+//! Reconstructs the paper's hardware setup as a simulated topology:
+//!
+//! * **Lucky cluster (ANL):** seven Linux machines, `lucky0, lucky1,
+//!   lucky3..lucky7`, each with two 1133 MHz PIII CPUs, on a 100 Mbps
+//!   switched LAN.  A speed factor of 1.0 means "one 1133 MHz PIII".
+//! * **UC client cluster:** twenty machines, fifteen with a 1208 MHz
+//!   uniprocessor and five slower (≥756 MHz), on their own 100 Mbps LAN.
+//! * **WAN:** a shared link between the UC campus and ANL.  The paper
+//!   never quantifies it, but its saturation is the paper's recurring
+//!   explanation for throughput plateaus; the default models a
+//!   DS-3-class path (≈40 Mbit/s each way, a few milliseconds one-way).
+//!
+//! The topology is a star per site: every host has a dedicated duplex
+//! 100 Mbps access link (switched Ethernet), so intra-site flows contend
+//! only on the endpoints' access links, while inter-site flows also share
+//! the WAN pipe — exactly the contention structure the paper's analysis
+//! relies on.
+
+use simcore::SimDuration;
+use simnet::{LinkId, NodeId, Topology};
+
+/// Tunable testbed parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedConfig {
+    /// Access-link capacity on both sites (bits/s).
+    pub lan_bps: f64,
+    /// One-way latency of an access link.
+    pub lan_latency: SimDuration,
+    /// WAN capacity each direction (bits/s).
+    pub wan_bps: f64,
+    /// One-way WAN latency.
+    pub wan_latency: SimDuration,
+    /// Number of UC client machines.
+    pub uc_machines: usize,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            lan_bps: 100e6,
+            lan_latency: SimDuration::from_micros(100),
+            wan_bps: 40e6,
+            wan_latency: SimDuration::from_millis(5),
+            uc_machines: 20,
+        }
+    }
+}
+
+/// Access links of one host.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    up: LinkId,
+    down: LinkId,
+}
+
+/// The built testbed.
+pub struct Testbed {
+    pub topo: Topology,
+    /// `lucky[i]` is the node whose hostname is `lucky_names()[i]`.
+    pub lucky: Vec<NodeId>,
+    /// UC client machines.
+    pub uc: Vec<NodeId>,
+    pub config: TestbedConfig,
+}
+
+/// The hostnames of the Lucky testbed (note: there is no `lucky2`, as in
+/// the paper's `lucky{0,1,3,..,7}`).
+pub fn lucky_names() -> [&'static str; 7] {
+    ["lucky0", "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]
+}
+
+impl Testbed {
+    /// Build the testbed with the given parameters.
+    pub fn build(config: TestbedConfig) -> Testbed {
+        let mut topo = Topology::new();
+        let mut lucky = Vec::new();
+        let mut lucky_acc = Vec::new();
+        for name in lucky_names() {
+            // Two 1133 MHz CPUs; speed 1.0 is the reference core.
+            let n = topo.add_node(name, 2, 1.0);
+            let up = topo.add_link(
+                format!("{name}-up"),
+                config.lan_bps,
+                config.lan_latency,
+            );
+            let down = topo.add_link(
+                format!("{name}-down"),
+                config.lan_bps,
+                config.lan_latency,
+            );
+            lucky.push(n);
+            lucky_acc.push(Access { up, down });
+        }
+        let mut uc = Vec::new();
+        let mut uc_acc = Vec::new();
+        for i in 0..config.uc_machines {
+            // Fifteen 1208 MHz (speed ≈ 1.066) and the rest ≥756 MHz
+            // (speed ≈ 0.667), all uniprocessors with 248 MB RAM.
+            let speed = if i < 15 { 1208.0 / 1133.0 } else { 756.0 / 1133.0 };
+            let name = format!("uc{i:02}");
+            let n = topo.add_node(&name, 1, speed);
+            let up = topo.add_link(format!("{name}-up"), config.lan_bps, config.lan_latency);
+            let down = topo.add_link(
+                format!("{name}-down"),
+                config.lan_bps,
+                config.lan_latency,
+            );
+            uc.push(n);
+            uc_acc.push(Access { up, down });
+        }
+        // The WAN pipe, one link per direction.
+        let wan_to_anl = topo.add_link("wan-uc-to-anl", config.wan_bps, config.wan_latency);
+        let wan_to_uc = topo.add_link("wan-anl-to-uc", config.wan_bps, config.wan_latency);
+
+        // Routes: lucky <-> lucky over the ANL switch.
+        for (i, &a) in lucky.iter().enumerate() {
+            for (j, &b) in lucky.iter().enumerate() {
+                if i != j {
+                    topo.set_route(a, b, vec![lucky_acc[i].up, lucky_acc[j].down]);
+                }
+            }
+        }
+        // uc <-> uc over the UC switch.
+        for (i, &a) in uc.iter().enumerate() {
+            for (j, &b) in uc.iter().enumerate() {
+                if i != j {
+                    topo.set_route(a, b, vec![uc_acc[i].up, uc_acc[j].down]);
+                }
+            }
+        }
+        // uc <-> lucky across the WAN.
+        for (i, &c) in uc.iter().enumerate() {
+            for (j, &s) in lucky.iter().enumerate() {
+                topo.set_route(c, s, vec![uc_acc[i].up, wan_to_anl, lucky_acc[j].down]);
+                topo.set_route(s, c, vec![lucky_acc[j].up, wan_to_uc, uc_acc[i].down]);
+            }
+        }
+        Testbed {
+            topo,
+            lucky,
+            uc,
+            config,
+        }
+    }
+
+    /// Default-configured testbed.
+    pub fn standard() -> Testbed {
+        Self::build(TestbedConfig::default())
+    }
+
+    /// Node id of a lucky host by name suffix (e.g. `7` for lucky7).
+    pub fn lucky_by_name(&self, name: &str) -> Option<NodeId> {
+        self.topo.find_node(name)
+    }
+
+    /// Distribute `n` simulated users over the UC machines, at most
+    /// `cap` per machine (the paper balanced evenly with a maximum of 50
+    /// per machine).  Returns one entry per user: the node hosting it.
+    pub fn place_users(&self, n: usize, cap: usize) -> Vec<NodeId> {
+        place_round_robin(&self.uc, n, cap)
+    }
+
+    /// Distribute `n` users over the Lucky nodes themselves (the paper's
+    /// alternative placement for the R-GMA experiments), excluding any
+    /// nodes in `exclude` (e.g. the node hosting the service under test).
+    pub fn place_users_on_lucky(&self, n: usize, cap: usize, exclude: &[NodeId]) -> Vec<NodeId> {
+        let hosts: Vec<NodeId> = self
+            .lucky
+            .iter()
+            .copied()
+            .filter(|h| !exclude.contains(h))
+            .collect();
+        place_round_robin(&hosts, n, cap)
+    }
+}
+
+fn place_round_robin(hosts: &[NodeId], n: usize, cap: usize) -> Vec<NodeId> {
+    assert!(!hosts.is_empty(), "no hosts to place users on");
+    let usable = hosts.len() * cap;
+    assert!(
+        n <= usable,
+        "cannot place {n} users on {} hosts with cap {cap}",
+        hosts.len()
+    );
+    (0..n).map(|i| hosts[i % hosts.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_expected_shape() {
+        let tb = Testbed::standard();
+        assert_eq!(tb.lucky.len(), 7);
+        assert_eq!(tb.uc.len(), 20);
+        // 27 hosts * 2 access links + 2 WAN links.
+        assert_eq!(tb.topo.link_count(), 27 * 2 + 2);
+        assert!(tb.lucky_by_name("lucky7").is_some());
+        assert!(tb.lucky_by_name("lucky2").is_none()); // no lucky2!
+    }
+
+    #[test]
+    fn lan_routes_have_two_hops_wan_routes_three() {
+        let tb = Testbed::standard();
+        let l3 = tb.lucky_by_name("lucky3").unwrap();
+        let l7 = tb.lucky_by_name("lucky7").unwrap();
+        assert_eq!(tb.topo.route(l3, l7).len(), 2);
+        let uc0 = tb.uc[0];
+        assert_eq!(tb.topo.route(uc0, l7).len(), 3);
+        assert_eq!(tb.topo.route(l7, uc0).len(), 3);
+        // WAN latency dominates the one-way delay.
+        let lat = tb.topo.one_way_latency(uc0, l7);
+        assert!(lat >= SimDuration::from_millis(5));
+        let lan = tb.topo.one_way_latency(l3, l7);
+        assert!(lan < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn cpu_speeds_match_the_paper() {
+        let tb = Testbed::standard();
+        let l = tb.topo.node(tb.lucky[0]);
+        assert_eq!(l.cpu.cores(), 2);
+        assert_eq!(l.cpu.speed(), 1.0);
+        let fast = tb.topo.node(tb.uc[0]);
+        assert_eq!(fast.cpu.cores(), 1);
+        assert!(fast.cpu.speed() > 1.0);
+        let slow = tb.topo.node(tb.uc[19]);
+        assert!(slow.cpu.speed() < 0.7);
+    }
+
+    #[test]
+    fn user_placement_balances() {
+        let tb = Testbed::standard();
+        let placement = tb.place_users(600, 50);
+        assert_eq!(placement.len(), 600);
+        // Even spread: each of the 20 machines gets 30.
+        for host in &tb.uc {
+            let count = placement.iter().filter(|&&h| h == *host).count();
+            assert_eq!(count, 30);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn placement_respects_cap() {
+        let tb = Testbed::standard();
+        let _ = tb.place_users(20 * 50 + 1, 50);
+    }
+
+    #[test]
+    fn lucky_placement_excludes_servers() {
+        let tb = Testbed::standard();
+        let server = tb.lucky_by_name("lucky3").unwrap();
+        let placement = tb.place_users_on_lucky(600, 120, &[server]);
+        assert!(!placement.contains(&server));
+        assert_eq!(placement.len(), 600);
+    }
+}
