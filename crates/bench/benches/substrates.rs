@@ -96,7 +96,8 @@ fn bench_relsql(c: &mut Criterion) {
     c.bench_function("relsql/insert_500", |b| {
         b.iter(|| {
             let mut db = Database::new();
-            db.execute("CREATE TABLE m (id INT PRIMARY KEY, v REAL)").unwrap();
+            db.execute("CREATE TABLE m (id INT PRIMARY KEY, v REAL)")
+                .unwrap();
             for i in 0..500 {
                 db.execute(&format!("INSERT INTO m VALUES ({i}, {}.5)", i % 97))
                     .unwrap();
@@ -105,7 +106,8 @@ fn bench_relsql(c: &mut Criterion) {
         })
     });
     let mut db = Database::new();
-    db.execute("CREATE TABLE m (id INT PRIMARY KEY, v REAL)").unwrap();
+    db.execute("CREATE TABLE m (id INT PRIMARY KEY, v REAL)")
+        .unwrap();
     for i in 0..500 {
         db.execute(&format!("INSERT INTO m VALUES ({i}, {}.5)", i % 97))
             .unwrap();

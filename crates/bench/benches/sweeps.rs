@@ -1,0 +1,55 @@
+//! Criterion benches of the sweep-execution engine itself: one full
+//! (thinned) experiment-set sweep, sequentially and through the
+//! work-stealing pool, plus a warm-cache pass.  The interesting numbers
+//! are the jobs=1 vs jobs=N ratio (scheduling overhead / speedup) and
+//! the cached pass (pure cache-read cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbench::Profile;
+use gridmon_runner::RunnerConfig;
+
+fn seq_rc() -> RunnerConfig {
+    RunnerConfig::sequential()
+}
+
+fn par_rc() -> RunnerConfig {
+    RunnerConfig {
+        jobs: 0,
+        cache_dir: None,
+        quiet: true,
+    }
+}
+
+fn bench_set1_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_set1");
+    g.sample_size(10);
+    g.bench_function("jobs=1", |b| {
+        b.iter(|| gbench::run_set(1, Profile::Bench, 7, &seq_rc()).unwrap())
+    });
+    g.bench_function("jobs=auto", |b| {
+        b.iter(|| gbench::run_set(1, Profile::Bench, 7, &par_rc()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_warm_cache(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("gridmon-sweep-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let rc = RunnerConfig {
+        jobs: 0,
+        cache_dir: Some(dir.clone()),
+        quiet: true,
+    };
+    // Prime once; the measured iterations are then pure cache reads.
+    gbench::run_set(1, Profile::Bench, 7, &rc).unwrap();
+    c.bench_function("sweep_set1/warm_cache", |b| {
+        b.iter(|| {
+            let (_, stats) = gbench::run_set(1, Profile::Bench, 7, &rc).unwrap();
+            assert_eq!(stats.executed, 0);
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(sweeps, bench_set1_sweep, bench_warm_cache);
+criterion_main!(sweeps);

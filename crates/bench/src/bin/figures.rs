@@ -1,9 +1,17 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [--profile paper|quick|bench] [--seed N] [--out DIR] [TARGET...]
+//! figures [--profile paper|quick|bench] [--seed N] [--out DIR]
+//!         [--jobs N] [--no-cache] [--only figN] [TARGET...]
 //!
 //! TARGET:  table1 | set1..set4 | fig5..fig20 | ext | all   (default: all)
+//!
+//! --jobs N    run sweep points on N worker threads (0 = all cores;
+//!             default 0).  Output is byte-identical for every N.
+//! --no-cache  ignore and do not write the result cache
+//!             (DIR/.cache/); by default unchanged points are reused.
+//! --only figN print/write only figure N of the sets that run (may be
+//!             given several times; `figN` as a TARGET implies it).
 //!
 //! `ext` runs the future-work extension studies (WAN sweep, hierarchy
 //! vs flat aggregation, aggregate-vs-direct, open-loop arrivals,
@@ -13,10 +21,11 @@
 //! For every requested figure this prints the aligned data table and an
 //! ASCII chart, and writes `DIR/figNN.csv` (default `results/`).
 
-use gbench::{figures_of_set, run_set_with_progress, Profile};
+use gbench::{figures_of_set, Profile};
 use gridmon_core::figures::set_of_figure;
 use gridmon_core::mapping::render_table1;
 use gridmon_core::report::{ascii_chart, csv, text_table};
+use gridmon_runner::{ExtPoint, Job, JobOutput, RunnerConfig};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
@@ -24,7 +33,10 @@ fn main() {
     let mut profile = Profile::Paper;
     let mut seed = 20030622u64; // HPDC'03, Seattle
     let mut out_dir = PathBuf::from("results");
+    let mut jobs = 0usize;
+    let mut use_cache = true;
     let mut targets: Vec<String> = Vec::new();
+    let mut only_figs: BTreeSet<u32> = BTreeSet::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -46,8 +58,22 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a dir")));
             }
+            "--jobs" | "-j" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs an integer (0 = all cores)"));
+            }
+            "--no-cache" => use_cache = false,
+            "--only" => {
+                let f = args.next().unwrap_or_else(|| die("--only needs figN"));
+                only_figs.insert(parse_fig(&f));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: figures [--profile paper|quick|bench] [--seed N] [--out DIR] [table1|setN|figN|all]...");
+                eprintln!(
+                    "usage: figures [--profile paper|quick|bench] [--seed N] [--out DIR] \
+                     [--jobs N] [--no-cache] [--only figN] [table1|setN|figN|ext|all]..."
+                );
                 return;
             }
             t => targets.push(t.to_string()),
@@ -57,11 +83,10 @@ fn main() {
         targets.push("all".into());
     }
 
-    // Resolve targets into: table1? + the sets to run.
+    // Resolve targets into: table1? + ext? + the sets to run.
     let mut want_ext = false;
     let mut want_table1 = false;
     let mut sets: BTreeSet<u32> = BTreeSet::new();
-    let mut only_figs: BTreeSet<u32> = BTreeSet::new();
     for t in &targets {
         match t.as_str() {
             "all" => {
@@ -71,23 +96,35 @@ fn main() {
             "table1" => want_table1 = true,
             "ext" => want_ext = true,
             s if s.starts_with("set") => {
-                let n: u32 = s[3..].parse().unwrap_or_else(|_| die(&format!("bad target {s}")));
+                let n: u32 = s[3..]
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("bad target {s}")));
                 if !(1..=4).contains(&n) {
-                    die(&format!("no such set {n}"));
+                    die(&format!(
+                        "no experiment set {n}: the paper defines sets 1-4"
+                    ));
                 }
                 sets.insert(n);
             }
             f if f.starts_with("fig") => {
-                let n: u32 = f[3..].parse().unwrap_or_else(|_| die(&format!("bad target {f}")));
-                let set = set_of_figure(n).unwrap_or_else(|| die(&format!("no such figure {n}")));
-                sets.insert(set);
+                let n = parse_fig(f);
+                sets.insert(set_of_figure(n).expect("parse_fig validated the range"));
                 only_figs.insert(n);
             }
             other => die(&format!("unknown target {other:?}")),
         }
     }
+    // `--only fig9` with no explicit set target also selects set 2.
+    for &n in &only_figs {
+        sets.insert(set_of_figure(n).expect("parse_fig validated the range"));
+    }
 
     std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let rc = RunnerConfig {
+        jobs,
+        cache_dir: use_cache.then(|| out_dir.join(".cache")),
+        quiet: false,
+    };
 
     if want_table1 {
         println!("Table 1: Component Mapping\n");
@@ -96,11 +133,21 @@ fn main() {
     }
 
     for &set in &sets {
-        eprintln!("== running experiment set {set} ({profile:?}) ==");
-        let start = std::time::Instant::now();
-        let data = run_set_with_progress(set, profile, seed);
-        eprintln!("== set {set} done in {:.1?} ==", start.elapsed());
-        for fig in figures_of_set(&data) {
+        eprintln!(
+            "== running experiment set {set} ({profile:?}, jobs={}) ==",
+            if rc.jobs == 0 {
+                "auto".to_string()
+            } else {
+                rc.jobs.to_string()
+            }
+        );
+        let (data, stats) =
+            gbench::run_set(set, profile, seed, &rc).unwrap_or_else(|e| die(&e.to_string()));
+        eprintln!(
+            "== set {set} done in {:.1?} ({} points: {} executed, {} cached) ==",
+            stats.wall, stats.total, stats.executed, stats.cache_hits
+        );
+        for fig in figures_of_set(&data).unwrap_or_else(|e| die(&e.to_string())) {
             let n: u32 = fig.id.trim_start_matches("Figure ").parse().unwrap();
             if !only_figs.is_empty() && !only_figs.contains(&n) {
                 continue;
@@ -114,64 +161,103 @@ fn main() {
     }
 
     if want_ext {
-        run_extensions(profile, seed, &out_dir);
+        run_extensions(profile, seed, &out_dir, &rc);
     }
 }
 
-#[allow(clippy::too_many_lines)]
-fn run_extensions(profile: Profile, seed: u64, out_dir: &std::path::Path) {
-    use gridmon_core::ext;
+fn parse_fig(arg: &str) -> u32 {
+    let n: u32 = arg
+        .trim_start_matches("fig")
+        .parse()
+        .unwrap_or_else(|_| die(&format!("bad figure {arg:?} (expected figN)")));
+    if set_of_figure(n).is_none() {
+        die(&format!("no figure {n}: the paper defines figures 5-20"));
+    }
+    n
+}
+
+/// The extension-study suite as one pooled job list: the WAN cases,
+/// hierarchy comparison, aggregate-vs-direct pair, open-loop rates and
+/// composite sizes all schedule together, so `--jobs N` speeds up the
+/// whole section, not each study in turn.
+const OPEN_LOOP_RATES: [f64; 4] = [5.0, 15.0, 30.0, 60.0];
+const COMPOSITE_SOURCES: [u32; 3] = [2, 5, 10];
+
+fn run_extensions(profile: Profile, seed: u64, out_dir: &std::path::Path, rc: &RunnerConfig) {
+    use gridmon_core::ext::WAN_CASES;
     let cfg = profile.run_config(seed);
+
+    let mut ext_jobs: Vec<Job> = Vec::new();
+    for case in 0..WAN_CASES.len() {
+        ext_jobs.push(Job::Ext(ExtPoint::Wan { users: 100, case }));
+    }
+    ext_jobs.push(Job::Ext(ExtPoint::HierFlat { n: 120 }));
+    ext_jobs.push(Job::Ext(ExtPoint::HierTree {
+        n: 120,
+        branches: 5,
+    }));
+    ext_jobs.push(Job::Ext(ExtPoint::AggDirect { users: 50 }));
+    ext_jobs.push(Job::Ext(ExtPoint::AggViaGiis { users: 50 }));
+    for rate in OPEN_LOOP_RATES {
+        ext_jobs.push(Job::Ext(ExtPoint::OpenLoop { rate }));
+    }
+    for sources in COMPOSITE_SOURCES {
+        ext_jobs.push(Job::Ext(ExtPoint::Composite { sources }));
+    }
+
+    eprintln!(
+        "== running extension studies ({} points) ==",
+        ext_jobs.len()
+    );
+    let (outputs, stats) = gridmon_runner::run_jobs(&ext_jobs, &cfg, rc);
+    eprintln!(
+        "== extensions done in {:.1?} ({} executed, {} cached) ==",
+        stats.wall, stats.executed, stats.cache_hits
+    );
+
+    let measurement = |o: &JobOutput| o.measurement().expect("measurement-kind job");
+    let mut cursor = outputs.iter();
     let mut out = String::new();
 
-    eprintln!("== extension: WAN study ==");
-    out.push_str("Extension 1: directory server (GIIS, 100 users) across WAN qualities
-");
+    out.push_str("Extension 1: directory server (GIIS, 100 users) across WAN qualities\n");
     out.push_str(&format!(
-        "{:<30} {:>10} {:>12} {:>12} {:>8} {:>8}
-",
+        "{:<30} {:>10} {:>12} {:>12} {:>8} {:>8}\n",
         "link", "mbps", "throughput", "resp (s)", "load1", "cpu %"
     ));
-    for p in ext::wan_study(&cfg, 100) {
+    for _ in 0..WAN_CASES.len() {
+        let JobOutput::Wan(p) = cursor.next().unwrap() else {
+            unreachable!("wan jobs yield wan points")
+        };
         out.push_str(&format!(
-            "{:<30} {:>10.0} {:>12.2} {:>12.3} {:>8.2} {:>8.1}
-",
+            "{:<30} {:>10.0} {:>12.2} {:>12.3} {:>8.2} {:>8.1}\n",
             p.label, p.wan_mbps, p.m.throughput, p.m.response_time, p.m.load1, p.m.cpu_load
         ));
     }
 
-    eprintln!("== extension: hierarchy study ==");
-    let (flat, hier) = ext::hierarchy_study(&cfg, 120, 5);
-    out.push_str("
-Extension 2: flat vs hierarchical GIIS aggregation (120 GRIS, 10 users)
-");
+    let flat = measurement(cursor.next().unwrap());
+    let hier = measurement(cursor.next().unwrap());
+    out.push_str("\nExtension 2: flat vs hierarchical GIIS aggregation (120 GRIS, 10 users)\n");
     out.push_str(&format!(
-        "{:<24} {:>12} {:>12} {:>8} {:>8}
-",
+        "{:<24} {:>12} {:>12} {:>8} {:>8}\n",
         "architecture", "throughput", "resp (s)", "load1", "cpu %"
     ));
     for (label, m) in [("flat (1 GIIS)", flat), ("2-level (5 branches)", hier)] {
         out.push_str(&format!(
-            "{:<24} {:>12.2} {:>12.3} {:>8.2} {:>8.1}
-",
+            "{:<24} {:>12.2} {:>12.3} {:>8.2} {:>8.1}\n",
             label, m.throughput, m.response_time, m.load1, m.cpu_load
         ));
     }
 
-    eprintln!("== extension: aggregate vs direct ==");
-    let (direct, via) = ext::aggregate_vs_direct(&cfg, 50);
-    out.push_str("
-Extension 3: same information, direct GRIS vs via the GIIS (50 users)
-");
+    let direct = measurement(cursor.next().unwrap());
+    let via = measurement(cursor.next().unwrap());
+    out.push_str("\nExtension 3: same information, direct GRIS vs via the GIIS (50 users)\n");
     out.push_str(&format!(
-        "{:<24} {:>12} {:>12} {:>14}
-",
+        "{:<24} {:>12} {:>12} {:>14}\n",
         "path", "throughput", "resp (s)", "cpu%/query"
     ));
     for (label, m) in [("direct (GRIS, GSI)", direct), ("aggregate (GIIS)", via)] {
         out.push_str(&format!(
-            "{:<24} {:>12.2} {:>12.3} {:>14.3}
-",
+            "{:<24} {:>12.2} {:>12.3} {:>14.3}\n",
             label,
             m.throughput,
             m.response_time,
@@ -179,37 +265,30 @@ Extension 3: same information, direct GRIS vs via the GIIS (50 users)
         ));
     }
 
-    eprintln!("== extension: open-loop arrivals ==");
-    out.push_str("
-Extension 4: Poisson open-loop arrivals at the ProducerServlet
-");
+    out.push_str("\nExtension 4: Poisson open-loop arrivals at the ProducerServlet\n");
     out.push_str(&format!(
-        "{:<12} {:>12} {:>12} {:>12}
-",
+        "{:<12} {:>12} {:>12} {:>12}\n",
         "offered/s", "completed/s", "lost/s", "resp (s)"
     ));
-    for p in ext::open_loop_study(&cfg, &[5.0, 15.0, 30.0, 60.0]) {
+    for _ in OPEN_LOOP_RATES {
+        let JobOutput::OpenLoop(p) = cursor.next().unwrap() else {
+            unreachable!("open-loop jobs yield open-loop points")
+        };
         out.push_str(&format!(
-            "{:<12.1} {:>12.2} {:>12.2} {:>12.3}
-",
+            "{:<12.1} {:>12.2} {:>12.2} {:>12.3}\n",
             p.offered_per_sec, p.completed_per_sec, p.lost_per_sec, p.response_time
         ));
     }
 
-    eprintln!("== extension: composite producer ==");
-    out.push_str("
-Extension 5: R-GMA composite Consumer/Producer (10 users, *ALL* query)
-");
+    out.push_str("\nExtension 5: R-GMA composite Consumer/Producer (10 users, *ALL* query)\n");
     out.push_str(&format!(
-        "{:<12} {:>12} {:>12} {:>8} {:>8}
-",
+        "{:<12} {:>12} {:>12} {:>8} {:>8}\n",
         "sources", "throughput", "resp (s)", "load1", "cpu %"
     ));
-    for n in [2u32, 5, 10] {
-        let m = ext::composite_study(&cfg, n);
+    for n in COMPOSITE_SOURCES {
+        let m = measurement(cursor.next().unwrap());
         out.push_str(&format!(
-            "{:<12} {:>12.2} {:>12.3} {:>8.2} {:>8.1}
-",
+            "{:<12} {:>12.2} {:>12.3} {:>8.2} {:>8.1}\n",
             n, m.throughput, m.response_time, m.load1, m.cpu_load
         ));
     }

@@ -1,7 +1,8 @@
 //! Shared helpers for the benchmark harness and the `figures` binary.
 
-use gridmon_core::figures::{figure, run_set, FigureData, SetData};
+use gridmon_core::figures::{self, FigureData, FigureError, SetData};
 use gridmon_core::runcfg::RunConfig;
+use gridmon_runner::{RunnerConfig, SweepStats};
 use simcore::SimDuration;
 
 /// A run profile for the harness.
@@ -40,23 +41,21 @@ impl Profile {
     }
 }
 
-/// Run one experiment set under a profile, printing progress to stderr.
-pub fn run_set_with_progress(set: u32, profile: Profile, seed: u64) -> SetData {
-    let cfg = profile.run_config(seed);
-    let mut progress = |label: &str, x: f64| {
-        eprintln!("  [set {set}] {label} @ x={x}");
-    };
-    run_set(set, &cfg, profile.scale(), Some(&mut progress))
+/// Run one experiment set under a profile through the parallel sweep
+/// engine.  Results are byte-identical for every `rc.jobs` value.
+pub fn run_set(
+    set: u32,
+    profile: Profile,
+    seed: u64,
+    rc: &RunnerConfig,
+) -> Result<(SetData, SweepStats), FigureError> {
+    gridmon_runner::run_set(set, &profile.run_config(seed), profile.scale(), rc)
 }
 
 /// All four figures of a set.
-pub fn figures_of_set(data: &SetData) -> Vec<FigureData> {
-    let figs: [u32; 4] = match data.set {
-        1 => [5, 6, 7, 8],
-        2 => [9, 10, 11, 12],
-        3 => [13, 14, 15, 16],
-        4 => [17, 18, 19, 20],
-        _ => panic!("sets are 1..=4"),
-    };
-    figs.iter().map(|&f| figure(data, f)).collect()
+pub fn figures_of_set(data: &SetData) -> Result<Vec<FigureData>, FigureError> {
+    figures::figures_of_set(data.set)?
+        .iter()
+        .map(|&f| figures::figure(data, f))
+        .collect()
 }

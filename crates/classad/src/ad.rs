@@ -149,9 +149,7 @@ impl ClassAd {
             let name = line[..eq].trim();
             let expr_src = line[eq + 1..].trim();
             if name.is_empty()
-                || !name
-                    .chars()
-                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
                 || !name.chars().next().unwrap().is_ascii_alphabetic()
             {
                 return Err(ParseError {
@@ -255,8 +253,7 @@ mod tests {
 
     #[test]
     fn parse_lines_with_equality_operators() {
-        let ad =
-            ClassAd::parse("Req = TARGET.x == 5 && y <= 2\nMeta = z =?= UNDEFINED\n").unwrap();
+        let ad = ClassAd::parse("Req = TARGET.x == 5 && y <= 2\nMeta = z =?= UNDEFINED\n").unwrap();
         assert!(ad.get("Req").is_some());
         assert!(ad.get("Meta").is_some());
     }

@@ -328,13 +328,11 @@ fn eval_call(name: &str, args: &[Expr], cx: &mut EvalCtx) -> Value {
         ("isundefined", [v]) => Value::Bool(matches!(v, Value::Undefined)),
         ("iserror", [_v]) => Value::Bool(false), // errors already propagated
         // Case-SENSITIVE string comparison (unlike ==), as in Condor.
-        ("strcmp", [Value::Str(a), Value::Str(b)]) => {
-            Value::Int(match a.cmp(b) {
-                std::cmp::Ordering::Less => -1,
-                std::cmp::Ordering::Equal => 0,
-                std::cmp::Ordering::Greater => 1,
-            })
-        }
+        ("strcmp", [Value::Str(a), Value::Str(b)]) => Value::Int(match a.cmp(b) {
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+            std::cmp::Ordering::Greater => 1,
+        }),
         // Membership in a comma/space separated string list.
         ("stringlistmember", [Value::Str(item), Value::Str(list)]) => Value::Bool(
             list.split([',', ' '])
@@ -553,11 +551,11 @@ mod tests {
             ev("stringListMember(\"mpi\", \"standard, vanilla\")"),
             Value::Bool(false)
         );
+        assert_eq!(ev("stringListSize(\"a, b c,,d\")"), Value::Int(4));
         assert_eq!(
-            ev("stringListSize(\"a, b c,,d\")"),
-            Value::Int(4)
+            ev("ifThenElse(2 > 1, \"y\", \"n\")"),
+            Value::Str("y".into())
         );
-        assert_eq!(ev("ifThenElse(2 > 1, \"y\", \"n\")"), Value::Str("y".into()));
         assert_eq!(ev("ifThenElse(missing, 1, 2)"), Value::Undefined);
         assert_eq!(ev("ifThenElse(5, 1, 2)"), Value::Error);
         assert_eq!(ev("min(3, 2.5)"), Value::Real(2.5));

@@ -147,9 +147,7 @@ impl Expr {
                 Box::new(t.normalize()),
                 Box::new(e.normalize()),
             ),
-            Expr::Call(n, args) => {
-                Expr::Call(n, args.into_iter().map(Expr::normalize).collect())
-            }
+            Expr::Call(n, args) => Expr::Call(n, args.into_iter().map(Expr::normalize).collect()),
             e => e,
         }
     }

@@ -156,7 +156,7 @@ mod tests {
     #[test]
     fn all_matches_collects() {
         let t = ClassAd::parse("Requirements = TARGET.CpuLoad >= 50\n").unwrap();
-        let ms = vec![machine(10.0, "L"), machine(50.0, "L"), machine(99.0, "L")];
+        let ms = [machine(10.0, "L"), machine(50.0, "L"), machine(99.0, "L")];
         let hits = all_matches(&t, ms.iter());
         let idxs: Vec<usize> = hits.iter().map(|&(i, _)| i).collect();
         assert_eq!(idxs, vec![1, 2]);

@@ -90,7 +90,8 @@ impl Parser {
             Err(ParseError {
                 message: format!(
                     "expected '{t}', found {}",
-                    self.peek().map_or("end of input".to_string(), |x| format!("'{x}'"))
+                    self.peek()
+                        .map_or("end of input".to_string(), |x| format!("'{x}'"))
                 ),
             })
         }
@@ -184,7 +185,11 @@ impl Parser {
                     message: format!("expected attribute name after '{name}.'"),
                 });
             };
-            let scope = if lower == "my" { Scope::My } else { Scope::Target };
+            let scope = if lower == "my" {
+                Scope::My
+            } else {
+                Scope::Target
+            };
             return Ok(Expr::scoped_attr(scope, &attr));
         }
         // Function call?

@@ -17,20 +17,20 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 48, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                Expr::Binary(classad::BinOp::Add, Box::new(a), Box::new(b))
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                Expr::Binary(classad::BinOp::And, Box::new(a), Box::new(b))
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                Expr::Binary(classad::BinOp::Lt, Box::new(a), Box::new(b))
-            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Expr::Binary(classad::BinOp::Add, Box::new(a), Box::new(b)) }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Expr::Binary(classad::BinOp::And, Box::new(a), Box::new(b)) }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Expr::Binary(classad::BinOp::Lt, Box::new(a), Box::new(b)) }),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| {
                 Expr::Binary(classad::BinOp::MetaEq, Box::new(a), Box::new(b))
             }),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Expr::Cond(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Cond(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
             inner
                 .clone()
                 .prop_map(|e| Expr::Unary(classad::UnOp::Not, Box::new(e))),

@@ -3,10 +3,10 @@
 
 use crate::runcfg::{Measurement, RunConfig};
 use ganglia::Monitor;
+use hawkeye::{default_modules, AdvertiserFleet, Agent, Manager};
 use ldapdir::Dn;
 use mds::{default_providers, Giis, Gris};
 use rgma::{ConsumerServlet, ProducerServlet, Registry};
-use hawkeye::{default_modules, AdvertiserFleet, Agent, Manager};
 use simcore::{Engine, SimDuration};
 use simnet::{ClientKey, Eng, Net, NodeId, StatsHub, SvcKey};
 use testbed::{Testbed, TestbedConfig};
@@ -71,10 +71,7 @@ impl Harness {
         self.net.start(&mut self.eng);
         self.eng.run_until(&mut self.net, self.cfg.window_end());
         let (ws, we) = (self.cfg.window_start(), self.cfg.window_end());
-        let monitor: &Monitor = self
-            .net
-            .client_as(self.monitor.unwrap())
-            .expect("monitor");
+        let monitor: &Monitor = self.net.client_as(self.monitor.unwrap()).expect("monitor");
         let server = self.server_node.unwrap();
         Measurement {
             x,
@@ -102,13 +99,15 @@ pub fn giis_suffix() -> Dn {
 /// configurations; `gsi` enables the GSI-authenticated bind (Experiment
 /// Set 1's configuration — Set 3's sub-second cached responses imply
 /// anonymous binds there).
-pub fn deploy_gris(h: &mut Harness, node: NodeId, providers: usize, cache: bool, gsi: bool) -> SvcKey {
+pub fn deploy_gris(
+    h: &mut Harness,
+    node: NodeId,
+    providers: usize,
+    cache: bool,
+    gsi: bool,
+) -> SvcKey {
     let suffix = gris_suffix(0);
-    let ttl = if cache {
-        None
-    } else {
-        Some(SimDuration::ZERO)
-    };
+    let ttl = if cache { None } else { Some(SimDuration::ZERO) };
     let host = h.net.topo.node(node).name.clone();
     let gris = Gris::new(
         suffix.clone(),
@@ -138,7 +137,9 @@ pub fn deploy_giis(
 ) -> (SvcKey, Vec<Dn>) {
     let giis = Giis::new(giis_suffix(), cachettl);
     let giis_cfg = h.cfg.params.giis_config();
-    let giis_key = h.net.add_service(node, giis_cfg, Box::new(giis), &mut h.eng);
+    let giis_key = h
+        .net
+        .add_service(node, giis_cfg, Box::new(giis), &mut h.eng);
     let mut grafts = Vec::with_capacity(n_gris);
     for i in 0..n_gris {
         let gnode = gris_nodes[i % gris_nodes.len()];
@@ -150,12 +151,11 @@ pub fn deploy_giis(
         let key = h.net.add_service(gnode, cfg, Box::new(gris), &mut h.eng);
         h.net.service_as_mut::<Gris>(key).unwrap().me = Some(key);
         // Stagger the registration heartbeats over the 30 s period.
-        let offset = SimDuration::from_micros(50_000 + (i as u64 * 29_900_000) / n_gris.max(1) as u64);
+        let offset =
+            SimDuration::from_micros(50_000 + (i as u64 * 29_900_000) / n_gris.max(1) as u64);
         h.net.prime_service_timer(&mut h.eng, key, offset, 0);
         // The graft label is deterministic from the service key.
-        grafts.push(
-            giis_suffix().child("Mds-Vo-name", &format!("sub-{}-{}", key.index, key.gen)),
-        );
+        grafts.push(giis_suffix().child("Mds-Vo-name", &format!("sub-{}-{}", key.index, key.gen)));
     }
     (giis_key, grafts)
 }
@@ -231,8 +231,12 @@ pub fn deploy_producer_servlet(
 /// Deploy a ConsumerServlet on `node` pointed at `registry`.
 pub fn deploy_consumer_servlet(h: &mut Harness, node: NodeId, registry: SvcKey) -> SvcKey {
     let cfg = h.cfg.params.servlet_config();
-    h.net
-        .add_service(node, cfg, Box::new(ConsumerServlet::new(registry)), &mut h.eng)
+    h.net.add_service(
+        node,
+        cfg,
+        Box::new(ConsumerServlet::new(registry)),
+        &mut h.eng,
+    )
 }
 
 #[cfg(test)]
@@ -278,13 +282,12 @@ mod tests {
         // Run briefly: registrations and advertises flow without panics.
         h.watch(l3);
         h.net.start(&mut h.eng);
-        h.eng
-            .run_until(&mut h.net, simcore::SimTime::from_secs(65));
+        h.eng.run_until(&mut h.net, simcore::SimTime::from_secs(65));
+        assert_eq!(h.net.service_as::<Manager>(mgr).unwrap().pool_size(), 1);
         assert_eq!(
-            h.net.service_as::<Manager>(mgr).unwrap().pool_size(),
-            1
+            h.net.service_as::<Giis>(giis).unwrap().registered_count(),
+            4
         );
-        assert_eq!(h.net.service_as::<Giis>(giis).unwrap().registered_count(), 4);
         let registry = h.net.service_as_mut::<Registry>(reg).unwrap();
         assert_eq!(registry.producer_count(), 10);
     }

@@ -21,7 +21,9 @@ use workload::{QueryFactory, UserConfig};
 /// Place `users` on the UC cluster (≤50 per machine, as in the paper).
 fn uc_placement(h: &Harness, users: u32) -> Vec<NodeId> {
     let hosts = h.uc.clone();
-    (0..users as usize).map(|i| hosts[i % hosts.len()]).collect()
+    (0..users as usize)
+        .map(|i| hosts[i % hosts.len()])
+        .collect()
 }
 
 fn user_config(h: &Harness, client_cpu_us: f64) -> UserConfig {
@@ -270,10 +272,11 @@ pub mod set2 {
                 // 11 default modules each.
                 let mgr_node = h.lucky("lucky3");
                 let mgr = deploy_manager(&mut h, mgr_node);
-                let agent_hosts: Vec<String> = ["lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7"]
-                    .iter()
-                    .map(|n| n.to_string())
-                    .collect();
+                let agent_hosts: Vec<String> =
+                    ["lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7"]
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect();
                 for name in &agent_hosts {
                     let node = h.lucky(name);
                     deploy_agent(&mut h, node, 11, mgr);
@@ -315,7 +318,9 @@ pub mod set2 {
                         .iter()
                         .map(|n| h.lucky(n))
                         .collect();
-                    (0..users as usize).map(|i| hosts[i % hosts.len()]).collect()
+                    (0..users as usize)
+                        .map(|i| hosts[i % hosts.len()])
+                        .collect()
                 };
                 let cpu = h.cfg.params.rgma_client_cpu_us;
                 spawn(&mut h, &placement, reg, cpu, move || {
@@ -386,7 +391,13 @@ pub mod set3 {
                 let cache = series == Set3Series::GrisCache;
                 // Anonymous binds: the paper's Set-3 cached responses are
                 // sub-second, which rules out the 4 s GSI bind of Set 1.
-                let gris = deploy_gris(&mut h, server, collectors as usize, cache, /*gsi=*/ false);
+                let gris = deploy_gris(
+                    &mut h,
+                    server,
+                    collectors as usize,
+                    cache,
+                    /*gsi=*/ false,
+                );
                 h.watch(server);
                 let placement = uc_placement(&h, USERS);
                 let cpu = h.cfg.params.mds_client_cpu_us;
@@ -496,10 +507,11 @@ pub mod set4 {
                 // lucky nodes; default cachettl (30 s) — the GIIS serves
                 // from cache and re-pulls expired subtrees.
                 let giis_node = h.lucky("lucky0");
-                let gris_nodes: Vec<NodeId> = ["lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]
-                    .iter()
-                    .map(|n| h.lucky(n))
-                    .collect();
+                let gris_nodes: Vec<NodeId> =
+                    ["lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]
+                        .iter()
+                        .map(|n| h.lucky(n))
+                        .collect();
                 let ttl = h.cfg.params.giis_exp4_cachettl;
                 let (giis, grafts) =
                     deploy_giis(&mut h, giis_node, &gris_nodes, servers as usize, Some(ttl));

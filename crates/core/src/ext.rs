@@ -19,9 +19,7 @@
 //! Set 4, and [`composite_study`] exercises the R-GMA composite
 //! Consumer/Producer the paper describes but R-GMA never shipped.
 
-use crate::deploy::{
-    deploy_producer_servlet, deploy_registry, giis_suffix, Harness,
-};
+use crate::deploy::{deploy_producer_servlet, deploy_registry, giis_suffix, Harness};
 use crate::experiments::{set2, set4};
 use crate::runcfg::{Measurement, RunConfig};
 use ldapdir::Dn;
@@ -32,7 +30,7 @@ use simnet::{NodeId, Payload, ServiceConfig};
 use workload::{OpenLoopSource, UserConfig};
 
 /// One row of the WAN study: link parameters plus the measured metrics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WanPoint {
     pub label: String,
     pub wan_mbps: f64,
@@ -40,29 +38,36 @@ pub struct WanPoint {
     pub m: Measurement,
 }
 
-/// Repeat the directory-server experiment (GIIS, 200 users) across WAN
-/// qualities, from campus LAN to a transatlantic-grade path.
+/// The WAN qualities the study sweeps, from campus LAN to a
+/// transatlantic-grade path: `(label, capacity bps, one-way latency ms)`.
+pub const WAN_CASES: [(&str, f64, u64); 4] = [
+    ("lan-100mbit-0.1ms", 100e6, 0u64),
+    ("metro-40mbit-5ms", 40e6, 5),
+    ("wan-10mbit-25ms", 10e6, 25),
+    ("intercontinental-4mbit-80ms", 4e6, 80),
+];
+
+/// One point of the WAN study: the directory-server experiment under
+/// `WAN_CASES[case]`.
+pub fn wan_point(cfg: &RunConfig, users: u32, case: usize) -> WanPoint {
+    let (label, bps, lat_ms) = WAN_CASES[case];
+    let mut c = *cfg;
+    c.params.wan_bps = bps;
+    c.params.wan_latency = SimDuration::from_millis(lat_ms.max(1));
+    let m = set2::run_point(set2::Set2Series::Giis, users, &c);
+    WanPoint {
+        label: label.to_string(),
+        wan_mbps: bps / 1e6,
+        wan_latency_ms: lat_ms,
+        m,
+    }
+}
+
+/// Repeat the directory-server experiment (GIIS, 200 users) across every
+/// [`WAN_CASES`] quality.
 pub fn wan_study(cfg: &RunConfig, users: u32) -> Vec<WanPoint> {
-    let cases = [
-        ("lan-100mbit-0.1ms", 100e6, 0u64),
-        ("metro-40mbit-5ms", 40e6, 5),
-        ("wan-10mbit-25ms", 10e6, 25),
-        ("intercontinental-4mbit-80ms", 4e6, 80),
-    ];
-    cases
-        .iter()
-        .map(|&(label, bps, lat_ms)| {
-            let mut c = *cfg;
-            c.params.wan_bps = bps;
-            c.params.wan_latency = SimDuration::from_millis(lat_ms.max(1));
-            let m = set2::run_point(set2::Set2Series::Giis, users, &c);
-            WanPoint {
-                label: label.to_string(),
-                wan_mbps: bps / 1e6,
-                wan_latency_ms: lat_ms,
-                m,
-            }
-        })
+    (0..WAN_CASES.len())
+        .map(|i| wan_point(cfg, users, i))
         .collect()
 }
 
@@ -83,12 +88,20 @@ pub fn aggregate_vs_direct(cfg: &RunConfig, users: u32) -> (Measurement, Measure
 /// same `n` split over `branches` mid-level GIISes under a top GIIS.
 /// Returns `(flat, hierarchical)` for 10 users querying everything.
 pub fn hierarchy_study(cfg: &RunConfig, n: u32, branches: usize) -> (Measurement, Measurement) {
-    let flat = set4::run_point(set4::Set4Series::GiisQueryAll, n, cfg);
-    let hier = run_hierarchical(cfg, n, branches);
+    let flat = hierarchy_flat_point(cfg, n);
+    let hier = hierarchy_tree_point(cfg, n, branches);
     (flat, hier)
 }
 
-fn run_hierarchical(cfg: &RunConfig, n: u32, branches: usize) -> Measurement {
+/// The flat baseline of the hierarchy study: one GIIS over `n` GRISes
+/// (Experiment Set 4's query-all point).
+pub fn hierarchy_flat_point(cfg: &RunConfig, n: u32) -> Measurement {
+    set4::run_point(set4::Set4Series::GiisQueryAll, n, cfg)
+}
+
+/// The two-level architecture: `n` GRISes split over `branches`
+/// mid-level GIISes under a top GIIS.
+pub fn hierarchy_tree_point(cfg: &RunConfig, n: u32, branches: usize) -> Measurement {
     let mut h = Harness::new(*cfg);
     let top_node = h.lucky("lucky0");
     let mid_hosts = ["lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
@@ -113,8 +126,12 @@ fn run_hierarchical(cfg: &RunConfig, n: u32, branches: usize) -> Measurement {
             h.net.add_service(node, gc, Box::new(giis), &mut h.eng)
         };
         h.net.service_as_mut::<Giis>(mid).unwrap().me = Some(mid);
-        h.net
-            .prime_service_timer(&mut h.eng, mid, SimDuration::from_millis(20 + b as u64 * 7), 0);
+        h.net.prime_service_timer(
+            &mut h.eng,
+            mid,
+            SimDuration::from_millis(20 + b as u64 * 7),
+            0,
+        );
         // This branch's GRISes live on the same host pool.
         let take = per_branch.min((n as usize) - assigned);
         if take > 0 {
@@ -163,7 +180,7 @@ fn run_hierarchical(cfg: &RunConfig, n: u32, branches: usize) -> Measurement {
 }
 
 /// Result of the open-loop access-pattern study.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpenLoopPoint {
     pub offered_per_sec: f64,
     pub completed_per_sec: f64,
@@ -177,44 +194,47 @@ pub struct OpenLoopPoint {
 pub fn open_loop_study(cfg: &RunConfig, rates: &[f64]) -> Vec<OpenLoopPoint> {
     rates
         .iter()
-        .map(|&rate| {
-            let mut h = Harness::new(*cfg);
-            let ps_node = h.lucky("lucky3");
-            let reg_node = h.lucky("lucky1");
-            let reg = deploy_registry(&mut h, reg_node);
-            let ps = deploy_producer_servlet(&mut h, ps_node, 10, reg);
-            h.watch(ps_node);
-            // One source per UC machine, splitting the offered rate.
-            let n_sources = 10usize;
-            for i in 0..n_sources {
-                let node = h.uc[i % h.uc.len()];
-                let rng = h.eng.rng.fork(0xAAA + i as u64);
-                let src = OpenLoopSource::new(
-                    node,
-                    ps,
-                    rate / n_sources as f64,
-                    "user",
-                    Box::new(|_rng: &mut SimRng| {
-                        let m = RgmaMsg::ProducerQuery {
-                            sql: "SELECT * FROM cpuload".into(),
-                        };
-                        let bytes = m.wire_size();
-                        (Box::new(m) as Payload, bytes)
-                    }),
-                    rng,
-                );
-                h.net.add_client(Box::new(src));
-            }
-            let m = h.run_and_measure(rate);
-            let span = cfg.window.as_secs_f64();
-            OpenLoopPoint {
-                offered_per_sec: rate,
-                completed_per_sec: m.throughput,
-                lost_per_sec: h.net.stats.counter("user.lost") as f64 / span,
-                response_time: m.response_time,
-            }
-        })
+        .map(|&rate| open_loop_point(cfg, rate))
         .collect()
+}
+
+/// One offered-rate point of the open-loop study.
+pub fn open_loop_point(cfg: &RunConfig, rate: f64) -> OpenLoopPoint {
+    let mut h = Harness::new(*cfg);
+    let ps_node = h.lucky("lucky3");
+    let reg_node = h.lucky("lucky1");
+    let reg = deploy_registry(&mut h, reg_node);
+    let ps = deploy_producer_servlet(&mut h, ps_node, 10, reg);
+    h.watch(ps_node);
+    // One source per UC machine, splitting the offered rate.
+    let n_sources = 10usize;
+    for i in 0..n_sources {
+        let node = h.uc[i % h.uc.len()];
+        let rng = h.eng.rng.fork(0xAAA + i as u64);
+        let src = OpenLoopSource::new(
+            node,
+            ps,
+            rate / n_sources as f64,
+            "user",
+            Box::new(|_rng: &mut SimRng| {
+                let m = RgmaMsg::ProducerQuery {
+                    sql: "SELECT * FROM cpuload".into(),
+                };
+                let bytes = m.wire_size();
+                (Box::new(m) as Payload, bytes)
+            }),
+            rng,
+        );
+        h.net.add_client(Box::new(src));
+    }
+    let m = h.run_and_measure(rate);
+    let span = cfg.window.as_secs_f64();
+    OpenLoopPoint {
+        offered_per_sec: rate,
+        completed_per_sec: m.throughput,
+        lost_per_sec: h.net.stats.counter("user.lost") as f64 / span,
+        response_time: m.response_time,
+    }
 }
 
 /// Exercise the composite Consumer/Producer: `sources` site servlets all

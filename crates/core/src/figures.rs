@@ -1,11 +1,18 @@
 //! Figure regeneration: sweeps producing every figure's data series.
 //!
 //! Each experiment set yields four figures from the same runs (throughput,
-//! response time, load1, CPU load).  [`run_set`] performs the sweep once
-//! per set and [`figure`] projects the metric a given figure plots.
+//! response time, load1, CPU load).  The sweep is expressed as a list of
+//! self-contained [`PointSpec`] jobs — one per `(series, x)` — so callers
+//! can execute them sequentially ([`run_set`]) or hand them to the
+//! parallel engine in `gridmon-runner`; both produce byte-identical
+//! results because every point derives its own seed from the spec.
+//! [`figure`] projects the metric a given figure plots.
 
 use crate::experiments::{set1, set2, set3, set4, Set1Series, Set2Series, Set3Series, Set4Series};
+use crate::mapping::System;
 use crate::runcfg::{Measurement, RunConfig};
+use crate::stablehash::{fnv1a64, mix64};
+use std::fmt;
 
 /// One series of a figure: a label and `(x, y)` points.
 #[derive(Debug, Clone)]
@@ -32,6 +39,35 @@ pub struct SetData {
     pub set: u32,
     pub series: Vec<(String, Vec<Measurement>)>,
 }
+
+/// Selection errors: the paper defines sets 1–4 and figures 5–20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureError {
+    /// Experiment sets are 1..=4.
+    UnknownSet(u32),
+    /// Figures are 5..=20.
+    UnknownFigure(u32),
+    /// The figure exists but belongs to a different set's data.
+    FigureNotInSet { fig: u32, set: u32 },
+}
+
+impl fmt::Display for FigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FigureError::UnknownSet(s) => {
+                write!(f, "no experiment set {s}: the paper defines sets 1-4")
+            }
+            FigureError::UnknownFigure(n) => {
+                write!(f, "no figure {n}: the paper defines figures 5-20")
+            }
+            FigureError::FigureNotInSet { fig, set } => {
+                write!(f, "figure {fig} is not produced by experiment set {set}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FigureError {}
 
 /// Which metric each figure within a set plots, in paper order.
 const SET_FIGS: [(u32, [u32; 4]); 4] = [
@@ -69,85 +105,210 @@ fn set_title(set: u32, pos: usize) -> String {
     format!("{subject} {metric} vs. {}", x_label(set))
 }
 
-/// Optional progress callback: `(series label, x)` before each point.
-pub type Progress<'a> = &'a mut dyn FnMut(&str, f64);
+// ======================================================================
+// Point-level sweep decomposition
+// ======================================================================
 
-/// Run one experiment set completely.  `scale` in `(0, 1]` shrinks every
-/// swept x-value (for quick runs); 1.0 reproduces the paper's sweep.
-pub fn run_set(set: u32, cfg: &RunConfig, scale: f64, progress: Option<Progress>) -> SetData {
-    let mut cb = progress;
-    let mut note = |label: &str, x: f64| {
-        if let Some(cb) = cb.as_mut() {
-            cb(label, x);
+/// One sweep series of one experiment set, unified across sets so a
+/// scheduler can treat all points alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesId {
+    S1(Set1Series),
+    S2(Set2Series),
+    S3(Set3Series),
+    S4(Set4Series),
+}
+
+impl SeriesId {
+    /// Every series of one experiment set, in paper order.
+    pub fn all_in_set(set: u32) -> Result<Vec<SeriesId>, FigureError> {
+        Ok(match set {
+            1 => Set1Series::ALL.iter().map(|&s| SeriesId::S1(s)).collect(),
+            2 => Set2Series::ALL.iter().map(|&s| SeriesId::S2(s)).collect(),
+            3 => Set3Series::ALL.iter().map(|&s| SeriesId::S3(s)).collect(),
+            4 => Set4Series::ALL.iter().map(|&s| SeriesId::S4(s)).collect(),
+            other => return Err(FigureError::UnknownSet(other)),
+        })
+    }
+
+    /// The experiment set this series belongs to.
+    pub fn set(self) -> u32 {
+        match self {
+            SeriesId::S1(_) => 1,
+            SeriesId::S2(_) => 2,
+            SeriesId::S3(_) => 3,
+            SeriesId::S4(_) => 4,
         }
-    };
-    let scale_x = |xs: &[u32]| -> Vec<u32> {
-        let mut v: Vec<u32> = xs
-            .iter()
-            .map(|&x| ((x as f64 * scale).round() as u32).max(1))
-            .collect();
-        v.dedup();
-        v
-    };
-    let mut series = Vec::new();
-    match set {
-        1 => {
-            for s in Set1Series::ALL {
-                let mut pts = Vec::new();
-                for x in scale_x(s.user_counts()) {
-                    note(s.label(), x as f64);
-                    pts.push(set1::run_point(s, x, cfg));
-                }
-                series.push((s.label().to_string(), pts));
-            }
+    }
+
+    /// The figure legend label (stable: also the series' cache identity).
+    pub fn label(self) -> &'static str {
+        match self {
+            SeriesId::S1(s) => s.label(),
+            SeriesId::S2(s) => s.label(),
+            SeriesId::S3(s) => s.label(),
+            SeriesId::S4(s) => s.label(),
         }
-        2 => {
-            for s in Set2Series::ALL {
-                let mut pts = Vec::new();
-                for x in scale_x(s.user_counts()) {
-                    note(s.label(), x as f64);
-                    pts.push(set2::run_point(s, x, cfg));
-                }
-                series.push((s.label().to_string(), pts));
-            }
+    }
+
+    /// The x-values the paper sweeps for this series.
+    pub fn x_values(self) -> &'static [u32] {
+        match self {
+            SeriesId::S1(s) => s.user_counts(),
+            SeriesId::S2(s) => s.user_counts(),
+            SeriesId::S3(s) => s.collector_counts(),
+            SeriesId::S4(s) => s.server_counts(),
         }
-        3 => {
-            for s in Set3Series::ALL {
-                let mut pts = Vec::new();
-                for x in scale_x(s.collector_counts()) {
-                    note(s.label(), x as f64);
-                    pts.push(set3::run_point(s, x, cfg));
-                }
-                series.push((s.label().to_string(), pts));
-            }
+    }
+
+    /// The monitoring system under test — determines which calibrated
+    /// parameters affect this series (see [`crate::params::Params::fingerprint`]).
+    pub fn system(self) -> System {
+        match self {
+            SeriesId::S1(Set1Series::GrisCache | Set1Series::GrisNoCache) => System::Mds,
+            SeriesId::S1(Set1Series::HawkeyeAgent) => System::Hawkeye,
+            SeriesId::S1(_) => System::Rgma,
+            SeriesId::S2(Set2Series::Giis) => System::Mds,
+            SeriesId::S2(Set2Series::HawkeyeManager) => System::Hawkeye,
+            SeriesId::S2(_) => System::Rgma,
+            SeriesId::S3(Set3Series::GrisCache | Set3Series::GrisNoCache) => System::Mds,
+            SeriesId::S3(Set3Series::HawkeyeAgent) => System::Hawkeye,
+            SeriesId::S3(Set3Series::ProducerServlet) => System::Rgma,
+            SeriesId::S4(Set4Series::HawkeyeManager) => System::Hawkeye,
+            SeriesId::S4(_) => System::Mds,
         }
-        4 => {
-            for s in Set4Series::ALL {
-                let mut pts = Vec::new();
-                for x in scale_x(s.server_counts()) {
-                    note(s.label(), x as f64);
-                    pts.push(set4::run_point(s, x, cfg));
-                }
-                series.push((s.label().to_string(), pts));
-            }
+    }
+
+    /// Run one point of this series with `cfg` exactly as given (no seed
+    /// derivation — see [`PointSpec::run`] for the sweep discipline).
+    pub fn run_point_raw(self, x: u32, cfg: &RunConfig) -> Measurement {
+        match self {
+            SeriesId::S1(s) => set1::run_point(s, x, cfg),
+            SeriesId::S2(s) => set2::run_point(s, x, cfg),
+            SeriesId::S3(s) => set3::run_point(s, x, cfg),
+            SeriesId::S4(s) => set4::run_point(s, x, cfg),
         }
-        _ => panic!("experiment sets are 1..=4"),
+    }
+}
+
+/// A self-contained unit of sweep work: one `(series, x)` point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointSpec {
+    pub series: SeriesId,
+    pub x: u32,
+}
+
+impl PointSpec {
+    /// Stable textual identity of this point, used for seed derivation
+    /// and as part of the result-cache address.
+    pub fn key(&self) -> String {
+        format!(
+            "set{}/{}/x={}",
+            self.series.set(),
+            self.series.label(),
+            self.x
+        )
+    }
+
+    /// The seed this point runs under: derived from the sweep's base
+    /// seed and the point identity, so every point owns an independent
+    /// random stream and the result is invariant to execution order.
+    pub fn derived_seed(&self, base_seed: u64) -> u64 {
+        mix64(base_seed ^ fnv1a64(self.key().as_bytes()))
+    }
+
+    /// `cfg` with the seed replaced by this point's derived seed.
+    pub fn cfg_for(&self, base: &RunConfig) -> RunConfig {
+        let mut c = *base;
+        c.seed = self.derived_seed(base.seed);
+        c
+    }
+
+    /// Execute this point.  Byte-identical wherever and whenever it
+    /// runs: the measurement depends only on `(spec, base cfg)`.
+    pub fn run(&self, base: &RunConfig) -> Measurement {
+        self.series.run_point_raw(self.x, &self.cfg_for(base))
+    }
+}
+
+/// Shrink a sweep's x-values by `scale` in `(0, 1]` (for quick runs);
+/// 1.0 reproduces the paper's sweep.  Collapsed duplicates are removed.
+pub fn scale_xs(xs: &[u32], scale: f64) -> Vec<u32> {
+    let mut v: Vec<u32> = xs
+        .iter()
+        .map(|&x| ((f64::from(x) * scale).round() as u32).max(1))
+        .collect();
+    v.dedup();
+    v
+}
+
+/// All points of one experiment set, series-major in paper order — the
+/// job list both the sequential and the parallel runner execute.
+pub fn enumerate_set(set: u32, scale: f64) -> Result<Vec<PointSpec>, FigureError> {
+    let mut specs = Vec::new();
+    for series in SeriesId::all_in_set(set)? {
+        for x in scale_xs(series.x_values(), scale) {
+            specs.push(PointSpec { series, x });
+        }
+    }
+    Ok(specs)
+}
+
+/// Group per-point results (parallel to `specs`) back into a
+/// [`SetData`], preserving paper series order.
+pub fn assemble_set(set: u32, specs: &[PointSpec], results: &[Measurement]) -> SetData {
+    assert_eq!(specs.len(), results.len(), "one result per spec");
+    let mut series: Vec<(String, Vec<Measurement>)> = Vec::new();
+    for (spec, m) in specs.iter().zip(results) {
+        let label = spec.series.label();
+        match series.last_mut() {
+            Some((l, pts)) if l == label => pts.push(*m),
+            _ => series.push((label.to_string(), vec![*m])),
+        }
     }
     SetData { set, series }
 }
 
+/// Optional progress callback: `(series label, x)` before each point.
+pub type Progress<'a> = &'a mut dyn FnMut(&str, f64);
+
+/// Run one experiment set completely and sequentially.  `scale` in
+/// `(0, 1]` shrinks every swept x-value; 1.0 reproduces the paper's
+/// sweep.  The parallel engine (`gridmon-runner`) executes the same
+/// [`enumerate_set`] job list and yields byte-identical results.
+pub fn run_set(
+    set: u32,
+    cfg: &RunConfig,
+    scale: f64,
+    progress: Option<Progress>,
+) -> Result<SetData, FigureError> {
+    let specs = enumerate_set(set, scale)?;
+    let mut cb = progress;
+    let mut results = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        if let Some(cb) = cb.as_mut() {
+            cb(spec.series.label(), f64::from(spec.x));
+        }
+        results.push(spec.run(cfg));
+    }
+    Ok(assemble_set(set, &specs, &results))
+}
+
 /// Project one figure out of a set's measurements.
-pub fn figure(data: &SetData, fig: u32) -> FigureData {
+pub fn figure(data: &SetData, fig: u32) -> Result<FigureData, FigureError> {
     let (set, figs) = SET_FIGS
         .iter()
         .find(|(s, _)| *s == data.set)
-        .expect("valid set");
-    let pos = figs
-        .iter()
-        .position(|&f| f == fig)
-        .unwrap_or_else(|| panic!("figure {fig} is not in set {set}"));
+        .ok_or(FigureError::UnknownSet(data.set))?;
+    let pos = figs.iter().position(|&f| f == fig).ok_or_else(|| {
+        if set_of_figure(fig).is_some() {
+            FigureError::FigureNotInSet { fig, set: *set }
+        } else {
+            FigureError::UnknownFigure(fig)
+        }
+    })?;
     let (metric, y_label) = metric_of_position(pos);
-    FigureData {
+    Ok(FigureData {
         id: format!("Figure {fig}"),
         title: set_title(*set, pos),
         x_label: x_label(*set).to_string(),
@@ -160,7 +321,7 @@ pub fn figure(data: &SetData, fig: u32) -> FigureData {
                 points: pts.iter().map(|m| (m.x, m.metric(metric))).collect(),
             })
             .collect(),
-    }
+    })
 }
 
 /// The set a figure belongs to.
@@ -174,6 +335,15 @@ pub fn set_of_figure(fig: u32) -> Option<u32> {
 /// All figure numbers, in paper order.
 pub fn all_figures() -> Vec<u32> {
     (5..=20).collect()
+}
+
+/// The four figures an experiment set produces, in paper order.
+pub fn figures_of_set(set: u32) -> Result<[u32; 4], FigureError> {
+    SET_FIGS
+        .iter()
+        .find(|(s, _)| *s == set)
+        .map(|(_, figs)| *figs)
+        .ok_or(FigureError::UnknownSet(set))
 }
 
 #[cfg(test)]
@@ -190,6 +360,8 @@ mod tests {
         assert_eq!(set_of_figure(4), None);
         assert_eq!(set_of_figure(21), None);
         assert_eq!(all_figures().len(), 16);
+        assert_eq!(figures_of_set(2).unwrap(), [9, 10, 11, 12]);
+        assert_eq!(figures_of_set(9), Err(FigureError::UnknownSet(9)));
     }
 
     #[test]
@@ -197,5 +369,82 @@ mod tests {
         assert!(set_title(1, 0).contains("Information Server Throughput"));
         assert!(set_title(2, 1).contains("Directory Servers Response Time"));
         assert!(set_title(4, 3).contains("Aggregate Information Server CPU Load"));
+    }
+
+    #[test]
+    fn selection_errors_are_clean() {
+        assert_eq!(
+            SeriesId::all_in_set(0).unwrap_err(),
+            FigureError::UnknownSet(0)
+        );
+        let data = SetData {
+            set: 1,
+            series: vec![],
+        };
+        assert_eq!(
+            figure(&data, 9).unwrap_err(),
+            FigureError::FigureNotInSet { fig: 9, set: 1 }
+        );
+        assert_eq!(
+            figure(&data, 42).unwrap_err(),
+            FigureError::UnknownFigure(42)
+        );
+        let msg = FigureError::UnknownSet(7).to_string();
+        assert!(msg.contains("sets 1-4"), "{msg}");
+    }
+
+    #[test]
+    fn enumeration_covers_every_series_point() {
+        // Full-scale set 1: five series, one spec per swept x.
+        let specs = enumerate_set(1, 1.0).unwrap();
+        let expected: usize = SeriesId::all_in_set(1)
+            .unwrap()
+            .iter()
+            .map(|s| s.x_values().len())
+            .sum();
+        assert_eq!(specs.len(), expected);
+        // Scaling dedups collapsed x-values.
+        let quick = enumerate_set(1, 0.01).unwrap();
+        assert!(quick.len() < specs.len());
+        assert!(quick.iter().all(|p| p.x >= 1));
+    }
+
+    #[test]
+    fn derived_seeds_are_per_point_and_stable() {
+        let a = PointSpec {
+            series: SeriesId::S1(Set1Series::GrisCache),
+            x: 50,
+        };
+        let b = PointSpec {
+            series: SeriesId::S1(Set1Series::GrisCache),
+            x: 100,
+        };
+        let c = PointSpec {
+            series: SeriesId::S1(Set1Series::GrisNoCache),
+            x: 50,
+        };
+        assert_ne!(a.derived_seed(1), b.derived_seed(1));
+        assert_ne!(a.derived_seed(1), c.derived_seed(1));
+        assert_ne!(a.derived_seed(1), a.derived_seed(2));
+        // Stable across calls (and, via FNV, across platforms).
+        assert_eq!(a.derived_seed(1), a.derived_seed(1));
+        assert_eq!(a.key(), "set1/MDS GRIS (cache)/x=50");
+    }
+
+    #[test]
+    fn assemble_groups_by_series_in_order() {
+        let specs = enumerate_set(3, 0.05).unwrap();
+        let results: Vec<Measurement> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Measurement {
+                x: i as f64,
+                ..Default::default()
+            })
+            .collect();
+        let data = assemble_set(3, &specs, &results);
+        assert_eq!(data.series.len(), 4, "set 3 has four series");
+        let total: usize = data.series.iter().map(|(_, pts)| pts.len()).sum();
+        assert_eq!(total, specs.len());
     }
 }

@@ -35,6 +35,7 @@ pub mod mapping;
 pub mod params;
 pub mod report;
 pub mod runcfg;
+pub mod stablehash;
 
 pub use mapping::{component_mapping, Role, System};
 pub use params::Params;

@@ -6,6 +6,7 @@
 //! the observation it is calibrated against.  The experiment runners use
 //! [`Params::default`]; ablation benches vary individual fields.
 
+use crate::mapping::System;
 use simcore::SimDuration;
 use simnet::{ServiceConfig, SetupCost};
 
@@ -129,6 +130,47 @@ impl Default for Params {
 }
 
 impl Params {
+    /// A stable fingerprint of every parameter that can affect a run of
+    /// `sys` — the shared network/workload constants plus that system's
+    /// own tunables.  The parallel runner keys its result cache on this,
+    /// so editing (say) a Hawkeye constant invalidates only Hawkeye
+    /// series.
+    ///
+    /// Implementation: fields belonging to the *other* systems are reset
+    /// to their defaults and the whole struct is `Debug`-formatted.  A
+    /// newly added field is therefore included for every system until it
+    /// is classified below — the conservative failure mode (spurious
+    /// recomputation), never a stale cache hit.
+    pub fn fingerprint(&self, sys: System) -> String {
+        let d = Params::default();
+        let mut p = *self;
+        if sys != System::Mds {
+            p.mds_conn_capacity = d.mds_conn_capacity;
+            p.mds_backlog = d.mds_backlog;
+            p.mds_workers = d.mds_workers;
+            p.giis_workers = d.giis_workers;
+            p.gris_setup = d.gris_setup;
+            p.giis_setup = d.giis_setup;
+            p.mds_client_cpu_us = d.mds_client_cpu_us;
+            p.giis_exp4_cachettl = d.giis_exp4_cachettl;
+        }
+        if sys != System::Hawkeye {
+            p.agent_conn_capacity = d.agent_conn_capacity;
+            p.agent_backlog = d.agent_backlog;
+            p.manager_conn_capacity = d.manager_conn_capacity;
+            p.manager_backlog = d.manager_backlog;
+            p.condor_client_cpu_us = d.condor_client_cpu_us;
+        }
+        if sys != System::Rgma {
+            p.servlet_conn_capacity = d.servlet_conn_capacity;
+            p.servlet_backlog = d.servlet_backlog;
+            p.servlet_workers = d.servlet_workers;
+            p.servlet_setup = d.servlet_setup;
+            p.rgma_client_cpu_us = d.rgma_client_cpu_us;
+        }
+        format!("{}:{p:?}", sys.name())
+    }
+
     /// Service configuration of a GRIS.
     pub fn gris_config(&self) -> ServiceConfig {
         ServiceConfig {
@@ -193,5 +235,37 @@ mod tests {
         assert!(p.mds_client_cpu_us > p.rgma_client_cpu_us);
         assert_eq!(p.agent_config().workers, Some(1));
         assert!(p.servlet_config().conn_capacity < p.gris_config().conn_capacity);
+    }
+
+    #[test]
+    fn fingerprint_scopes_params_by_system() {
+        let base = Params::default();
+        let mut tweaked = base;
+        tweaked.condor_client_cpu_us += 1.0;
+        // A Hawkeye edit changes only the Hawkeye fingerprint...
+        assert_ne!(
+            base.fingerprint(System::Hawkeye),
+            tweaked.fingerprint(System::Hawkeye)
+        );
+        assert_eq!(
+            base.fingerprint(System::Mds),
+            tweaked.fingerprint(System::Mds)
+        );
+        assert_eq!(
+            base.fingerprint(System::Rgma),
+            tweaked.fingerprint(System::Rgma)
+        );
+        // ...while a shared (network) edit changes all three.
+        let mut wan = base;
+        wan.wan_bps *= 2.0;
+        for sys in System::ALL {
+            assert_ne!(base.fingerprint(sys), wan.fingerprint(sys));
+        }
+        // Fingerprints are system-tagged, so identical normalized params
+        // under different systems never collide.
+        assert_ne!(
+            base.fingerprint(System::Mds),
+            base.fingerprint(System::Rgma)
+        );
     }
 }

@@ -15,7 +15,10 @@ pub fn text_table(fig: &FigureData) -> String {
         .collect();
     xs.sort_by(f64::total_cmp);
     xs.dedup();
-    out.push_str(&format!("{:>12}", fig.x_label.split(' ').next_back().unwrap_or("x")));
+    out.push_str(&format!(
+        "{:>12}",
+        fig.x_label.split(' ').next_back().unwrap_or("x")
+    ));
     for s in &fig.series {
         out.push_str(&format!("  {:>28}", truncate(&s.label, 28)));
     }
@@ -73,8 +76,16 @@ pub fn ascii_chart(fig: &FigureData, width: usize, height: usize) -> String {
     if all.is_empty() {
         return format!("{}: (no data)\n", fig.id);
     }
-    let xmax = all.iter().map(|&(x, _)| x).fold(f64::MIN, f64::max).max(1.0);
-    let ymax = all.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max).max(1e-9);
+    let xmax = all
+        .iter()
+        .map(|&(x, _)| x)
+        .fold(f64::MIN, f64::max)
+        .max(1.0);
+    let ymax = all
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
     let mut grid = vec![vec![' '; width]; height];
     for (si, s) in fig.series.iter().enumerate() {
         let mark = (b'A' + (si as u8 % 26)) as char;
@@ -86,10 +97,7 @@ pub fn ascii_chart(fig: &FigureData, width: usize, height: usize) -> String {
             grid[row][col] = mark;
         }
     }
-    out.push_str(&format!(
-        "{} — {} (ymax {:.2})\n",
-        fig.id, fig.title, ymax
-    ));
+    out.push_str(&format!("{} — {} (ymax {:.2})\n", fig.id, fig.title, ymax));
     for row in grid {
         out.push('|');
         out.extend(row);

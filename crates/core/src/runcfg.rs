@@ -50,7 +50,7 @@ impl RunConfig {
 
 /// One experiment point: the four metrics the paper reports, plus
 /// bookkeeping.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Measurement {
     /// The swept quantity (users / collectors / servers).
     pub x: f64,

@@ -129,8 +129,8 @@ mod tests {
     use super::*;
     use simcore::Engine;
     use simnet::{
-        Eng, Net, Payload, Plan, RequestSpec, ReqOutcome, Service, ServiceConfig, StatsHub,
-        SvcCx, SvcKey, Topology,
+        Eng, Net, Payload, Plan, ReqOutcome, RequestSpec, Service, ServiceConfig, StatsHub, SvcCx,
+        SvcKey, Topology,
     };
 
     /// Service burning a lot of CPU per request.
@@ -218,7 +218,10 @@ mod tests {
         net.start(&mut eng);
         eng.run_until(&mut net, SimTime::from_secs(100));
         let monitor: &Monitor = net.client_as(mon).unwrap();
-        assert_eq!(monitor.cpu_mean(a, SimTime::ZERO, SimTime::from_secs(100)), 0.0);
+        assert_eq!(
+            monitor.cpu_mean(a, SimTime::ZERO, SimTime::from_secs(100)),
+            0.0
+        );
         assert_eq!(
             monitor.load1_max(a, SimTime::ZERO, SimTime::from_secs(100)),
             0.0

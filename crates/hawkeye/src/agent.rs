@@ -85,7 +85,9 @@ impl Agent {
 
 impl Service for Agent {
     fn handle(&mut self, req: Payload, _cx: &mut SvcCx) -> Plan {
-        let msg = req.downcast::<HawkeyeMsg>().expect("Agent expects HawkeyeMsg");
+        let msg = req
+            .downcast::<HawkeyeMsg>()
+            .expect("Agent expects HawkeyeMsg");
         match *msg {
             HawkeyeMsg::AgentStatus => {
                 // Re-run one module, reply with its fragment.

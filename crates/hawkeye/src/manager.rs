@@ -121,11 +121,7 @@ impl Service for Manager {
                     None => {
                         // Pool summary: one compact line per machine; model
                         // as a small digest ad per machine.
-                        self.ads
-                            .values()
-                            .take(1)
-                            .cloned()
-                            .collect()
+                        self.ads.values().take(1).cloned().collect()
                     }
                 };
                 let reply = AdsReply::new(ads);
@@ -391,8 +387,7 @@ mod tests {
     fn trigger_fires_on_matching_ad() {
         let (mut net, mut eng, _client, mgr, _ag) = pool();
         // Trigger: module count over threshold (always true for our agent).
-        let trig =
-            ClassAd::parse("Requirements = TARGET.ModuleCount >= 11\n").unwrap();
+        let trig = ClassAd::parse("Requirements = TARGET.ModuleCount >= 11\n").unwrap();
         net.service_as_mut::<Manager>(mgr)
             .unwrap()
             .add_trigger(trig, None);
@@ -416,12 +411,7 @@ mod tests {
         );
         // Stagger the 50 machines over the 30s period.
         for i in 0..50u64 {
-            net.prime_service_timer(
-                &mut eng,
-                fleet,
-                SimDuration::from_millis(i * 600),
-                i,
-            );
+            net.prime_service_timer(&mut eng, fleet, SimDuration::from_millis(i * 600), i);
         }
         net.start(&mut eng);
         eng.run_until(&mut net, SimTime::from_secs(120));

@@ -35,8 +35,17 @@ pub fn default_modules(host: &str, n: usize) -> Vec<ModuleSpec> {
         n
     );
     let defaults = [
-        "cpu", "memory", "disk", "network", "processes", "users",
-        "uptime", "swap", "filesystem", "condor", "os",
+        "cpu",
+        "memory",
+        "disk",
+        "network",
+        "processes",
+        "users",
+        "uptime",
+        "swap",
+        "filesystem",
+        "condor",
+        "os",
     ];
     (0..n)
         .map(|i| {
@@ -47,7 +56,9 @@ pub fn default_modules(host: &str, n: usize) -> Vec<ModuleSpec> {
             };
             // A deterministic, host-dependent synthetic metric so
             // machines differ (triggers can single hosts out).
-            let host_salt = host.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+            let host_salt = host
+                .bytes()
+                .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
             let mut attrs = ClassAd::new();
             attrs.set_str(&format!("Hawkeye_{name}_Name"), &name);
             attrs.set_real(

@@ -245,8 +245,9 @@ mod tests {
         vo.add("objectclass", "MdsVo");
         d.add(vo).unwrap();
         for host in ["lucky3", "lucky4", "lucky7"] {
-            let mut e =
-                Entry::new(Dn::parse(&format!("mds-host-hn={host}, mds-vo-name=local, o=grid")).unwrap());
+            let mut e = Entry::new(
+                Dn::parse(&format!("mds-host-hn={host}, mds-vo-name=local, o=grid")).unwrap(),
+            );
             e.add("objectclass", "MdsHost").add("Mds-Host-hn", host);
             d.add(e).unwrap();
         }
@@ -254,7 +255,8 @@ mod tests {
             Dn::parse("mds-device-group-name=cpu, mds-host-hn=lucky7, mds-vo-name=local, o=grid")
                 .unwrap(),
         );
-        cpu.add("objectclass", "MdsCpu").add("Mds-Cpu-Total-count", "2");
+        cpu.add("objectclass", "MdsCpu")
+            .add("Mds-Cpu-Total-count", "2");
         d.add(cpu).unwrap();
         d
     }
@@ -274,10 +276,7 @@ mod tests {
         assert_eq!(d.len(), 3);
         // Outside the suffix.
         let alien = Entry::new(Dn::parse("x=1, o=elsewhere").unwrap());
-        assert!(matches!(
-            d.add(alien),
-            Err(DitError::NotUnderSuffix(_))
-        ));
+        assert!(matches!(d.add(alien), Err(DitError::NotUnderSuffix(_))));
     }
 
     #[test]

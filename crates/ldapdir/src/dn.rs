@@ -167,7 +167,10 @@ mod tests {
     fn parse_and_display() {
         let dn = Dn::parse("Mds-Host-hn=Lucky7, Mds-Vo-name=Local, o=Grid").unwrap();
         assert_eq!(dn.depth(), 3);
-        assert_eq!(dn.to_string(), "mds-host-hn=lucky7, mds-vo-name=local, o=grid");
+        assert_eq!(
+            dn.to_string(),
+            "mds-host-hn=lucky7, mds-vo-name=local, o=grid"
+        );
         // Round trip.
         assert_eq!(Dn::parse(&dn.to_string()).unwrap(), dn);
     }

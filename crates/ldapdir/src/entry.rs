@@ -59,9 +59,7 @@ impl Entry {
 
     /// Does any value of `attr` equal `value` case-insensitively?
     pub fn has_value(&self, attr: &str, value: &str) -> bool {
-        self.get(attr)
-            .iter()
-            .any(|v| v.eq_ignore_ascii_case(value))
+        self.get(attr).iter().any(|v| v.eq_ignore_ascii_case(value))
     }
 
     /// Iterate `(attr, values)` in sorted attribute order.

@@ -300,7 +300,9 @@ mod tests {
         assert!(Filter::parse("(objectclass=mdshost)").unwrap().matches(&e));
         assert!(Filter::parse("(objectclass=MDSHOST)").unwrap().matches(&e));
         assert!(!Filter::parse("(objectclass=mdsvo)").unwrap().matches(&e));
-        assert!(Filter::parse("(mds-cpu-total-count=*)").unwrap().matches(&e));
+        assert!(Filter::parse("(mds-cpu-total-count=*)")
+            .unwrap()
+            .matches(&e));
         assert!(!Filter::parse("(missing=*)").unwrap().matches(&e));
     }
 
@@ -323,8 +325,12 @@ mod tests {
     fn ordering_numeric_vs_lexicographic() {
         let e = host_entry();
         // 512 >= 90 numerically (lexicographically "512" < "90").
-        assert!(Filter::parse("(mds-memory-ram-sizemb>=90)").unwrap().matches(&e));
-        assert!(Filter::parse("(mds-memory-ram-sizemb<=1000)").unwrap().matches(&e));
+        assert!(Filter::parse("(mds-memory-ram-sizemb>=90)")
+            .unwrap()
+            .matches(&e));
+        assert!(Filter::parse("(mds-memory-ram-sizemb<=1000)")
+            .unwrap()
+            .matches(&e));
         // String ordering on the hostname attr.
         assert!(Filter::parse("(mds-host-hn>=lucky)").unwrap().matches(&e));
     }
@@ -335,8 +341,12 @@ mod tests {
         assert!(Filter::parse("(mds-host-hn=lucky*)").unwrap().matches(&e));
         assert!(Filter::parse("(mds-host-hn=*anl.gov)").unwrap().matches(&e));
         assert!(Filter::parse("(mds-host-hn=*mcs*)").unwrap().matches(&e));
-        assert!(Filter::parse("(mds-host-hn=lucky*anl*)").unwrap().matches(&e));
-        assert!(!Filter::parse("(mds-host-hn=lucky*xyz*)").unwrap().matches(&e));
+        assert!(Filter::parse("(mds-host-hn=lucky*anl*)")
+            .unwrap()
+            .matches(&e));
+        assert!(!Filter::parse("(mds-host-hn=lucky*xyz*)")
+            .unwrap()
+            .matches(&e));
         assert!(!Filter::parse("(mds-host-hn=ucky*)").unwrap().matches(&e));
     }
 

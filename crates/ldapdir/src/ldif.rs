@@ -67,9 +67,8 @@ pub fn parse_ldif(input: &str) -> Result<Vec<Entry>, LdifError> {
                     lineno + 1
                 )));
             }
-            let dn = Dn::parse(value).map_err(|e| {
-                LdifError(format!("line {}: {e}", lineno + 1))
-            })?;
+            let dn =
+                Dn::parse(value).map_err(|e| LdifError(format!("line {}: {e}", lineno + 1)))?;
             current = Some(Entry::new(dn));
         } else {
             let Some(e) = current.as_mut() else {
@@ -141,16 +140,28 @@ attr: v
 
     #[test]
     fn parse_rejects_malformed() {
-        assert!(parse_ldif("attr: before-dn
-").is_err());
-        assert!(parse_ldif("dn: x=1
+        assert!(parse_ldif(
+            "attr: before-dn
+"
+        )
+        .is_err());
+        assert!(parse_ldif(
+            "dn: x=1
 no colon here
-").is_err());
-        assert!(parse_ldif("dn: x=1
+"
+        )
+        .is_err());
+        assert!(parse_ldif(
+            "dn: x=1
 dn: y=2
-").is_err());
-        assert!(parse_ldif("dn: ===
-").is_err());
+"
+        )
+        .is_err());
+        assert!(parse_ldif(
+            "dn: ===
+"
+        )
+        .is_err());
     }
 
     #[test]
@@ -163,6 +174,11 @@ dn: y=2
         let wire = e.wire_size() as usize;
         // wire_size is an estimate of the LDIF length; keep them within 20%.
         let diff = ldif.len().abs_diff(wire);
-        assert!(diff * 5 <= ldif.len(), "ldif {} vs wire {}", ldif.len(), wire);
+        assert!(
+            diff * 5 <= ldif.len(),
+            "ldif {} vs wire {}",
+            ldif.len(),
+            wire
+        );
     }
 }

@@ -4,8 +4,7 @@ use ldapdir::{Dit, Dn, Entry, Filter, Scope};
 use proptest::prelude::*;
 
 fn arb_dn_component() -> impl Strategy<Value = (String, String)> {
-    ("[a-z][a-z0-9-]{0,6}", "[a-z0-9][a-z0-9.]{0,8}")
-        .prop_map(|(a, v)| (a, v))
+    ("[a-z][a-z0-9-]{0,6}", "[a-z0-9][a-z0-9.]{0,8}").prop_map(|(a, v)| (a, v))
 }
 
 fn arb_filter() -> impl Strategy<Value = Filter> {

@@ -10,8 +10,8 @@
 //! sets `cachettl` "to a very large value so that the data was always in
 //! the cache" — [`Giis::new`] with `cachettl = None` reproduces that.
 
-use crate::proto::{GrisRegistration, MdsRequest, MdsSearchResult};
 use crate::gris::{SEARCH_CPU_FIXED_US, SEARCH_CPU_PER_ENTRY_US};
+use crate::proto::{GrisRegistration, MdsRequest, MdsSearchResult};
 use ldapdir::{Dit, Dn, Entry};
 use simcore::{SimDuration, SimTime};
 use simnet::{CallOutcome, Payload, Plan, Service, SubCall, SvcCx, SvcKey};
@@ -159,9 +159,14 @@ impl Giis {
             .collect();
         let cost = SEARCH_CPU_FIXED_US
             + SEARCH_CPU_PER_ENTRY_US * self.dit.scan_size() as f64 * q.filter.cost() as f64;
-        Plan::new()
-            .cpu(cost)
-            .reply(MdsSearchResult { entries, total, bytes }, bytes)
+        Plan::new().cpu(cost).reply(
+            MdsSearchResult {
+                entries,
+                total,
+                bytes,
+            },
+            bytes,
+        )
     }
 }
 
@@ -188,7 +193,9 @@ impl Service for Giis {
             }
             Err(other) => other,
         };
-        let req = req.downcast::<MdsRequest>().expect("GIIS expects MdsRequest");
+        let req = req
+            .downcast::<MdsRequest>()
+            .expect("GIIS expects MdsRequest");
         let MdsRequest::Search {
             base,
             scope,
@@ -255,7 +262,9 @@ impl Service for Giis {
                     e.dn.suffix_of_depth(d)
                         .and_then(|sfx| by_suffix.get_key_value(&sfx))
                 });
-                let Some((remote_suffix, graft)) = reg else { continue };
+                let Some((remote_suffix, graft)) = reg else {
+                    continue;
+                };
                 if let Some(dn) = e.dn.rebase(remote_suffix, graft) {
                     let mut grafted = Entry::new(dn);
                     for (a, vs) in e.iter() {
@@ -387,7 +396,12 @@ mod tests {
             );
             net.service_as_mut::<Gris>(key).unwrap().me = Some(key);
             // Kick the registration loop immediately.
-            net.prime_service_timer(&mut eng, key, SimDuration::from_millis(10 * (i as u64 + 1)), 0);
+            net.prime_service_timer(
+                &mut eng,
+                key,
+                SimDuration::from_millis(10 * (i as u64 + 1)),
+                0,
+            );
             grises.push(key);
         }
         (net, eng, client, giis, grises)
@@ -416,7 +430,12 @@ mod tests {
         let g = net.service_as::<Giis>(giis).unwrap();
         assert_eq!(g.registered_count(), 3);
         assert_eq!(g.pulls, 3);
-        assert!(results[1].1 < results[0].1, "warm {} cold {}", results[1].1, results[0].1);
+        assert!(
+            results[1].1 < results[0].1,
+            "warm {} cold {}",
+            results[1].1,
+            results[0].1
+        );
     }
 
     #[test]

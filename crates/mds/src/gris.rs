@@ -86,11 +86,13 @@ impl Gris {
     /// Providers whose data is stale at `now`.
     fn stale(&self, now: SimTime) -> Vec<usize> {
         (0..self.providers.len())
-            .filter(|&i| match (self.last_refresh[i], self.providers[i].cachettl) {
-                (None, _) => true,
-                (Some(_), None) => false, // never expires
-                (Some(at), Some(ttl)) => now >= at + ttl,
-            })
+            .filter(
+                |&i| match (self.last_refresh[i], self.providers[i].cachettl) {
+                    (None, _) => true,
+                    (Some(_), None) => false, // never expires
+                    (Some(at), Some(ttl)) => now >= at + ttl,
+                },
+            )
             .collect()
     }
 
@@ -150,8 +152,14 @@ impl Service for Gris {
         let bytes: u64 = 64 + entries.iter().map(Entry::wire_size).sum::<u64>();
         let scan_cost = SEARCH_CPU_FIXED_US
             + SEARCH_CPU_PER_ENTRY_US * self.dit.scan_size() as f64 * filter.cost() as f64;
-        plan.cpu(scan_cost)
-            .reply(MdsSearchResult { entries, total, bytes }, bytes)
+        plan.cpu(scan_cost).reply(
+            MdsSearchResult {
+                entries,
+                total,
+                bytes,
+            },
+            bytes,
+        )
     }
 
     fn on_timer(&mut self, _tag: u64, cx: &mut SvcCx) {
@@ -221,7 +229,9 @@ mod tests {
             if let ReqResult::Ok(p, _) = o.result {
                 let r = p.downcast::<MdsSearchResult>().unwrap();
                 let rt = (o.completed - o.submitted).as_secs_f64();
-                self.results.borrow_mut().push((r.entries.len(), r.bytes, rt));
+                self.results
+                    .borrow_mut()
+                    .push((r.entries.len(), r.bytes, rt));
             }
         }
     }
@@ -259,8 +269,12 @@ mod tests {
         assert!(results[0].0 > 20, "entries {}", results[0].0);
         assert_eq!(results[0].0, results[2].0);
         // Cached queries are much faster than the cold one.
-        assert!(results[0].2 > results[1].2 * 2.0,
-            "cold {} vs warm {}", results[0].2, results[1].2);
+        assert!(
+            results[0].2 > results[1].2 * 2.0,
+            "cold {} vs warm {}",
+            results[0].2,
+            results[1].2
+        );
     }
 
     #[test]

@@ -42,7 +42,12 @@ pub const DEFAULT_EXEC_CPU_US: f64 = 50_000.0;
 /// default MDS host providers (the first ten have distinct schemas; the
 /// rest are clones of the memory provider, exactly how the paper expanded
 /// the provider count).
-pub fn default_providers(suffix: &Dn, host: &str, n: usize, ttl: Option<SimDuration>) -> Vec<ProviderSpec> {
+pub fn default_providers(
+    suffix: &Dn,
+    host: &str,
+    n: usize,
+    ttl: Option<SimDuration>,
+) -> Vec<ProviderSpec> {
     let kinds = [
         ("cpu", 3),
         ("memory", 2),
@@ -63,7 +68,14 @@ pub fn default_providers(suffix: &Dn, host: &str, n: usize, ttl: Option<SimDurat
             } else {
                 ("memory-clone", 2)
             };
-            let name = format!("{kind}{}", if i >= kinds.len() { format!("-{i}") } else { String::new() });
+            let name = format!(
+                "{kind}{}",
+                if i >= kinds.len() {
+                    format!("-{i}")
+                } else {
+                    String::new()
+                }
+            );
             let group_dn = host_dn.child("Mds-Device-Group-name", &name);
             let mut entries = Vec::new();
             let mut group = Entry::new(group_dn.clone());

@@ -1,0 +1,121 @@
+//! String-pattern strategies: `"[a-z][a-z0-9_]{0,6}"`-style regexes.
+//!
+//! Real proptest accepts full regexes; the workspace only uses
+//! sequences of character classes with optional `{m,n}` repetition, so
+//! that is what the shim parses.  Literal characters outside a class
+//! are also supported.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Unit {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Unit> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = if chars[i] == '[' {
+            let mut set = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                // `a-z` range (a `-` just before `]` is a literal).
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    assert!(lo <= hi, "bad class range in pattern {pat:?}");
+                    set.extend((lo..=hi).filter(char::is_ascii));
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(i < chars.len(), "unterminated class in pattern {pat:?}");
+            i += 1; // consume ']'
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional {n} / {m,n} repetition.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pat:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition min"),
+                    n.trim().parse().expect("repetition max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty(), "empty class in pattern {pat:?}");
+        units.push(Unit {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    units
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for u in parse_pattern(self) {
+            let n = u.min + rng.below((u.max - u.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(u.chars[rng.below(u.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_respect_classes_and_lengths() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!((1..=7).contains(&s.len()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_dash_and_specials() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..100 {
+            let s = "[a-c%_-]{1,4}".generate(&mut rng);
+            assert!(s.chars().all(|c| "abc%_-".contains(c)), "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Deterministic RNG and case-count configuration for the shim.
+
+/// A splitmix64 generator: tiny, fast, and stable across platforms.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// The RNG for one test case: a fixed base perturbed by the case
+    /// index, so every case is reproducible in isolation.
+    pub fn for_case(case: u32) -> TestRng {
+        TestRng::new(0x9E37_79B9_7F4A_7C15 ^ (u64::from(case).wrapping_mul(0x2545_F491_4F6C_DD1D)))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Cases per property test: `PROPTEST_CASES` env override, default 64.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}

@@ -296,10 +296,7 @@ impl Database {
 /// An equality comparison of an indexed column against a literal (at the
 /// top level or on the left spine of ANDs) short-circuits to an index
 /// probe; everything else scans.
-fn candidate_rows(
-    t: &Table,
-    where_: Option<&Pred>,
-) -> Result<(Vec<usize>, usize, bool), SqlError> {
+fn candidate_rows(t: &Table, where_: Option<&Pred>) -> Result<(Vec<usize>, usize, bool), SqlError> {
     validate_pred_columns(t, where_)?;
     if let Some(p) = where_ {
         if let Some((col, val)) = index_probe(t, p) {
@@ -417,13 +414,11 @@ fn eval_pred(p: &Pred, t: &Table, row: &Row) -> Option<bool> {
             let ci = t.schema.column_index(c)?;
             Some(!row[ci].is_null())
         }
-        Pred::And(a, b) => {
-            match (eval_pred(a, t, row), eval_pred(b, t, row)) {
-                (Some(false), _) | (_, Some(false)) => Some(false),
-                (Some(true), Some(true)) => Some(true),
-                _ => None,
-            }
-        }
+        Pred::And(a, b) => match (eval_pred(a, t, row), eval_pred(b, t, row)) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
         Pred::Or(a, b) => match (eval_pred(a, t, row), eval_pred(b, t, row)) {
             (Some(true), _) | (_, Some(true)) => Some(true),
             (Some(false), Some(false)) => Some(false),
@@ -439,9 +434,7 @@ fn like_match(pattern: &str, value: &str) -> bool {
     fn rec(p: &[char], v: &[char]) -> bool {
         match p.split_first() {
             None => v.is_empty(),
-            Some(('%', rest)) => {
-                (0..=v.len()).any(|i| rec(rest, &v[i..]))
-            }
+            Some(('%', rest)) => (0..=v.len()).any(|i| rec(rest, &v[i..])),
             Some(('_', rest)) => !v.is_empty() && rec(rest, &v[1..]),
             Some((c, rest)) => {
                 v.first().is_some_and(|x| x.eq_ignore_ascii_case(c)) && rec(rest, &v[1..])
@@ -563,7 +556,9 @@ mod tests {
             .execute("UPDATE cpu SET load = 9.9 WHERE site = 'uc'")
             .unwrap();
         assert_eq!(r.affected, 2);
-        let r = d.execute("SELECT COUNT(*) FROM cpu WHERE load = 9.9").unwrap();
+        let r = d
+            .execute("SELECT COUNT(*) FROM cpu WHERE load = 9.9")
+            .unwrap();
         assert_eq!(r.rows[0][0], SqlValue::Int(2));
         let r = d.execute("DELETE FROM cpu WHERE site = 'anl'").unwrap();
         assert_eq!(r.affected, 3);
@@ -623,10 +618,7 @@ mod tests {
     #[test]
     fn wire_size_grows_with_rows() {
         let mut d = db();
-        let small = d
-            .execute("SELECT * FROM cpu LIMIT 1")
-            .unwrap()
-            .wire_size();
+        let small = d.execute("SELECT * FROM cpu LIMIT 1").unwrap().wire_size();
         let big = d.execute("SELECT * FROM cpu").unwrap().wire_size();
         assert!(big > small);
     }

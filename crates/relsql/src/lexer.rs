@@ -178,13 +178,15 @@ pub fn lex_sql(input: &str) -> Result<Vec<Tok>, SqlLexError> {
                 }
                 let text = &input[start..i];
                 if is_real {
-                    out.push(Tok::Real(text.parse().map_err(|e| {
-                        SqlLexError(format!("bad real {text:?}: {e}"))
-                    })?));
+                    out.push(Tok::Real(
+                        text.parse()
+                            .map_err(|e| SqlLexError(format!("bad real {text:?}: {e}")))?,
+                    ));
                 } else {
-                    out.push(Tok::Int(text.parse().map_err(|e| {
-                        SqlLexError(format!("bad int {text:?}: {e}"))
-                    })?));
+                    out.push(Tok::Int(
+                        text.parse()
+                            .map_err(|e| SqlLexError(format!("bad int {text:?}: {e}")))?,
+                    ));
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -196,7 +198,11 @@ pub fn lex_sql(input: &str) -> Result<Vec<Tok>, SqlLexError> {
                 }
                 out.push(Tok::Word(input[start..i].to_string()));
             }
-            _ => return Err(SqlLexError(format!("unexpected character {c:?} at byte {i}"))),
+            _ => {
+                return Err(SqlLexError(format!(
+                    "unexpected character {c:?} at byte {i}"
+                )))
+            }
         }
     }
     Ok(out)

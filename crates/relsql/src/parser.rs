@@ -174,9 +174,7 @@ impl P {
                 "int" | "integer" | "bigint" => ColType::Int,
                 "real" | "float" | "double" => ColType::Real,
                 "text" | "varchar" | "char" | "string" => ColType::Text,
-                other => {
-                    return Err(SqlParseError(format!("unknown column type {other:?}")))
-                }
+                other => return Err(SqlParseError(format!("unknown column type {other:?}"))),
             };
             if self.eat_kw("PRIMARY") {
                 self.expect_kw("KEY")?;
@@ -437,10 +435,9 @@ mod tests {
 
     #[test]
     fn parse_create() {
-        let s = parse_stmt(
-            "CREATE TABLE producers (url TEXT PRIMARY KEY, tablename TEXT, host TEXT)",
-        )
-        .unwrap();
+        let s =
+            parse_stmt("CREATE TABLE producers (url TEXT PRIMARY KEY, tablename TEXT, host TEXT)")
+                .unwrap();
         match s {
             Stmt::CreateTable {
                 name,
@@ -535,12 +532,18 @@ mod tests {
     fn predicate_precedence_and_not() {
         // a=1 OR b=2 AND c=3  =>  a=1 OR (b=2 AND c=3)
         let s = parse_stmt("SELECT * FROM t WHERE a=1 OR b=2 AND c=3").unwrap();
-        let Stmt::Select { where_: Some(p), .. } = s else {
+        let Stmt::Select {
+            where_: Some(p), ..
+        } = s
+        else {
             panic!()
         };
         assert!(matches!(p, Pred::Or(_, ref rhs) if matches!(**rhs, Pred::And(_, _))));
         let s = parse_stmt("SELECT * FROM t WHERE NOT a = 1").unwrap();
-        let Stmt::Select { where_: Some(p), .. } = s else {
+        let Stmt::Select {
+            where_: Some(p), ..
+        } = s
+        else {
             panic!()
         };
         assert!(matches!(p, Pred::Not(_)));
@@ -549,7 +552,10 @@ mod tests {
     #[test]
     fn column_to_column_comparison() {
         let s = parse_stmt("SELECT * FROM t WHERE a < b").unwrap();
-        let Stmt::Select { where_: Some(p), .. } = s else {
+        let Stmt::Select {
+            where_: Some(p), ..
+        } = s
+        else {
             panic!()
         };
         assert_eq!(

@@ -295,10 +295,7 @@ mod tests {
         t.insert(row("a", 1.0)).unwrap();
         t.insert(row("b", 2.0)).unwrap();
         assert_eq!(t.len(), 2);
-        let hosts: Vec<&str> = t
-            .iter()
-            .map(|(_, r)| r[0].as_text().unwrap())
-            .collect();
+        let hosts: Vec<&str> = t.iter().map(|(_, r)| r[0].as_text().unwrap()).collect();
         assert_eq!(hosts, vec!["a", "b"]);
     }
 
@@ -385,7 +382,9 @@ mod tests {
             .unwrap()
             .is_empty());
         assert_eq!(
-            t.index_lookup(0, &SqlValue::Text("c".into())).unwrap().len(),
+            t.index_lookup(0, &SqlValue::Text("c".into()))
+                .unwrap()
+                .len(),
             1
         );
     }

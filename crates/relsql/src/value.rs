@@ -137,10 +137,7 @@ mod tests {
             Some(Ordering::Less)
         );
         assert_eq!(SqlValue::Null.compare(&SqlValue::Int(1)), None);
-        assert_eq!(
-            SqlValue::Text("1".into()).compare(&SqlValue::Int(1)),
-            None
-        );
+        assert_eq!(SqlValue::Text("1".into()).compare(&SqlValue::Int(1)), None);
     }
 
     #[test]
@@ -160,11 +157,15 @@ mod tests {
             }
         }
         assert_eq!(
-            SqlValue::Null.sort_key().total_cmp(&SqlValue::Int(0).sort_key()),
+            SqlValue::Null
+                .sort_key()
+                .total_cmp(&SqlValue::Int(0).sort_key()),
             Ordering::Less
         );
         assert_eq!(
-            SqlValue::Int(9).sort_key().total_cmp(&SqlValue::Text("a".into()).sort_key()),
+            SqlValue::Int(9)
+                .sort_key()
+                .total_cmp(&SqlValue::Text("a".into()).sort_key()),
             Ordering::Less
         );
     }

@@ -11,10 +11,9 @@ fn reference_like(pattern: &str, value: &str) -> bool {
             None => v.is_empty(),
             Some(b'%') => (0..=v.len()).any(|i| rec(&p[1..], &v[i..])),
             Some(b'_') => !v.is_empty() && rec(&p[1..], &v[1..]),
-            Some(c) => v
-                .first()
-                .is_some_and(|x| x.eq_ignore_ascii_case(c))
-                && rec(&p[1..], &v[1..]),
+            Some(c) => {
+                v.first().is_some_and(|x| x.eq_ignore_ascii_case(c)) && rec(&p[1..], &v[1..])
+            }
         }
     }
     rec(pattern.as_bytes(), value.as_bytes())

@@ -85,10 +85,7 @@ impl CompositeProducer {
                 .unwrap_or("?")
                 .to_string();
             let value = row.get(1).and_then(|v| v.as_number()).unwrap_or(0.0);
-            let seq = row
-                .get(2)
-                .and_then(|v| v.as_number())
-                .unwrap_or(0.0) as i64;
+            let seq = row.get(2).and_then(|v| v.as_number()).unwrap_or(0.0) as i64;
             let key = format!("{source_id}:{entity}");
             let table = &self.table;
             let _ = self
@@ -245,7 +242,12 @@ mod tests {
             topo.connect(n, client, 100e6, simcore::SimDuration::from_millis(1));
             ps_nodes.push(n);
         }
-        topo.connect(client, agg_node, 100e6, simcore::SimDuration::from_millis(1));
+        topo.connect(
+            client,
+            agg_node,
+            100e6,
+            simcore::SimDuration::from_millis(1),
+        );
         let reg_node = topo.add_node("registry", 2, 1.0);
         for &n in ps_nodes.iter().chain([&agg_node, &client]) {
             topo.connect(reg_node, n, 100e6, simcore::SimDuration::from_millis(1));

@@ -25,8 +25,16 @@ pub struct ProducerSpec {
 /// metric tables, one per producer.
 pub fn default_producers(site: &str, n: usize) -> Vec<ProducerSpec> {
     let kinds = [
-        "cpuload", "memory", "disk", "network", "processes", "jobs",
-        "queue", "bandwidth", "latency", "services",
+        "cpuload",
+        "memory",
+        "disk",
+        "network",
+        "processes",
+        "jobs",
+        "queue",
+        "bandwidth",
+        "latency",
+        "services",
     ];
     (0..n)
         .map(|i| {

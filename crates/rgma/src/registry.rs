@@ -205,7 +205,11 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        assert!(reply.downcast::<ProducerList>().unwrap().producers.is_empty());
+        assert!(reply
+            .downcast::<ProducerList>()
+            .unwrap()
+            .producers
+            .is_empty());
         assert_eq!(reg.lookups, 2);
     }
 
@@ -215,6 +219,11 @@ mod tests {
     ) -> SvcCx<'a> {
         // SvcCx fields are crate-private in simnet; go through the public
         // test constructor.
-        SvcCx::for_tests(simcore::SimTime::ZERO, simcore::slab::SlabKey::NULL, rng, actions)
+        SvcCx::for_tests(
+            simcore::SimTime::ZERO,
+            simcore::slab::SlabKey::NULL,
+            rng,
+            actions,
+        )
     }
 }

@@ -97,7 +97,9 @@ impl ProducerServlet {
     /// Publish one round of tuples for producer `i` (LatestProducer
     /// semantics: one current row per entity).
     fn publish(&mut self, i: usize) {
-        let Some(p) = self.producers.get(i) else { return };
+        let Some(p) = self.producers.get(i) else {
+            return;
+        };
         let table = p.table.clone();
         let entities = p.entities;
         self.publish_seq += 1;
@@ -105,9 +107,9 @@ impl ProducerServlet {
         for e in 0..entities {
             let val = ((seq * 37 + e as u64 * 11) % 1000) as f64 / 10.0;
             // Upsert: delete + insert (LatestProducer keeps the newest).
-            let _ = self.db.execute(&format!(
-                "DELETE FROM {table} WHERE entity = 'e{e}'"
-            ));
+            let _ = self
+                .db
+                .execute(&format!("DELETE FROM {table} WHERE entity = 'e{e}'"));
             self.db
                 .execute(&format!(
                     "INSERT INTO {table} VALUES ('e{e}', {val}, {seq})"
@@ -230,7 +232,9 @@ impl Service for ProducerServlet {
             }
             for i in 0..self.producers.len() {
                 cx.set_timer(
-                    self.producers[i].publish_period.mul_f64(0.1 + 0.8 * (i as f64 / self.producers.len().max(1) as f64)),
+                    self.producers[i]
+                        .publish_period
+                        .mul_f64(0.1 + 0.8 * (i as f64 / self.producers.len().max(1) as f64)),
                     TIMER_PUBLISH | i as u64,
                 );
             }
@@ -252,17 +256,11 @@ impl Service for ProducerServlet {
             let table = sub.table.clone();
             let sink = sub.sink;
             let period = sub.period;
-            let r = self
-                .db
-                .execute(&format!("SELECT * FROM {table}"))
-                .ok();
+            let r = self.db.execute(&format!("SELECT * FROM {table}")).ok();
             let rows = r.map(|r| r.rows).unwrap_or_default();
             if !rows.is_empty() {
                 self.stream_batches += 1;
-                let msg = RgmaMsg::Stream {
-                    table,
-                    rows,
-                };
+                let msg = RgmaMsg::Stream { table, rows };
                 let bytes = msg.wire_size();
                 cx.send_oneway(sink, msg, bytes);
             }
@@ -445,7 +443,9 @@ impl Service for TupleSink {
             if let RgmaMsg::Stream { rows, .. } = *msg {
                 self.batches += 1;
                 self.tuples += rows.len() as u64;
-                return Plan::new().cpu(500.0 + 50.0 * self.tuples.min(100) as f64).done();
+                return Plan::new()
+                    .cpu(500.0 + 50.0 * self.tuples.min(100) as f64)
+                    .done();
             }
         }
         Plan::new().done()
@@ -460,9 +460,9 @@ impl Service for TupleSink {
 mod tests {
     use super::*;
     use crate::producer::default_producers;
-    use simcore::SimTime;
     use crate::registry::Registry;
     use simcore::Engine;
+    use simcore::SimTime;
     use simnet::{
         Client, ClientCx, Eng, Net, NodeId, ReqOutcome, ReqResult, RequestSpec, ServiceConfig,
         StatsHub, Topology,
@@ -610,7 +610,11 @@ mod tests {
         // LatestProducer semantics: row count stays at the entity count
         // however many publish rounds have passed.
         assert_eq!(servlet.table_rows("cpuload"), 8);
-        assert!(servlet.tuples_published > 80, "published {}", servlet.tuples_published);
+        assert!(
+            servlet.tuples_published > 80,
+            "published {}",
+            servlet.tuples_published
+        );
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! The unit of schedulable work: one experiment point, figure or
+//! extension, self-contained and deterministic.
+//!
+//! A [`Job`] carries everything the pool needs: how to run the point
+//! ([`Job::run`]), a stable textual identity ([`Job::key`]), the seed it
+//! executes under ([`Job::seed`]), and a content address for the result
+//! cache ([`Job::cache_digest`]).  Results round-trip through the cache
+//! bit-exactly via [`Job::encode`]/[`Job::decode`].
+
+use gridmon_core::ext::{self, OpenLoopPoint, WanPoint, WAN_CASES};
+use gridmon_core::figures::PointSpec;
+use gridmon_core::mapping::System;
+use gridmon_core::runcfg::{Measurement, RunConfig};
+use gridmon_core::stablehash::digest128;
+use std::collections::BTreeMap;
+
+/// Cache schema version: bump when the encoded record or the digest
+/// recipe changes, so stale files can never be misread.
+const CACHE_SCHEMA: &str = "gridmon-cache-v1";
+
+/// One extension-study point (the Section-4 future-work studies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExtPoint {
+    /// Directory-server experiment under [`WAN_CASES`]`[case]`.
+    Wan { users: u32, case: usize },
+    /// Flat aggregation baseline: one GIIS over `n` GRISes.
+    HierFlat { n: u32 },
+    /// Two-level aggregation: `n` GRISes over `branches` mid GIISes.
+    HierTree { n: u32, branches: usize },
+    /// Direct query of the owning GRIS.
+    AggDirect { users: u32 },
+    /// The same information via the aggregating GIIS.
+    AggViaGiis { users: u32 },
+    /// Poisson open-loop arrivals at the ProducerServlet.
+    OpenLoop { rate: f64 },
+    /// R-GMA composite producer over `sources` site servlets.
+    Composite { sources: u32 },
+}
+
+/// A schedulable experiment point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Job {
+    /// One `(series, x)` point of experiment sets 1-4.
+    Figure(PointSpec),
+    /// One extension-study point.
+    Ext(ExtPoint),
+}
+
+/// What a job produced.  `Measurement` for figure and most extension
+/// points; the WAN and open-loop studies report richer records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    Measurement(Measurement),
+    Wan(WanPoint),
+    OpenLoop(OpenLoopPoint),
+}
+
+impl JobOutput {
+    /// The underlying measurement, if this output carries one.
+    pub fn measurement(&self) -> Option<Measurement> {
+        match self {
+            JobOutput::Measurement(m) => Some(*m),
+            JobOutput::Wan(w) => Some(w.m),
+            JobOutput::OpenLoop(_) => None,
+        }
+    }
+}
+
+impl Job {
+    /// Stable textual identity: drives progress display and, with the
+    /// seed and parameter fingerprint, the cache address.
+    pub fn key(&self) -> String {
+        match *self {
+            Job::Figure(spec) => spec.key(),
+            Job::Ext(ExtPoint::Wan { users, case }) => {
+                format!("ext/wan/{}/users={users}", WAN_CASES[case].0)
+            }
+            Job::Ext(ExtPoint::HierFlat { n }) => format!("ext/hier-flat/n={n}"),
+            Job::Ext(ExtPoint::HierTree { n, branches }) => {
+                format!("ext/hier-tree/n={n}/branches={branches}")
+            }
+            Job::Ext(ExtPoint::AggDirect { users }) => format!("ext/agg-direct/users={users}"),
+            Job::Ext(ExtPoint::AggViaGiis { users }) => format!("ext/agg-giis/users={users}"),
+            Job::Ext(ExtPoint::OpenLoop { rate }) => format!("ext/open-loop/rate={rate}"),
+            Job::Ext(ExtPoint::Composite { sources }) => {
+                format!("ext/composite/sources={sources}")
+            }
+        }
+    }
+
+    /// The system under test — selects which calibrated parameters are
+    /// part of this job's cache identity (see [`gridmon_core::params::Params::fingerprint`]).
+    pub fn system(&self) -> System {
+        match *self {
+            Job::Figure(spec) => spec.series.system(),
+            Job::Ext(
+                ExtPoint::Wan { .. }
+                | ExtPoint::HierFlat { .. }
+                | ExtPoint::HierTree { .. }
+                | ExtPoint::AggDirect { .. }
+                | ExtPoint::AggViaGiis { .. },
+            ) => System::Mds,
+            Job::Ext(ExtPoint::OpenLoop { .. } | ExtPoint::Composite { .. }) => System::Rgma,
+        }
+    }
+
+    /// The seed this job executes under.  Figure points derive a
+    /// per-point seed from the sweep's base seed (independent streams;
+    /// order-invariant results); extension points run with the base
+    /// configuration as given, matching the sequential study functions.
+    pub fn seed(&self, cfg: &RunConfig) -> u64 {
+        match *self {
+            Job::Figure(spec) => spec.derived_seed(cfg.seed),
+            Job::Ext(_) => cfg.seed,
+        }
+    }
+
+    /// Execute the point.  Pure in `(self, cfg)`: the same job under the
+    /// same configuration yields an identical output on any thread.
+    pub fn run(&self, cfg: &RunConfig) -> JobOutput {
+        match *self {
+            Job::Figure(spec) => JobOutput::Measurement(spec.run(cfg)),
+            Job::Ext(ExtPoint::Wan { users, case }) => {
+                JobOutput::Wan(ext::wan_point(cfg, users, case))
+            }
+            Job::Ext(ExtPoint::HierFlat { n }) => {
+                JobOutput::Measurement(ext::hierarchy_flat_point(cfg, n))
+            }
+            Job::Ext(ExtPoint::HierTree { n, branches }) => {
+                JobOutput::Measurement(ext::hierarchy_tree_point(cfg, n, branches))
+            }
+            Job::Ext(ExtPoint::AggDirect { users }) => {
+                use gridmon_core::experiments::{set1, Set1Series};
+                JobOutput::Measurement(set1::run_point(Set1Series::GrisCache, users, cfg))
+            }
+            Job::Ext(ExtPoint::AggViaGiis { users }) => {
+                use gridmon_core::experiments::{set2, Set2Series};
+                JobOutput::Measurement(set2::run_point(Set2Series::Giis, users, cfg))
+            }
+            Job::Ext(ExtPoint::OpenLoop { rate }) => {
+                JobOutput::OpenLoop(ext::open_loop_point(cfg, rate))
+            }
+            Job::Ext(ExtPoint::Composite { sources }) => {
+                JobOutput::Measurement(ext::composite_study(cfg, sources))
+            }
+        }
+    }
+
+    /// Content address of this job's result under `cfg`: a stable hash
+    /// of everything the outcome depends on — schema version, point
+    /// identity, effective seed, measurement discipline, and the
+    /// calibrated parameters scoped to this job's system.  Editing one
+    /// system's constants therefore re-runs only that system's points.
+    pub fn cache_digest(&self, cfg: &RunConfig) -> String {
+        let material = format!(
+            "{CACHE_SCHEMA}\n{key}\nseed={seed}\nwarmup_us={wu}\nwindow_us={wi}\n{params}",
+            key = self.key(),
+            seed = self.seed(cfg),
+            wu = cfg.warmup.as_micros(),
+            wi = cfg.window.as_micros(),
+            params = cfg.params.fingerprint(self.system()),
+        );
+        digest128(material.as_bytes())
+    }
+
+    /// Serialize an output as `(name, value)` fields.  Floats are stored
+    /// as IEEE-754 bit patterns (`f:<16 hex>`) so the round-trip is
+    /// bit-exact; counters as `u:<decimal>`.
+    pub fn encode(out: &JobOutput) -> Vec<(&'static str, String)> {
+        fn f(v: f64) -> String {
+            format!("f:{:016x}", v.to_bits())
+        }
+        fn u(v: u64) -> String {
+            format!("u:{v}")
+        }
+        fn measurement_fields(m: &Measurement) -> Vec<(&'static str, String)> {
+            vec![
+                ("x", f(m.x)),
+                ("throughput", f(m.throughput)),
+                ("response_time", f(m.response_time)),
+                ("load1", f(m.load1)),
+                ("cpu_load", f(m.cpu_load)),
+                ("refused", u(m.refused)),
+                ("completions", u(m.completions)),
+            ]
+        }
+        match out {
+            JobOutput::Measurement(m) => {
+                let mut v = vec![("kind", "measurement".to_string())];
+                v.extend(measurement_fields(m));
+                v
+            }
+            // The WAN label/link columns are a pure function of the case
+            // index (part of the job identity), so only the measurement
+            // is stored; `decode` reconstructs the rest.
+            JobOutput::Wan(w) => {
+                let mut v = vec![("kind", "wan".to_string())];
+                v.extend(measurement_fields(&w.m));
+                v
+            }
+            JobOutput::OpenLoop(p) => vec![
+                ("kind", "openloop".to_string()),
+                ("offered_per_sec", f(p.offered_per_sec)),
+                ("completed_per_sec", f(p.completed_per_sec)),
+                ("lost_per_sec", f(p.lost_per_sec)),
+                ("response_time", f(p.response_time)),
+            ],
+        }
+    }
+
+    /// Reconstruct an output from cached fields.  Returns `None` on any
+    /// mismatch (wrong kind for this job, missing/garbled field) — the
+    /// caller then falls back to executing the point.
+    pub fn decode(&self, fields: &BTreeMap<String, String>) -> Option<JobOutput> {
+        fn f(fields: &BTreeMap<String, String>, name: &str) -> Option<f64> {
+            let bits = fields.get(name)?.strip_prefix("f:")?;
+            Some(f64::from_bits(u64::from_str_radix(bits, 16).ok()?))
+        }
+        fn u(fields: &BTreeMap<String, String>, name: &str) -> Option<u64> {
+            fields.get(name)?.strip_prefix("u:")?.parse().ok()
+        }
+        fn measurement(fields: &BTreeMap<String, String>) -> Option<Measurement> {
+            Some(Measurement {
+                x: f(fields, "x")?,
+                throughput: f(fields, "throughput")?,
+                response_time: f(fields, "response_time")?,
+                load1: f(fields, "load1")?,
+                cpu_load: f(fields, "cpu_load")?,
+                refused: u(fields, "refused")?,
+                completions: u(fields, "completions")?,
+            })
+        }
+        let kind = fields.get("kind")?.as_str();
+        match (*self, kind) {
+            (Job::Ext(ExtPoint::Wan { case, .. }), "wan") => {
+                let (label, bps, lat_ms) = WAN_CASES[case];
+                Some(JobOutput::Wan(WanPoint {
+                    label: label.to_string(),
+                    wan_mbps: bps / 1e6,
+                    wan_latency_ms: lat_ms,
+                    m: measurement(fields)?,
+                }))
+            }
+            (Job::Ext(ExtPoint::OpenLoop { .. }), "openloop") => {
+                Some(JobOutput::OpenLoop(OpenLoopPoint {
+                    offered_per_sec: f(fields, "offered_per_sec")?,
+                    completed_per_sec: f(fields, "completed_per_sec")?,
+                    lost_per_sec: f(fields, "lost_per_sec")?,
+                    response_time: f(fields, "response_time")?,
+                }))
+            }
+            (
+                Job::Figure(_)
+                | Job::Ext(
+                    ExtPoint::HierFlat { .. }
+                    | ExtPoint::HierTree { .. }
+                    | ExtPoint::AggDirect { .. }
+                    | ExtPoint::AggViaGiis { .. }
+                    | ExtPoint::Composite { .. },
+                ),
+                "measurement",
+            ) => Some(JobOutput::Measurement(measurement(fields)?)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmon_core::figures::enumerate_set;
+
+    fn roundtrip(job: &Job, out: &JobOutput) -> JobOutput {
+        let fields: BTreeMap<String, String> = Job::encode(out)
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        job.decode(&fields).expect("decode what encode produced")
+    }
+
+    #[test]
+    fn outputs_roundtrip_bit_exactly() {
+        let m = Measurement {
+            x: 50.0,
+            throughput: 12.345_678_901,
+            response_time: 0.1 + 0.2, // a value with an inexact decimal form
+            load1: f64::MIN_POSITIVE,
+            cpu_load: 99.999_999,
+            refused: 7,
+            completions: 123_456,
+        };
+        let fig = Job::Figure(enumerate_set(1, 1.0).unwrap()[0]);
+        assert_eq!(
+            roundtrip(&fig, &JobOutput::Measurement(m)),
+            JobOutput::Measurement(m)
+        );
+
+        let wan = Job::Ext(ExtPoint::Wan {
+            users: 100,
+            case: 2,
+        });
+        let wp = JobOutput::Wan(WanPoint {
+            label: WAN_CASES[2].0.to_string(),
+            wan_mbps: WAN_CASES[2].1 / 1e6,
+            wan_latency_ms: WAN_CASES[2].2,
+            m,
+        });
+        assert_eq!(roundtrip(&wan, &wp), wp);
+
+        let ol = Job::Ext(ExtPoint::OpenLoop { rate: 15.0 });
+        let op = JobOutput::OpenLoop(OpenLoopPoint {
+            offered_per_sec: 15.0,
+            completed_per_sec: 14.2,
+            lost_per_sec: 0.8,
+            response_time: 0.3,
+        });
+        assert_eq!(roundtrip(&ol, &op), op);
+    }
+
+    #[test]
+    fn decode_rejects_kind_mismatch() {
+        let fields: BTreeMap<String, String> =
+            Job::encode(&JobOutput::Measurement(Measurement::default()))
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+        let ol = Job::Ext(ExtPoint::OpenLoop { rate: 5.0 });
+        assert_eq!(ol.decode(&fields), None);
+    }
+
+    #[test]
+    fn digests_separate_points_seeds_and_params() {
+        let cfg = RunConfig::quick(1);
+        let specs = enumerate_set(1, 1.0).unwrap();
+        let a = Job::Figure(specs[0]);
+        let b = Job::Figure(specs[1]);
+        assert_ne!(a.cache_digest(&cfg), b.cache_digest(&cfg));
+
+        let mut cfg2 = cfg;
+        cfg2.seed = 2;
+        assert_ne!(a.cache_digest(&cfg), a.cache_digest(&cfg2));
+
+        // Editing a Hawkeye constant must not disturb an MDS point's
+        // address...
+        let mut hawk = cfg;
+        hawk.params.condor_client_cpu_us += 1.0;
+        assert_eq!(a.system(), System::Mds);
+        assert_eq!(a.cache_digest(&cfg), a.cache_digest(&hawk));
+        // ...but a shared WAN constant invalidates it.
+        let mut wan = cfg;
+        wan.params.wan_bps *= 2.0;
+        assert_ne!(a.cache_digest(&cfg), a.cache_digest(&wan));
+    }
+
+    #[test]
+    fn ext_jobs_keep_the_base_seed() {
+        let cfg = RunConfig::quick(42);
+        let job = Job::Ext(ExtPoint::Composite { sources: 5 });
+        assert_eq!(job.seed(&cfg), 42);
+        let fig = Job::Figure(enumerate_set(1, 1.0).unwrap()[0]);
+        assert_ne!(fig.seed(&cfg), 42);
+    }
+}

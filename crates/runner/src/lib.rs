@@ -1,0 +1,291 @@
+//! # gridmon-runner — parallel, cache-aware sweep execution
+//!
+//! The figure harness in `gridmon-core` expresses every sweep as a list
+//! of self-contained points (one `(series, x)` pair, or one extension
+//! study point).  This crate schedules those points across an in-tree
+//! work-stealing thread pool ([`pool`]) and memoizes their results in a
+//! content-addressed on-disk cache ([`cache`]), so that
+//!
+//! * `figures --jobs N` regenerates the paper's figures N-wide with
+//!   **byte-identical** output to the sequential runner — every point
+//!   derives its own seed from its identity, and results are assembled
+//!   in submission order, so neither worker count nor completion order
+//!   can influence a single output bit;
+//! * editing one system's calibrated parameters and re-running only
+//!   recomputes that system's series — every other point is served from
+//!   `results/.cache/` (see [`job::Job::cache_digest`]).
+//!
+//! Built on `std::thread` and channels only; no external dependencies.
+
+pub mod cache;
+pub mod job;
+pub mod pool;
+pub mod progress;
+
+pub use cache::DiskCache;
+pub use job::{ExtPoint, Job, JobOutput};
+
+use gridmon_core::figures::{assemble_set, enumerate_set, FigureError, SetData};
+use gridmon_core::runcfg::RunConfig;
+use progress::Reporter;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// How a sweep should be executed.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Result-cache directory; `None` disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// Suppress the per-point progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            jobs: 0,
+            cache_dir: Some(PathBuf::from("results/.cache")),
+            quiet: false,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// A sequential, cacheless, silent configuration — the baseline the
+    /// determinism tests compare against.
+    pub fn sequential() -> Self {
+        RunnerConfig {
+            jobs: 1,
+            cache_dir: None,
+            quiet: true,
+        }
+    }
+}
+
+/// What a sweep cost: how many points there were, how many actually
+/// executed vs came from the cache, and the wall-clock total.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepStats {
+    pub total: usize,
+    pub executed: usize,
+    pub cache_hits: usize,
+    pub wall: Duration,
+}
+
+/// Execute `jobs` under `cfg`: resolve cache hits first, run the misses
+/// across the thread pool, store fresh results back.  Outputs are
+/// returned in job order regardless of scheduling.
+pub fn run_jobs(jobs: &[Job], cfg: &RunConfig, rc: &RunnerConfig) -> (Vec<JobOutput>, SweepStats) {
+    let t0 = Instant::now();
+    let cache = rc.cache_dir.as_ref().map(DiskCache::new);
+    let mut reporter = Reporter::new(jobs.len(), !rc.quiet);
+
+    // Phase 1: satisfy what the cache already has, so a warm re-run
+    // executes nothing at all.
+    let digests: Vec<Option<String>> = jobs
+        .iter()
+        .map(|j| cache.as_ref().map(|_| j.cache_digest(cfg)))
+        .collect();
+    let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, j) in jobs.iter().enumerate() {
+        let cached = match (&cache, &digests[i]) {
+            (Some(c), Some(d)) => c.load(d).and_then(|fields| j.decode(&fields)),
+            _ => None,
+        };
+        match cached {
+            Some(out) => {
+                reporter.cache_hit(&j.key());
+                outputs[i] = Some(out);
+            }
+            None => misses.push(i),
+        }
+    }
+
+    // Phase 2: execute the misses.  The collector callback runs on this
+    // thread, so progress and cache writes need no synchronisation.
+    let fresh = pool::run_indexed(
+        &misses,
+        rc.jobs,
+        |&i| jobs[i].run(cfg),
+        |done| {
+            let i = misses[done.index];
+            reporter.finished(&jobs[i].key(), done.wall);
+            if let (Some(c), Some(d)) = (&cache, &digests[i]) {
+                c.store(d, &jobs[i].key(), &Job::encode(&done.result));
+            }
+        },
+    );
+    for (&i, out) in misses.iter().zip(fresh) {
+        outputs[i] = Some(out);
+    }
+
+    let stats = SweepStats {
+        total: jobs.len(),
+        executed: reporter.executed(),
+        cache_hits: reporter.cache_hits(),
+        wall: t0.elapsed(),
+    };
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("every job resolved by cache or pool"))
+        .collect();
+    (outputs, stats)
+}
+
+/// Run one experiment set through the pool — the parallel counterpart
+/// of [`gridmon_core::figures::run_set`], byte-identical to it for any
+/// worker count.
+pub fn run_set(
+    set: u32,
+    cfg: &RunConfig,
+    scale: f64,
+    rc: &RunnerConfig,
+) -> Result<(SetData, SweepStats), FigureError> {
+    let (mut sets, stats) = run_sets(&[set], cfg, scale, rc)?;
+    Ok((sets.pop().expect("one set in, one set out"), stats))
+}
+
+/// Run several experiment sets as one pooled job list, so work from a
+/// cheap set backfills idle workers while another set's expensive tail
+/// points finish.  Returned `SetData` are in the order of `sets`.
+pub fn run_sets(
+    sets: &[u32],
+    cfg: &RunConfig,
+    scale: f64,
+    rc: &RunnerConfig,
+) -> Result<(Vec<SetData>, SweepStats), FigureError> {
+    let mut specs_of_set = Vec::with_capacity(sets.len());
+    let mut jobs = Vec::new();
+    for &set in sets {
+        let specs = enumerate_set(set, scale)?;
+        jobs.extend(specs.iter().map(|&s| Job::Figure(s)));
+        specs_of_set.push((set, specs));
+    }
+    let (outputs, stats) = run_jobs(&jobs, cfg, rc);
+    let mut cursor = outputs.into_iter();
+    let data = specs_of_set
+        .into_iter()
+        .map(|(set, specs)| {
+            let results: Vec<_> = cursor
+                .by_ref()
+                .take(specs.len())
+                .map(|o| o.measurement().expect("figure jobs yield measurements"))
+                .collect();
+            assemble_set(set, &specs, &results)
+        })
+        .collect();
+    Ok((data, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridmon_core::figures;
+    use simcore::SimDuration;
+
+    /// A deliberately tiny configuration: the mechanisms on a very short
+    /// clock, so scheduling tests stay fast.
+    fn tiny_cfg(seed: u64) -> RunConfig {
+        let mut cfg = RunConfig::quick(seed);
+        cfg.warmup = SimDuration::from_secs(5);
+        cfg.window = SimDuration::from_secs(15);
+        cfg
+    }
+
+    fn scratch_cache(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gridmon-runner-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn parallel_equals_sequential_bit_for_bit() {
+        let cfg = tiny_cfg(7);
+        let scale = 0.02;
+        let seq = figures::run_set(1, &cfg, scale, None).unwrap();
+        for jobs in [2, 4] {
+            let rc = RunnerConfig {
+                jobs,
+                cache_dir: None,
+                quiet: true,
+            };
+            let (par, stats) = run_set(1, &cfg, scale, &rc).unwrap();
+            assert_eq!(stats.cache_hits, 0);
+            assert_eq!(stats.executed, stats.total);
+            assert_eq!(seq.series.len(), par.series.len());
+            for ((l1, m1), (l2, m2)) in seq.series.iter().zip(&par.series) {
+                assert_eq!(l1, l2);
+                for (a, b) in m1.iter().zip(m2) {
+                    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+                    assert_eq!(a.response_time.to_bits(), b.response_time.to_bits());
+                    assert_eq!(a.load1.to_bits(), b.load1.to_bits());
+                    assert_eq!(a.cpu_load.to_bits(), b.cpu_load.to_bits());
+                    assert_eq!((a.refused, a.completions), (b.refused, b.completions));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_executes_nothing_and_matches() {
+        let cfg = tiny_cfg(3);
+        let dir = scratch_cache("warm");
+        let rc = RunnerConfig {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+        };
+        let (cold, s1) = run_set(2, &cfg, 0.01, &rc).unwrap();
+        assert_eq!(s1.cache_hits, 0);
+        assert!(s1.executed > 0);
+        let (warm, s2) = run_set(2, &cfg, 0.01, &rc).unwrap();
+        assert_eq!(
+            s2.executed, 0,
+            "warm run must be served entirely from cache"
+        );
+        assert_eq!(s2.cache_hits, s1.total);
+        for ((_, m1), (_, m2)) in cold.series.iter().zip(&warm.series) {
+            for (a, b) in m1.iter().zip(m2) {
+                assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+                assert_eq!(a.response_time.to_bits(), b.response_time.to_bits());
+            }
+        }
+        // A different seed addresses different cache entries.
+        let cfg2 = tiny_cfg(4);
+        let (_, s3) = run_set(2, &cfg2, 0.01, &rc).unwrap();
+        assert_eq!(s3.cache_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn multi_set_scheduling_preserves_per_set_results() {
+        let cfg = tiny_cfg(11);
+        let rc = RunnerConfig {
+            jobs: 3,
+            cache_dir: None,
+            quiet: true,
+        };
+        let (both, _) = run_sets(&[1, 3], &cfg, 0.01, &rc).unwrap();
+        assert_eq!(both.len(), 2);
+        assert_eq!(both[0].set, 1);
+        assert_eq!(both[1].set, 3);
+        let (alone, _) = run_set(3, &cfg, 0.01, &rc).unwrap();
+        for ((l1, m1), (l2, m2)) in alone.series.iter().zip(&both[1].series) {
+            assert_eq!(l1, l2);
+            for (a, b) in m1.iter().zip(m2) {
+                assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_set_is_reported_not_panicked() {
+        let rc = RunnerConfig::sequential();
+        let err = run_set(9, &tiny_cfg(1), 1.0, &rc).unwrap_err();
+        assert_eq!(err, FigureError::UnknownSet(9));
+    }
+}

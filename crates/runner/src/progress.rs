@@ -1,0 +1,116 @@
+//! Sweep progress reporting: per-point wall time, completion counter
+//! and a wall-clock ETA, written to stderr so stdout stays clean for
+//! tables and CSV.
+
+use std::time::{Duration, Instant};
+
+/// Tracks and prints sweep progress.  With `enabled == false` it only
+/// accumulates the counters (used by the library API to build
+/// [`SweepStats`](crate::SweepStats) without console noise).
+pub struct Reporter {
+    total: usize,
+    done: usize,
+    hits: usize,
+    executed: usize,
+    started: Instant,
+    enabled: bool,
+}
+
+impl Reporter {
+    pub fn new(total: usize, enabled: bool) -> Reporter {
+        Reporter {
+            total,
+            done: 0,
+            hits: 0,
+            executed: 0,
+            started: Instant::now(),
+            enabled,
+        }
+    }
+
+    /// A point was satisfied from the cache.
+    pub fn cache_hit(&mut self, key: &str) {
+        self.done += 1;
+        self.hits += 1;
+        if self.enabled {
+            eprintln!("[{:>4}/{}] {key}  (cached)", self.done, self.total);
+        }
+    }
+
+    /// A point finished executing after `wall` of real time.
+    pub fn finished(&mut self, key: &str, wall: Duration) {
+        self.done += 1;
+        self.executed += 1;
+        if self.enabled {
+            let eta = match self.eta() {
+                Some(eta) => format!("  ETA {}", fmt_duration(eta)),
+                None => String::new(),
+            };
+            eprintln!(
+                "[{:>4}/{}] {key}  {}{eta}",
+                self.done,
+                self.total,
+                fmt_duration(wall),
+            );
+        }
+    }
+
+    /// Estimated wall-clock time to finish the remaining points, from
+    /// the observed aggregate completion rate.  Because the rate is
+    /// measured against real elapsed time, parallelism is accounted for
+    /// automatically.
+    fn eta(&self) -> Option<Duration> {
+        let remaining = self.total - self.done;
+        if remaining == 0 || self.executed == 0 {
+            return None;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        if elapsed <= 0.0 {
+            return None;
+        }
+        let rate = self.executed as f64 / elapsed;
+        Some(Duration::from_secs_f64(remaining as f64 / rate))
+    }
+
+    pub fn cache_hits(&self) -> usize {
+        self.hits
+    }
+
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+}
+
+/// `93s -> "1m33s"`, `2.34s -> "2.3s"`, `120ms -> "0.1s"`.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 60.0 {
+        format!("{}m{:02}s", (s / 60.0) as u64, (s % 60.0) as u64)
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_compactly() {
+        assert_eq!(fmt_duration(Duration::from_millis(120)), "0.1s");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(2.34)), "2.3s");
+        assert_eq!(fmt_duration(Duration::from_secs(93)), "1m33s");
+        assert_eq!(fmt_duration(Duration::from_secs(3600)), "60m00s");
+    }
+
+    #[test]
+    fn counters_accumulate_quietly() {
+        let mut r = Reporter::new(3, false);
+        r.cache_hit("a");
+        r.finished("b", Duration::from_millis(5));
+        r.finished("c", Duration::from_millis(5));
+        assert_eq!(r.cache_hits(), 1);
+        assert_eq!(r.executed(), 2);
+        assert_eq!(r.done, 3);
+    }
+}

@@ -142,7 +142,9 @@ impl FlowNet {
             }
         }
         if best.is_finite() {
-            Some(SimTime(now.as_micros().saturating_add((best.ceil() as u64).max(1))))
+            Some(SimTime(
+                now.as_micros().saturating_add((best.ceil() as u64).max(1)),
+            ))
         } else {
             None
         }
@@ -261,7 +263,7 @@ mod tests {
         let mut fnet = FlowNet::new();
         let _k1 = fnet.start(&t, SimTime(0), vec![l1], 500, 1); // 4000 bits
         let k2 = fnet.start(&t, SimTime(0), vec![l1], 1000, 2); // 8000 bits
-        // Shared at 4 each; flow 1 finishes at 1000µs.
+                                                                // Shared at 4 each; flow 1 finishes at 1000µs.
         let t1 = fnet.next_completion(SimTime(0)).unwrap();
         assert_eq!(t1, SimTime(1000));
         let done = fnet.advance(&t, t1);

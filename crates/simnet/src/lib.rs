@@ -37,9 +37,8 @@ pub mod topology;
 pub use client::{Client, ClientCx, ClientKey, ReqOutcome, ReqResult};
 pub use net::{Eng, Net, RequestSpec};
 pub use service::{
-    LockKey,
-    CallOutcome, Payload, Plan, Service, ServiceConfig, SetupCost, Step, SubCall, SvcAction,
-    SvcCx, SvcKey,
+    CallOutcome, LockKey, Payload, Plan, Service, ServiceConfig, SetupCost, Step, SubCall,
+    SvcAction, SvcCx, SvcKey,
 };
 pub use stats::StatsHub;
 pub use topology::{LinkId, NodeId, Topology};

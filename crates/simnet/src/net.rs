@@ -56,8 +56,14 @@ pub struct RequestSpec {
 
 /// Who is waiting for this request's outcome.
 enum Origin {
-    Client { key: ClientKey, tag: u64 },
-    Parent { req: ReqKey, index: u32 },
+    Client {
+        key: ClientKey,
+        tag: u64,
+    },
+    Parent {
+        req: ReqKey,
+        index: u32,
+    },
     /// Fire-and-forget one-way message.
     None,
 }
@@ -229,7 +235,9 @@ impl Net {
     /// Mutable access to a deployed service (for test setup and deployment
     /// wiring; never call this from inside that service's own callbacks).
     pub fn service_mut(&mut self, key: SvcKey) -> Option<&mut (dyn Service + 'static)> {
-        self.services.get_mut(key).and_then(|s| s.svc.as_mut().map(|b| b.as_mut()))
+        self.services
+            .get_mut(key)
+            .and_then(|s| s.svc.as_mut().map(|b| b.as_mut()))
     }
 
     /// Downcast a registered client to its concrete type (for inspecting
@@ -262,7 +270,11 @@ impl Net {
 
     /// Refused-connection count of a service (admission drops).
     pub fn service_refusals(&self, key: SvcKey) -> u64 {
-        self.services.get(key).expect("service").conns.rejected_total
+        self.services
+            .get(key)
+            .expect("service")
+            .conns
+            .rejected_total
     }
 
     /// Number of in-flight requests (diagnostics).
@@ -299,12 +311,7 @@ impl Net {
         tag: u64,
         spec: RequestSpec,
     ) {
-        let req = self.new_request(
-            Origin::Client { key: client, tag },
-            spec,
-            eng.now(),
-            false,
-        );
+        let req = self.new_request(Origin::Client { key: client, tag }, spec, eng.now(), false);
         self.start_syn(eng, req);
     }
 
@@ -746,7 +753,9 @@ impl Net {
         let Some(r) = self.requests.get_mut(parent) else {
             return;
         };
-        let PendingCalls { cont, mut outcomes, .. } = r.pending.take().expect("pending");
+        let PendingCalls {
+            cont, mut outcomes, ..
+        } = r.pending.take().expect("pending");
         outcomes.sort_by_key(|o| o.index);
         let to = r.to;
         let plan = self.with_service(eng, to, |svc, cx| svc.resume(cont, outcomes, cx));
@@ -763,9 +772,7 @@ impl Net {
             (r.to, r.from)
         };
         self.release_server_side(eng, req);
-        let latency = self
-            .topo
-            .one_way_latency(self.service_node(to), from);
+        let latency = self.topo.one_way_latency(self.service_node(to), from);
         eng.schedule_in(latency, move |net: &mut Net, eng| {
             net.deliver_response(eng, req)
         });
@@ -1043,7 +1050,9 @@ mod tests {
     impl Service for Echo {
         fn handle(&mut self, req: Payload, _cx: &mut SvcCx) -> Plan {
             let msg = *req.downcast::<String>().expect("string payload");
-            Plan::new().cpu(self.cpu_us).reply(format!("echo:{msg}"), 256)
+            Plan::new()
+                .cpu(self.cpu_us)
+                .reply(format!("echo:{msg}"), 256)
         }
         fn name(&self) -> &str {
             "echo"
@@ -1121,11 +1130,13 @@ mod tests {
     #[test]
     fn setup_cost_adds_fixed_latency() {
         let (mut net, mut eng, a, b) = two_node_net();
-        let mut cfg = ServiceConfig::default();
-        cfg.setup = SetupCost {
-            extra_rtts: 2.0,
-            fixed: SimDuration::from_secs(2),
-            server_cpu_us: 100.0,
+        let cfg = ServiceConfig {
+            setup: SetupCost {
+                extra_rtts: 2.0,
+                fixed: SimDuration::from_secs(2),
+                server_cpu_us: 100.0,
+            },
+            ..ServiceConfig::default()
         };
         let svc = net.add_service(b, cfg, Box::new(Echo { cpu_us: 100.0 }), &mut eng);
         let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
@@ -1138,7 +1149,11 @@ mod tests {
         eng.run_until(&mut net, SimTime::from_secs(10));
         let got = got.borrow();
         assert_eq!(got.len(), 1);
-        assert!(got[0].1 > 2.0, "rt {} should include GSI-like fixed cost", got[0].1);
+        assert!(
+            got[0].1 > 2.0,
+            "rt {} should include GSI-like fixed cost",
+            got[0].1
+        );
         assert!(got[0].1 < 2.2);
     }
 
@@ -1513,9 +1528,7 @@ mod tests {
             }
             fn on_wake(&mut self, tag: u64, cx: &mut ClientCx) {
                 assert_eq!(tag, 7);
-                self.finished_at
-                    .borrow_mut()
-                    .push(cx.now().as_secs_f64());
+                self.finished_at.borrow_mut().push(cx.now().as_secs_f64());
             }
         }
         let (mut net, mut eng, a, _b) = two_node_net();

@@ -68,7 +68,9 @@ pub struct Testbed {
 /// The hostnames of the Lucky testbed (note: there is no `lucky2`, as in
 /// the paper's `lucky{0,1,3,..,7}`).
 pub fn lucky_names() -> [&'static str; 7] {
-    ["lucky0", "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]
+    [
+        "lucky0", "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7",
+    ]
 }
 
 impl Testbed {
@@ -80,16 +82,8 @@ impl Testbed {
         for name in lucky_names() {
             // Two 1133 MHz CPUs; speed 1.0 is the reference core.
             let n = topo.add_node(name, 2, 1.0);
-            let up = topo.add_link(
-                format!("{name}-up"),
-                config.lan_bps,
-                config.lan_latency,
-            );
-            let down = topo.add_link(
-                format!("{name}-down"),
-                config.lan_bps,
-                config.lan_latency,
-            );
+            let up = topo.add_link(format!("{name}-up"), config.lan_bps, config.lan_latency);
+            let down = topo.add_link(format!("{name}-down"), config.lan_bps, config.lan_latency);
             lucky.push(n);
             lucky_acc.push(Access { up, down });
         }
@@ -98,15 +92,15 @@ impl Testbed {
         for i in 0..config.uc_machines {
             // Fifteen 1208 MHz (speed ≈ 1.066) and the rest ≥756 MHz
             // (speed ≈ 0.667), all uniprocessors with 248 MB RAM.
-            let speed = if i < 15 { 1208.0 / 1133.0 } else { 756.0 / 1133.0 };
+            let speed = if i < 15 {
+                1208.0 / 1133.0
+            } else {
+                756.0 / 1133.0
+            };
             let name = format!("uc{i:02}");
             let n = topo.add_node(&name, 1, speed);
             let up = topo.add_link(format!("{name}-up"), config.lan_bps, config.lan_latency);
-            let down = topo.add_link(
-                format!("{name}-down"),
-                config.lan_bps,
-                config.lan_latency,
-            );
+            let down = topo.add_link(format!("{name}-down"), config.lan_bps, config.lan_latency);
             uc.push(n);
             uc_acc.push(Access { up, down });
         }

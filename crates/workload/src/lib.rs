@@ -164,14 +164,18 @@ impl Client for User {
                 self.refused += 1;
                 self.attempt += 1;
                 let now = cx.now();
-                cx.net.stats.incr_windowed(&format!("{}.refused", self.series), now);
+                cx.net
+                    .stats
+                    .incr_windowed(&format!("{}.refused", self.series), now);
                 let delay = self.backoff();
                 cx.wake_in(delay, TAG_RETRY);
             }
             ReqResult::Failed => {
                 self.failed += 1;
                 let now = cx.now();
-                cx.net.stats.incr_windowed(&format!("{}.failed", self.series), now);
+                cx.net
+                    .stats
+                    .incr_windowed(&format!("{}.failed", self.series), now);
                 // Treat like the script dying and restarting the loop.
                 cx.wake_in(self.think, TAG_NEXT_QUERY);
             }
@@ -293,7 +297,9 @@ impl Client for OpenLoopSource {
                 // is a loss.
                 self.failed += 1;
                 let now = cx.now();
-                cx.net.stats.incr_windowed(&format!("{}.lost", self.series), now);
+                cx.net
+                    .stats
+                    .incr_windowed(&format!("{}.lost", self.series), now);
             }
         }
     }

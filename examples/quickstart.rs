@@ -57,7 +57,10 @@ impl Client for Demo {
                     rt
                 );
             }
-            _ => println!("[t={:>7.3}s] query failed after {rt:.3} s", cx.now().as_secs_f64()),
+            _ => println!(
+                "[t={:>7.3}s] query failed after {rt:.3} s",
+                cx.now().as_secs_f64()
+            ),
         }
         self.queries_left -= 1;
         if self.queries_left > 0 {

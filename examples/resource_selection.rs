@@ -73,7 +73,7 @@ impl Client for Broker {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0.0);
             println!("    {host:<24} cpu-metric = {metric}");
-            if best.map_or(true, |(_, m)| metric > m) {
+            if best.is_none_or(|(_, m)| metric > m) {
                 best = Some((host, metric));
             }
         }

@@ -135,7 +135,10 @@ fn main() {
         "\nregistry: {} producers registered",
         registry_ref.producer_count()
     );
-    let ps = h.net.service_as::<ProducerServlet>(producer_servlet).unwrap();
+    let ps = h
+        .net
+        .service_as::<ProducerServlet>(producer_servlet)
+        .unwrap();
     println!(
         "producer servlet: {} tuples published, {} stream batches sent",
         ps.tuples_published, ps.stream_batches

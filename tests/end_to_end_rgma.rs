@@ -89,9 +89,18 @@ fn mediated_query_returns_producer_tuples() {
     h.net.start(&mut h.eng);
     h.eng.run_until(&mut h.net, SimTime::from_secs(120));
     assert_eq!(*results.borrow(), vec![Got::Rows(8)]);
-    assert_eq!(h.net.service_as_mut::<Registry>(reg).unwrap().producer_count(), 10);
+    assert_eq!(
+        h.net
+            .service_as_mut::<Registry>(reg)
+            .unwrap()
+            .producer_count(),
+        10
+    );
     assert!(h.net.service_as::<ProducerServlet>(ps).unwrap().queries >= 1);
-    assert_eq!(h.net.service_as::<ConsumerServlet>(cs).unwrap().mediations, 1);
+    assert_eq!(
+        h.net.service_as::<ConsumerServlet>(cs).unwrap().mediations,
+        1
+    );
 }
 
 #[test]
@@ -142,12 +151,9 @@ fn unreachable_registry_fails_the_consumer_query() {
         workers: Some(1),
         ..Default::default()
     };
-    let dead_reg = h.net.add_service(
-        reg_node,
-        dead_cfg,
-        Box::new(Registry::new()),
-        &mut h.eng,
-    );
+    let dead_reg = h
+        .net
+        .add_service(reg_node, dead_cfg, Box::new(Registry::new()), &mut h.eng);
     let cs_node = h.lucky("lucky5");
     let cs = deploy_consumer_servlet(&mut h, cs_node, dead_reg);
     let results = Rc::new(RefCell::new(Vec::new()));

@@ -52,8 +52,16 @@ fn gris_cache_throughput_grows_with_users() {
         b.throughput
     );
     // Fig 6: response time stays in the GSI-bind band.
-    assert!(a.response_time > 3.0 && a.response_time < 5.5, "{}", a.response_time);
-    assert!(b.response_time > 3.0 && b.response_time < 5.5, "{}", b.response_time);
+    assert!(
+        a.response_time > 3.0 && a.response_time < 5.5,
+        "{}",
+        a.response_time
+    );
+    assert!(
+        b.response_time > 3.0 && b.response_time < 5.5,
+        "{}",
+        b.response_time
+    );
 }
 
 #[test]
@@ -63,8 +71,18 @@ fn directory_servers_outscale_the_registry() {
     let giis = set2::run_point(set2::Set2Series::Giis, users, &cfg());
     let mgr = set2::run_point(set2::Set2Series::HawkeyeManager, users, &cfg());
     let reg = set2::run_point(set2::Set2Series::RegistryLucky, users, &cfg());
-    assert!(giis.throughput > reg.throughput * 2.0, "giis {} reg {}", giis.throughput, reg.throughput);
-    assert!(mgr.throughput > reg.throughput * 2.0, "mgr {} reg {}", mgr.throughput, reg.throughput);
+    assert!(
+        giis.throughput > reg.throughput * 2.0,
+        "giis {} reg {}",
+        giis.throughput,
+        reg.throughput
+    );
+    assert!(
+        mgr.throughput > reg.throughput * 2.0,
+        "mgr {} reg {}",
+        mgr.throughput,
+        reg.throughput
+    );
     // The Registry's response time is the worst of the three.
     assert!(reg.response_time > giis.response_time);
     assert!(reg.response_time > mgr.response_time);
@@ -79,7 +97,12 @@ fn giis_host_load_roughly_twice_the_managers() {
     let giis = set2::run_point(set2::Set2Series::Giis, users, &cfg());
     let mgr = set2::run_point(set2::Set2Series::HawkeyeManager, users, &cfg());
     let ratio = giis.cpu_load / mgr.cpu_load.max(1e-9);
-    assert!(ratio > 1.5, "cpu ratio {ratio}: giis {} mgr {}", giis.cpu_load, mgr.cpu_load);
+    assert!(
+        ratio > 1.5,
+        "cpu ratio {ratio}: giis {} mgr {}",
+        giis.cpu_load,
+        mgr.cpu_load
+    );
 }
 
 #[test]
@@ -91,7 +114,12 @@ fn registry_placement_barely_matters() {
     let lucky = set2::run_point(set2::Set2Series::RegistryLucky, users, &cfg());
     let uc = set2::run_point(set2::Set2Series::RegistryUC, users, &cfg());
     let rel = (lucky.throughput - uc.throughput).abs() / lucky.throughput.max(1e-9);
-    assert!(rel < 0.2, "lucky {} vs uc {}", lucky.throughput, uc.throughput);
+    assert!(
+        rel < 0.2,
+        "lucky {} vs uc {}",
+        lucky.throughput,
+        uc.throughput
+    );
 }
 
 #[test]
@@ -100,8 +128,16 @@ fn more_collectors_degrade_every_information_server() {
     let few = set3::run_point(set3::Set3Series::HawkeyeAgent, 11, &cfg());
     let many = set3::run_point(set3::Set3Series::HawkeyeAgent, 90, &cfg());
     assert!(many.throughput < few.throughput / 3.0);
-    assert!(many.response_time > 10.0, "paper: >10 s at 90 modules; got {}", many.response_time);
-    assert!(many.throughput < 1.0, "paper: <1 q/s at 90 modules; got {}", many.throughput);
+    assert!(
+        many.response_time > 10.0,
+        "paper: >10 s at 90 modules; got {}",
+        many.response_time
+    );
+    assert!(
+        many.throughput < 1.0,
+        "paper: <1 q/s at 90 modules; got {}",
+        many.throughput
+    );
 
     let gris_few = set3::run_point(set3::Set3Series::GrisCache, 10, &cfg());
     let gris_many = set3::run_point(set3::Set3Series::GrisCache, 90, &cfg());
@@ -122,8 +158,12 @@ fn aggregation_degrades_beyond_a_hundred_sources() {
     // them".
     let small = set4::run_point(set4::Set4Series::GiisQueryAll, 10, &cfg());
     let large = set4::run_point(set4::Set4Series::GiisQueryAll, 150, &cfg());
-    assert!(large.throughput < small.throughput / 2.0,
-        "10 gris {} vs 150 gris {}", small.throughput, large.throughput);
+    assert!(
+        large.throughput < small.throughput / 2.0,
+        "10 gris {} vs 150 gris {}",
+        small.throughput,
+        large.throughput
+    );
     assert!(large.response_time > small.response_time * 2.0);
 
     // Query-part scales further than query-all at the same source count.
@@ -133,8 +173,12 @@ fn aggregation_degrades_beyond_a_hundred_sources() {
     // The Manager degrades too as the pool grows.
     let m_small = set4::run_point(set4::Set4Series::HawkeyeManager, 50, &cfg());
     let m_large = set4::run_point(set4::Set4Series::HawkeyeManager, 700, &cfg());
-    assert!(m_large.throughput < m_small.throughput * 0.7,
-        "50 machines {} vs 700 {}", m_small.throughput, m_large.throughput);
+    assert!(
+        m_large.throughput < m_small.throughput * 0.7,
+        "50 machines {} vs 700 {}",
+        m_small.throughput,
+        m_large.throughput
+    );
     assert!(m_large.response_time > m_small.response_time * 3.0);
 }
 

@@ -1,0 +1,119 @@
+//! End-to-end determinism of the parallel sweep engine.
+//!
+//! The contract `gridmon-runner` makes is strong: for every figure
+//! series of every experiment set, the CSV a parallel run writes is
+//! **byte-identical** to the sequential runner's, whatever the worker
+//! count, and a warm-cache run reproduces the same bytes without
+//! executing a single point.  These tests pin that contract on a
+//! scaled-down sweep of all four sets.
+
+use gridmon_core::figures::{self, SetData};
+use gridmon_core::report::csv;
+use gridmon_core::runcfg::RunConfig;
+use gridmon_runner::RunnerConfig;
+use simcore::SimDuration;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Short windows so the full 4-set sweep stays test-sized; the
+/// mechanisms (and the determinism contract) are unchanged.
+fn cfg() -> RunConfig {
+    let mut c = RunConfig::quick(20030622);
+    c.warmup = SimDuration::from_secs(5);
+    c.window = SimDuration::from_secs(15);
+    c
+}
+
+const SCALE: f64 = 0.02;
+
+/// Render every figure of a set to CSV, keyed by figure number.
+fn csvs_of(data: &SetData) -> BTreeMap<u32, String> {
+    figures::figures_of_set(data.set)
+        .unwrap()
+        .iter()
+        .map(|&f| (f, csv(&figures::figure(data, f).unwrap())))
+        .collect()
+}
+
+fn scratch_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridmon-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_figure_csv_is_byte_identical_across_job_counts() {
+    let cfg = cfg();
+    for set in 1..=4 {
+        // The in-crate sequential runner is the reference.
+        let reference = csvs_of(&figures::run_set(set, &cfg, SCALE, None).unwrap());
+        assert!(!reference.is_empty());
+        for jobs in [1, 2, 8] {
+            let rc = RunnerConfig {
+                jobs,
+                cache_dir: None,
+                quiet: true,
+            };
+            let (data, stats) = gridmon_runner::run_set(set, &cfg, SCALE, &rc).unwrap();
+            assert_eq!(stats.executed, stats.total, "no cache in play");
+            let got = csvs_of(&data);
+            for (fig, want) in &reference {
+                assert_eq!(
+                    got.get(fig).unwrap(),
+                    want,
+                    "set {set} figure {fig} diverged at jobs={jobs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_cache_reproduces_identical_csvs_without_executing() {
+    let cfg = cfg();
+    let dir = scratch_cache("warm");
+    let rc = RunnerConfig {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+        quiet: true,
+    };
+    for set in 1..=4 {
+        let (cold, s_cold) = gridmon_runner::run_set(set, &cfg, SCALE, &rc).unwrap();
+        assert_eq!(s_cold.cache_hits, 0, "set {set}: scratch cache starts cold");
+        assert_eq!(s_cold.executed, s_cold.total);
+        let (warm, s_warm) = gridmon_runner::run_set(set, &cfg, SCALE, &rc).unwrap();
+        assert_eq!(
+            s_warm.executed, 0,
+            "set {set}: warm run must execute nothing"
+        );
+        assert_eq!(s_warm.cache_hits, s_warm.total);
+        assert_eq!(
+            csvs_of(&cold),
+            csvs_of(&warm),
+            "set {set}: cached results must render identical CSVs"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_is_seed_and_scale_addressed() {
+    let dir = scratch_cache("addr");
+    let rc = RunnerConfig {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+        quiet: true,
+    };
+    let (_, first) = gridmon_runner::run_set(1, &cfg(), SCALE, &rc).unwrap();
+    assert_eq!(first.cache_hits, 0);
+    // A different base seed shares no cache entries...
+    let mut reseeded = cfg();
+    reseeded.seed ^= 1;
+    let (_, other) = gridmon_runner::run_set(1, &reseeded, SCALE, &rc).unwrap();
+    assert_eq!(other.cache_hits, 0);
+    // ...while re-running at a larger scale reuses the shared x-points.
+    let (_, wider) = gridmon_runner::run_set(1, &cfg(), SCALE * 2.0, &rc).unwrap();
+    assert!(wider.cache_hits > 0, "overlapping points must be reused");
+    assert!(wider.executed > 0, "new x-points must still run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
