@@ -1,0 +1,91 @@
+//! Observability overhead benches — the "zero-cost-when-off" pin.
+//!
+//! Two levels:
+//!
+//! * `obs_gate/*` — the micro cost of one instrumented site.  With
+//!   [`ObsMode::OFF`] every `ev_with`/`incr` call is a load of a plain
+//!   `bool` and a predicted-not-taken branch; the closure building the
+//!   event never runs.  Compare `ev_with_off` against `spin` (the same
+//!   loop with no call at all) to see the per-site cost, and against
+//!   `ev_with_on` for the recording cost.
+//!
+//! * `sweep_point/*` — the macro cost on a full figure point: the same
+//!   cached-GRIS point simulated with observability off, with metrics
+//!   only, and with full tracing.  `off` is what every default figure
+//!   sweep pays for the instrumentation being compiled in (budgeted
+//!   <2 % over the pre-instrumentation baseline; compare `off` runs
+//!   across commits to watch it), `trace_full` is the opt-in price of
+//!   `figures --trace`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbench::Profile;
+use gridmon_core::experiments::{set1, Set1Series};
+use gridmon_core::ObsMode;
+use gtrace::{Ev, Obs};
+use simcore::SimTime;
+
+/// One instrumented-site call, off vs on.
+fn obs_gate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_gate");
+    const N: u64 = 100_000;
+
+    g.bench_function("spin", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(criterion::black_box(i));
+            }
+            criterion::black_box(acc)
+        })
+    });
+    g.bench_function("ev_with_off", |b| {
+        let mut obs = Obs::off();
+        b.iter(|| {
+            for i in 0..N {
+                obs.ev_with(SimTime(i), || Ev::Dispatch { seq: i });
+            }
+            criterion::black_box(obs.tracing())
+        })
+    });
+    g.bench_function("ev_with_on", |b| {
+        b.iter(|| {
+            let mut obs = Obs::from_mode(ObsMode::FULL);
+            for i in 0..N {
+                obs.ev_with(SimTime(i), || Ev::Dispatch { seq: i });
+            }
+            criterion::black_box(obs.finish(SimTime(N)).map(|r| r.events.len()))
+        })
+    });
+    g.finish();
+}
+
+/// A whole simulated figure point under each observability mode.
+fn sweep_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_point");
+    g.sample_size(10);
+    let modes = [
+        ("off", ObsMode::OFF),
+        (
+            "metrics_only",
+            ObsMode {
+                trace: false,
+                metrics: true,
+            },
+        ),
+        ("trace_full", ObsMode::FULL),
+    ];
+    for (label, mode) in modes {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = Profile::Bench.run_config(13);
+                cfg.obs = mode;
+                let m = set1::run_point(Set1Series::GrisCache, 10, &cfg);
+                criterion::black_box(m.response_time)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, obs_gate, sweep_point);
+criterion_main!(benches);

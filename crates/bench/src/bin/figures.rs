@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [--profile paper|quick|bench] [--seed N] [--out DIR]
-//!         [--jobs N] [--no-cache] [--only figN] [TARGET...]
+//!         [--jobs N] [--no-cache] [--only figN]
+//!         [--trace SUBSTR] [--metrics] [TARGET...]
 //!
 //! TARGET:  table1 | set1..set4 | fig5..fig20 | ext | all   (default: all)
 //!
@@ -12,6 +13,15 @@
 //!             (DIR/.cache/); by default unchanged points are reused.
 //! --only figN print/write only figure N of the sets that run (may be
 //!             given several times; `figN` as a TARGET implies it).
+//! --trace S   after the sweep, re-run every point of the selected sets
+//!             whose id (`setN/<series>/x=<x>`) contains the substring S
+//!             with event tracing on, and write per-point Chrome-trace
+//!             JSON (`DIR/trace/<point>.trace.json`, loadable in
+//!             Perfetto / chrome://tracing and readable by
+//!             `gridmon-inspect`) plus raw JSONL.  Repeatable.
+//! --metrics   also snapshot the metrics registry per point and write
+//!             `DIR/trace/<point>.metrics.csv`.  Without --trace this
+//!             covers every point of the selected sets.
 //!
 //! `ext` runs the future-work extension studies (WAN sweep, hierarchy
 //! vs flat aggregation, aggregate-vs-direct, open-loop arrivals,
@@ -20,12 +30,17 @@
 //!
 //! For every requested figure this prints the aligned data table and an
 //! ASCII chart, and writes `DIR/figNN.csv` (default `results/`).
+//! Observability never changes the figures: the traced re-run uses the
+//! same seeds and produces bit-identical measurements (pinned by
+//! `tests/parallel_figures.rs`), so the CSVs stand whatever is traced.
 
 use gbench::{figures_of_set, Profile};
-use gridmon_core::figures::set_of_figure;
+use gridmon_core::figures::{enumerate_set, set_of_figure, PointSpec};
 use gridmon_core::mapping::render_table1;
 use gridmon_core::report::{ascii_chart, csv, text_table};
+use gridmon_core::ObsMode;
 use gridmon_runner::{ExtPoint, Job, JobOutput, RunnerConfig};
+use gtrace::{chrome_trace, jsonl, metrics_csv, TraceMeta};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
@@ -37,6 +52,8 @@ fn main() {
     let mut use_cache = true;
     let mut targets: Vec<String> = Vec::new();
     let mut only_figs: BTreeSet<u32> = BTreeSet::new();
+    let mut trace_substrs: Vec<String> = Vec::new();
+    let mut want_metrics = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -65,6 +82,13 @@ fn main() {
                     .unwrap_or_else(|| die("--jobs needs an integer (0 = all cores)"));
             }
             "--no-cache" => use_cache = false,
+            "--trace" => {
+                trace_substrs.push(
+                    args.next()
+                        .unwrap_or_else(|| die("--trace needs a substring")),
+                );
+            }
+            "--metrics" => want_metrics = true,
             "--only" => {
                 let f = args.next().unwrap_or_else(|| die("--only needs figN"));
                 only_figs.insert(parse_fig(&f));
@@ -72,7 +96,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [--profile paper|quick|bench] [--seed N] [--out DIR] \
-                     [--jobs N] [--no-cache] [--only figN] [table1|setN|figN|ext|all]..."
+                     [--jobs N] [--no-cache] [--only figN] [--trace SUBSTR] [--metrics] \
+                     [table1|setN|figN|ext|all]..."
                 );
                 return;
             }
@@ -163,6 +188,118 @@ fn main() {
     if want_ext {
         run_extensions(profile, seed, &out_dir, &rc);
     }
+
+    if !trace_substrs.is_empty() || want_metrics {
+        if sets.is_empty() {
+            die("--trace/--metrics need at least one set/figure target");
+        }
+        run_observability(
+            &sets,
+            profile,
+            seed,
+            &rc,
+            &out_dir,
+            &trace_substrs,
+            want_metrics,
+        );
+    }
+}
+
+/// The observability pass: re-run the matching points with tracing
+/// and/or metrics enabled and export the artifacts under `DIR/trace/`.
+/// Points are re-executed (never served from the result cache) because
+/// events and metric streams are not part of the cached measurement;
+/// the measurements themselves still come out bit-identical.
+fn run_observability(
+    sets: &BTreeSet<u32>,
+    profile: Profile,
+    seed: u64,
+    rc: &RunnerConfig,
+    out_dir: &std::path::Path,
+    trace_substrs: &[String],
+    want_metrics: bool,
+) {
+    let mut specs: Vec<PointSpec> = Vec::new();
+    for &set in sets {
+        specs.extend(enumerate_set(set, profile.scale()).unwrap_or_else(|e| die(&e.to_string())));
+    }
+    if !trace_substrs.is_empty() {
+        specs.retain(|s| {
+            let k = s.key();
+            trace_substrs.iter().any(|t| k.contains(t.as_str()))
+        });
+        if specs.is_empty() {
+            die("--trace matched no point id; ids look like \"set1/MDS GRIS (cache)/x=10\"");
+        }
+    }
+    let tracing = !trace_substrs.is_empty();
+    let mut cfg = profile.run_config(seed);
+    cfg.obs = ObsMode {
+        trace: tracing,
+        metrics: want_metrics,
+    };
+
+    let obs_dir = out_dir.join("trace");
+    std::fs::create_dir_all(&obs_dir).expect("create trace dir");
+    eprintln!(
+        "== observability pass: {} point(s), {} ==",
+        specs.len(),
+        cfg.obs.fingerprint()
+    );
+    let observed = gridmon_runner::run_points_observed(&specs, &cfg, rc);
+
+    for (spec, op) in specs.iter().zip(&observed) {
+        let slug = slug(&spec.key());
+        if tracing {
+            let meta = TraceMeta {
+                key: spec.key(),
+                x: op.m.x,
+                seed: spec.derived_seed(seed),
+                window_start: cfg.window_start(),
+                window_end: cfg.window_end(),
+                mean_response_time_us: op.m.response_time * 1e6,
+                completions: op.m.completions,
+                refused: op.m.refused,
+                services: op.services.clone(),
+                nodes: op.nodes.clone(),
+            };
+            let path = obs_dir.join(format!("{slug}.trace.json"));
+            std::fs::write(
+                &path,
+                chrome_trace(&meta, &op.report.events, op.report.dropped),
+            )
+            .expect("write chrome trace");
+            eprintln!("wrote {}", path.display());
+            let path = obs_dir.join(format!("{slug}.jsonl"));
+            std::fs::write(&path, jsonl(&op.report.events)).expect("write jsonl");
+            eprintln!("wrote {}", path.display());
+        }
+        if want_metrics {
+            let path = obs_dir.join(format!("{slug}.metrics.csv"));
+            std::fs::write(&path, metrics_csv(&op.report.metrics)).expect("write metrics csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Filesystem-safe name for a point id: runs of non-`[a-z0-9.=]`
+/// characters collapse to one `-`.
+fn slug(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    let mut dash = false;
+    for c in key.chars() {
+        if c.is_ascii_alphanumeric() || c == '.' || c == '=' {
+            out.push(c.to_ascii_lowercase());
+            dash = false;
+        } else if !dash && !out.is_empty() {
+            out.push('-');
+            dash = true;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
 }
 
 fn parse_fig(arg: &str) -> u32 {

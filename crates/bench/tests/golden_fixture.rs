@@ -1,0 +1,36 @@
+//! The committed golden trace (`fixtures/golden_trace.json`) must stay
+//! parseable and internally consistent: `gridmon-inspect --self-check`
+//! gates CI on it, and this test gates plain `cargo test` the same way.
+//!
+//! Regenerate it (after an intentional change to the trace format or
+//! the simulation) with:
+//!
+//! ```text
+//! cargo run --release -p gridmon-bench --bin figures -- \
+//!     --profile bench --out /tmp/obs --no-cache set1 --only fig5 \
+//!     --trace "MDS GRIS (cache)/x=2"
+//! cp "/tmp/obs/trace/set1-mds-gris-cache-x=2.trace.json" \
+//!     crates/bench/fixtures/golden_trace.json
+//! ```
+//!
+//! The point is deliberately refusal-free (2 users on the cached GRIS):
+//! with retries in play the recorded response time includes backoff
+//! that no single span covers, and the ±1 % phase-sum check would not
+//! be meaningful.
+
+use gtrace::inspect::{self_check, summarize};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/golden_trace.json");
+
+#[test]
+fn golden_trace_passes_self_check() {
+    let doc = std::fs::read_to_string(GOLDEN).expect("read golden fixture");
+    let s = summarize(&doc).expect("golden fixture parses");
+    assert!(s.queries > 0, "fixture must contain measured queries");
+    assert_eq!(s.refused, 0, "fixture point must be refusal-free");
+    assert!(
+        s.phases.iter().any(|p| p.phase == "handshake"),
+        "cached-GRIS latency is dominated by the GSI handshake"
+    );
+    self_check(&s).expect("phase sum and reported mean agree within 1%");
+}

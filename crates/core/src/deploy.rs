@@ -8,8 +8,22 @@ use ldapdir::Dn;
 use mds::{default_providers, Giis, Gris};
 use rgma::{ConsumerServlet, ProducerServlet, Registry};
 use simcore::{Engine, SimDuration};
+use simnet::trace::{Ev, Obs, ObsReport};
 use simnet::{ClientKey, Eng, Net, NodeId, StatsHub, SvcKey};
 use testbed::{Testbed, TestbedConfig};
+
+/// A measurement together with the observability harvest of its run:
+/// the traced events / metrics snapshot plus the label tables needed to
+/// render them (service slot → label, node id → host name).
+#[derive(Debug)]
+pub struct ObservedPoint {
+    pub m: Measurement,
+    pub report: ObsReport,
+    /// Service labels (`name@host`), indexed by service slot.
+    pub services: Vec<String>,
+    /// Node names, indexed by node id.
+    pub nodes: Vec<String>,
+}
 
 /// A ready-to-run simulated testbed with measurement plumbing.
 pub struct Harness {
@@ -34,7 +48,10 @@ impl Harness {
             topo, lucky, uc, ..
         } = tb;
         let stats = StatsHub::new(cfg.window_start(), cfg.window_end());
-        let net = Net::new(topo, stats);
+        let mut net = Net::new(topo, stats);
+        if cfg.obs.enabled() {
+            net.obs = Obs::from_mode(cfg.obs);
+        }
         let eng: Eng = Engine::new(cfg.seed);
         Harness {
             net,
@@ -69,7 +86,11 @@ impl Harness {
     pub fn run_and_measure(&mut self, x: f64) -> Measurement {
         assert!(self.monitor.is_some(), "call watch() before running");
         self.net.start(&mut self.eng);
-        self.eng.run_until(&mut self.net, self.cfg.window_end());
+        if self.net.obs.on() {
+            self.run_window_observed();
+        } else {
+            self.eng.run_until(&mut self.net, self.cfg.window_end());
+        }
         let (ws, we) = (self.cfg.window_start(), self.cfg.window_end());
         let monitor: &Monitor = self.net.client_as(self.monitor.unwrap()).expect("monitor");
         let server = self.server_node.unwrap();
@@ -82,6 +103,86 @@ impl Harness {
             refused: self.net.stats.counter("user.refused"),
             completions: self.net.stats.completions("user"),
         }
+    }
+
+    /// The observed run path: identical event sequence to the plain
+    /// `run_until` (same engine steps, same times), with the metrics
+    /// window marked at warm-up end and — when tracing — one `Dispatch`
+    /// event recorded per dispatched engine event.
+    fn run_window_observed(&mut self) {
+        let (ws, we) = (self.cfg.window_start(), self.cfg.window_end());
+        self.eng.run_until(&mut self.net, ws);
+        self.net.obs.window_begin(ws);
+        if self.net.obs.tracing() {
+            self.eng
+                .run_until_with(&mut self.net, we, &mut |net: &mut Net, at, seq| {
+                    net.obs.ev(at, Ev::Dispatch { seq });
+                });
+        } else {
+            self.eng.run_until(&mut self.net, we);
+        }
+    }
+
+    /// Like [`run_and_measure`], but also harvest the observability
+    /// report.  Requires `cfg.obs` to enable tracing and/or metrics.
+    pub fn run_and_observe(&mut self, x: f64) -> ObservedPoint {
+        assert!(
+            self.net.obs.on(),
+            "run_and_observe requires cfg.obs to enable tracing or metrics"
+        );
+        let m = self.run_and_measure(x);
+        let report = self.finish_obs().expect("obs enabled");
+        ObservedPoint {
+            m,
+            report,
+            services: self.service_labels(),
+            nodes: self.node_names(),
+        }
+    }
+
+    /// Harvest the observability report: inject end-of-run per-node CPU
+    /// busy seconds into the metrics registry, then drain the sink.
+    fn finish_obs(&mut self) -> Option<ObsReport> {
+        let we = self.cfg.window_end();
+        if self.net.obs.metrics_on() {
+            let ids: Vec<NodeId> = self.net.topo.node_ids().collect();
+            for id in ids {
+                let busy = self.net.node_busy_core_seconds(id, we);
+                let name = self.net.topo.node(id).name.clone();
+                self.net
+                    .obs
+                    .metrics
+                    .set_value(&format!("cpu.{name}.busy_core_s"), busy);
+            }
+        }
+        self.net.obs.finish(we)
+    }
+
+    /// `name@host` labels for every live service, indexed by slot.
+    fn service_labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = Vec::new();
+        for (key, slot) in self.net.services.iter() {
+            let idx = key.index as usize;
+            if labels.len() <= idx {
+                labels.resize(idx + 1, String::new());
+            }
+            let name = self
+                .net
+                .service(key)
+                .map_or_else(String::new, |s| s.name().to_string());
+            let host = &self.net.topo.node(slot.node).name;
+            labels[idx] = format!("{name}@{host}");
+        }
+        labels
+    }
+
+    /// Host names indexed by node id.
+    fn node_names(&self) -> Vec<String> {
+        self.net
+            .topo
+            .node_ids()
+            .map(|id| self.net.topo.node(id).name.clone())
+            .collect()
     }
 }
 

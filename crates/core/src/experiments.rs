@@ -9,6 +9,7 @@
 use crate::deploy::{
     deploy_advertiser_fleet, deploy_agent, deploy_consumer_servlet, deploy_giis, deploy_gris,
     deploy_manager, deploy_producer_servlet, deploy_registry, giis_suffix, gris_suffix, Harness,
+    ObservedPoint,
 };
 use crate::runcfg::{Measurement, RunConfig};
 use hawkeye::HawkeyeMsg;
@@ -97,8 +98,8 @@ pub mod set1 {
         }
     }
 
-    /// Run one point of Experiment Set 1.
-    pub fn run_point(series: Set1Series, users: u32, cfg: &RunConfig) -> Measurement {
+    /// Deploy and wire one point's world without running it.
+    pub fn build(series: Set1Series, users: u32, cfg: &RunConfig) -> Harness {
         let mut h = Harness::new(*cfg);
         match series {
             Set1Series::GrisCache | Set1Series::GrisNoCache => {
@@ -190,7 +191,18 @@ pub mod set1 {
                 });
             }
         }
-        h.run_and_measure(users as f64)
+        h
+    }
+
+    /// Run one point of Experiment Set 1.
+    pub fn run_point(series: Set1Series, users: u32, cfg: &RunConfig) -> Measurement {
+        build(series, users, cfg).run_and_measure(f64::from(users))
+    }
+
+    /// Run one point with the observability report harvested
+    /// (requires `cfg.obs` to enable tracing and/or metrics).
+    pub fn run_point_observed(series: Set1Series, users: u32, cfg: &RunConfig) -> ObservedPoint {
+        build(series, users, cfg).run_and_observe(f64::from(users))
     }
 }
 
@@ -238,8 +250,8 @@ pub mod set2 {
         }
     }
 
-    /// Run one point of Experiment Set 2.
-    pub fn run_point(series: Set2Series, users: u32, cfg: &RunConfig) -> Measurement {
+    /// Deploy and wire one point's world without running it.
+    pub fn build(series: Set2Series, users: u32, cfg: &RunConfig) -> Harness {
         let mut h = Harness::new(*cfg);
         match series {
             Set2Series::Giis => {
@@ -334,7 +346,18 @@ pub mod set2 {
                 });
             }
         }
-        h.run_and_measure(users as f64)
+        h
+    }
+
+    /// Run one point of Experiment Set 2.
+    pub fn run_point(series: Set2Series, users: u32, cfg: &RunConfig) -> Measurement {
+        build(series, users, cfg).run_and_measure(f64::from(users))
+    }
+
+    /// Run one point with the observability report harvested
+    /// (requires `cfg.obs` to enable tracing and/or metrics).
+    pub fn run_point_observed(series: Set2Series, users: u32, cfg: &RunConfig) -> ObservedPoint {
+        build(series, users, cfg).run_and_observe(f64::from(users))
     }
 }
 
@@ -382,8 +405,8 @@ pub mod set3 {
         }
     }
 
-    /// Run one point of Experiment Set 3.
-    pub fn run_point(series: Set3Series, collectors: u32, cfg: &RunConfig) -> Measurement {
+    /// Deploy and wire one point's world without running it.
+    pub fn build(series: Set3Series, collectors: u32, cfg: &RunConfig) -> Harness {
         let mut h = Harness::new(*cfg);
         match series {
             Set3Series::GrisCache | Set3Series::GrisNoCache => {
@@ -446,7 +469,22 @@ pub mod set3 {
                 });
             }
         }
-        h.run_and_measure(collectors as f64)
+        h
+    }
+
+    /// Run one point of Experiment Set 3.
+    pub fn run_point(series: Set3Series, collectors: u32, cfg: &RunConfig) -> Measurement {
+        build(series, collectors, cfg).run_and_measure(f64::from(collectors))
+    }
+
+    /// Run one point with the observability report harvested
+    /// (requires `cfg.obs` to enable tracing and/or metrics).
+    pub fn run_point_observed(
+        series: Set3Series,
+        collectors: u32,
+        cfg: &RunConfig,
+    ) -> ObservedPoint {
+        build(series, collectors, cfg).run_and_observe(f64::from(collectors))
     }
 }
 
@@ -498,8 +536,8 @@ pub mod set4 {
         }
     }
 
-    /// Run one point of Experiment Set 4.
-    pub fn run_point(series: Set4Series, servers: u32, cfg: &RunConfig) -> Measurement {
+    /// Deploy and wire one point's world without running it.
+    pub fn build(series: Set4Series, servers: u32, cfg: &RunConfig) -> Harness {
         let mut h = Harness::new(*cfg);
         match series {
             Set4Series::GiisQueryAll | Set4Series::GiisQueryPart => {
@@ -567,7 +605,18 @@ pub mod set4 {
                 });
             }
         }
-        h.run_and_measure(servers as f64)
+        h
+    }
+
+    /// Run one point of Experiment Set 4.
+    pub fn run_point(series: Set4Series, servers: u32, cfg: &RunConfig) -> Measurement {
+        build(series, servers, cfg).run_and_measure(f64::from(servers))
+    }
+
+    /// Run one point with the observability report harvested
+    /// (requires `cfg.obs` to enable tracing and/or metrics).
+    pub fn run_point_observed(series: Set4Series, servers: u32, cfg: &RunConfig) -> ObservedPoint {
+        build(series, servers, cfg).run_and_observe(f64::from(servers))
     }
 }
 
@@ -575,3 +624,30 @@ pub use set1::Set1Series;
 pub use set2::Set2Series;
 pub use set3::Set3Series;
 pub use set4::Set4Series;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+    use simnet::ObsMode;
+
+    /// Tracing and metrics observe the run without perturbing it: the
+    /// embedded measurement of an observed run is bit-identical to the
+    /// plain run's, and the harvest is non-empty.
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let mut cfg = RunConfig::quick(5);
+        cfg.warmup = SimDuration::from_secs(5);
+        cfg.window = SimDuration::from_secs(20);
+        let base = set1::run_point(Set1Series::GrisCache, 2, &cfg);
+        assert!(base.completions > 0, "point too short to be meaningful");
+        let mut ocfg = cfg;
+        ocfg.obs = ObsMode::FULL;
+        let op = set1::run_point_observed(Set1Series::GrisCache, 2, &ocfg);
+        assert_eq!(op.m, base);
+        assert!(!op.report.events.is_empty());
+        assert!(!op.report.metrics.is_empty());
+        assert!(op.services.iter().any(|s| s.starts_with("gris")));
+        assert!(op.nodes.iter().any(|n| n == "lucky7"));
+    }
+}

@@ -8,6 +8,7 @@
 //! results because every point derives its own seed from the spec.
 //! [`figure`] projects the metric a given figure plots.
 
+use crate::deploy::ObservedPoint;
 use crate::experiments::{set1, set2, set3, set4, Set1Series, Set2Series, Set3Series, Set4Series};
 use crate::mapping::System;
 use crate::runcfg::{Measurement, RunConfig};
@@ -189,6 +190,17 @@ impl SeriesId {
             SeriesId::S4(s) => set4::run_point(s, x, cfg),
         }
     }
+
+    /// Like [`run_point_raw`](SeriesId::run_point_raw), but harvest the
+    /// observability report (requires `cfg.obs` to enable something).
+    pub fn run_point_observed_raw(self, x: u32, cfg: &RunConfig) -> ObservedPoint {
+        match self {
+            SeriesId::S1(s) => set1::run_point_observed(s, x, cfg),
+            SeriesId::S2(s) => set2::run_point_observed(s, x, cfg),
+            SeriesId::S3(s) => set3::run_point_observed(s, x, cfg),
+            SeriesId::S4(s) => set4::run_point_observed(s, x, cfg),
+        }
+    }
 }
 
 /// A self-contained unit of sweep work: one `(series, x)` point.
@@ -228,6 +240,14 @@ impl PointSpec {
     /// runs: the measurement depends only on `(spec, base cfg)`.
     pub fn run(&self, base: &RunConfig) -> Measurement {
         self.series.run_point_raw(self.x, &self.cfg_for(base))
+    }
+
+    /// Execute this point with observability harvested.  The embedded
+    /// measurement is byte-identical to [`run`](PointSpec::run) with the
+    /// same base config: tracing observes the run without perturbing it.
+    pub fn run_observed(&self, base: &RunConfig) -> ObservedPoint {
+        self.series
+            .run_point_observed_raw(self.x, &self.cfg_for(base))
     }
 }
 

@@ -37,6 +37,8 @@ pub mod report;
 pub mod runcfg;
 pub mod stablehash;
 
+pub use deploy::ObservedPoint;
 pub use mapping::{component_mapping, Role, System};
 pub use params::Params;
 pub use runcfg::{Measurement, RunConfig};
+pub use simnet::{Obs, ObsMode};

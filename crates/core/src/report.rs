@@ -2,6 +2,14 @@
 
 use crate::figures::FigureData;
 
+/// Do two x-coordinates name the same sweep point?  Exact `==` breaks as
+/// soon as an x is recomputed through floating point (a scaled sweep can
+/// yield `0.30000000000000004` in one series and `0.3` in another), so
+/// points are matched with a relative tolerance.
+fn same_x(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+}
+
 /// Render a figure's series as an aligned text table (x down the rows,
 /// one column per series).
 pub fn text_table(fig: &FigureData) -> String {
@@ -14,7 +22,7 @@ pub fn text_table(fig: &FigureData) -> String {
         .flat_map(|s| s.points.iter().map(|&(x, _)| x))
         .collect();
     xs.sort_by(f64::total_cmp);
-    xs.dedup();
+    xs.dedup_by(|a, b| same_x(*a, *b));
     out.push_str(&format!(
         "{:>12}",
         fig.x_label.split(' ').next_back().unwrap_or("x")
@@ -26,7 +34,7 @@ pub fn text_table(fig: &FigureData) -> String {
     for &x in &xs {
         out.push_str(&format!("{x:>12.0}"));
         for s in &fig.series {
-            match s.points.iter().find(|&&(px, _)| px == x) {
+            match s.points.iter().find(|&&(px, _)| same_x(px, x)) {
                 Some(&(_, y)) => out.push_str(&format!("  {y:>28.3}")),
                 None => out.push_str(&format!("  {:>28}", "-")),
             }
@@ -51,12 +59,12 @@ pub fn csv(fig: &FigureData) -> String {
         .flat_map(|s| s.points.iter().map(|&(x, _)| x))
         .collect();
     xs.sort_by(f64::total_cmp);
-    xs.dedup();
+    xs.dedup_by(|a, b| same_x(*a, *b));
     for &x in &xs {
         out.push_str(&format!("{x}"));
         for s in &fig.series {
             out.push(',');
-            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| px == x) {
+            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| same_x(px, x)) {
                 out.push_str(&format!("{y:.6}"));
             }
         }
@@ -162,6 +170,40 @@ mod tests {
         let mut lines = c.lines();
         assert_eq!(lines.next().unwrap(), "x,MDS GRIS (cache),Hawkeye Agent");
         assert!(c.contains("600,120.000000,"));
+    }
+
+    #[test]
+    fn non_integer_x_values_align_across_series() {
+        // The same sweep point computed two ways: 0.1 + 0.2 is not
+        // bit-equal to 0.3, yet both series must land on one row.
+        let f = FigureData {
+            id: "Figure T".into(),
+            title: "tolerance".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                SeriesData {
+                    label: "a".into(),
+                    points: vec![(0.1 + 0.2, 1.0)],
+                },
+                SeriesData {
+                    label: "b".into(),
+                    points: vec![(0.3, 2.0)],
+                },
+            ],
+        };
+        let t = text_table(&f);
+        // One data row (header + one row), with both series populated.
+        assert_eq!(t.lines().count(), 3, "{t}");
+        let last = t.lines().last().unwrap();
+        assert!(last.contains("1.000") && last.contains("2.000"), "{last}");
+        let c = csv(&f);
+        assert_eq!(c.lines().count(), 2, "{c}");
+        let row = c.lines().nth(1).unwrap();
+        assert!(
+            row.contains("1.000000") && row.contains("2.000000"),
+            "{row}"
+        );
     }
 
     #[test]

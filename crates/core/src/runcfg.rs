@@ -2,6 +2,7 @@
 
 use crate::params::Params;
 use simcore::{SimDuration, SimTime};
+use simnet::ObsMode;
 
 /// How long and at what fidelity to run one experiment point.
 #[derive(Debug, Clone, Copy)]
@@ -14,6 +15,10 @@ pub struct RunConfig {
     pub window: SimDuration,
     /// All model constants.
     pub params: Params,
+    /// Observability features (off by default; tracing and metrics
+    /// observe the run without perturbing it, so measurements are
+    /// byte-identical across modes).
+    pub obs: ObsMode,
 }
 
 impl RunConfig {
@@ -25,6 +30,7 @@ impl RunConfig {
             warmup: SimDuration::from_secs(120),
             window: SimDuration::from_secs(600),
             params: Params::default(),
+            obs: ObsMode::OFF,
         }
     }
 
@@ -36,6 +42,7 @@ impl RunConfig {
             warmup: SimDuration::from_secs(45),
             window: SimDuration::from_secs(120),
             params: Params::default(),
+            obs: ObsMode::OFF,
         }
     }
 

@@ -74,6 +74,15 @@ impl Monitor {
             h.cpu_series.push(now, cpu_pct);
             h.prev_busy = busy;
             h.prev_t = now;
+            if cx.net.obs.metrics_on() {
+                let name = cx.net.topo.node(h.node).name.clone();
+                cx.net
+                    .obs
+                    .gauge(&format!("ganglia.load1.{name}"), now, h.load1.value());
+                cx.net
+                    .obs
+                    .gauge(&format!("ganglia.cpu_pct.{name}"), now, cpu_pct);
+            }
         }
     }
 

@@ -101,7 +101,7 @@ impl Manager {
 }
 
 impl Service for Manager {
-    fn handle(&mut self, req: Payload, _cx: &mut SvcCx) -> Plan {
+    fn handle(&mut self, req: Payload, cx: &mut SvcCx) -> Plan {
         let msg = req
             .downcast::<HawkeyeMsg>()
             .expect("Manager expects HawkeyeMsg");
@@ -109,6 +109,9 @@ impl Service for Manager {
             HawkeyeMsg::StartdAd { machine, ad } => {
                 self.ads_received += 1;
                 self.ads.insert(machine.clone(), ad);
+                // Each incoming ad is evaluated against every trigger.
+                cx.obs
+                    .incr("hawkeye.match_evals", self.triggers.len() as u64);
                 let trigger_cost = MATCH_CPU_PER_AD_US * self.triggers.len() as f64;
                 let mut plan = Plan::new().cpu(INGEST_CPU_US + trigger_cost);
                 self.fire_matching_triggers(&machine, &mut plan);
@@ -116,6 +119,7 @@ impl Service for Manager {
             }
             HawkeyeMsg::Status { machine } => {
                 self.queries += 1;
+                cx.obs.incr("hawkeye.queries", 1);
                 let ads: Vec<ClassAd> = match machine {
                     Some(m) => self.ads.get(&m).cloned().into_iter().collect(),
                     None => {
@@ -130,6 +134,9 @@ impl Service for Manager {
             }
             HawkeyeMsg::Constraint { expr } => {
                 self.queries += 1;
+                cx.obs.incr("hawkeye.queries", 1);
+                // A constraint scan runs the matchmaker over the whole pool.
+                cx.obs.incr("hawkeye.match_evals", self.ads.len() as u64);
                 let parsed: Option<Expr> = parse_expr(&expr).ok();
                 let matches: Vec<ClassAd> = match &parsed {
                     Some(e) => self

@@ -14,6 +14,7 @@ use crate::gris::{SEARCH_CPU_FIXED_US, SEARCH_CPU_PER_ENTRY_US};
 use crate::proto::{GrisRegistration, MdsRequest, MdsSearchResult};
 use ldapdir::{Dit, Dn, Entry};
 use simcore::{SimDuration, SimTime};
+use simnet::trace::Ev;
 use simnet::{CallOutcome, Payload, Plan, Service, SubCall, SvcCx, SvcKey};
 use std::collections::{BTreeMap, HashMap};
 
@@ -203,6 +204,7 @@ impl Service for Giis {
             attrs,
         } = *req;
         self.queries += 1;
+        cx.obs.incr("mds.ldap_searches", 1);
         self.purge_expired(now);
         let q = PendingQuery {
             base,
@@ -211,9 +213,14 @@ impl Service for Giis {
             attrs,
         };
         let stale = self.stale_sources(now);
+        let me = cx.me.index;
         if stale.is_empty() {
+            cx.obs.ev_with(now, || Ev::CacheHit { svc: me });
+            cx.obs.incr("mds.cache_hits", 1);
             return self.search_plan(q);
         }
+        cx.obs.ev_with(now, || Ev::CacheMiss { svc: me });
+        cx.obs.incr("mds.cache_misses", 1);
         // Pull the stale subtrees, then search.  Mark the fetch time now so
         // concurrent queries don't stampede the same sources.
         let mut calls = Vec::with_capacity(stale.len());

@@ -14,6 +14,7 @@ use crate::proto::{GrisRegistration, MdsRequest, MdsSearchResult, REGISTRATION_B
 use crate::provider::ProviderSpec;
 use ldapdir::{Dit, Dn, Entry};
 use simcore::{SimDuration, SimTime};
+use simnet::trace::Ev;
 use simnet::{LockKey, Payload, Plan, Service, SvcCx, SvcKey};
 
 /// CPU cost of evaluating the filter against one entry and serializing a
@@ -124,6 +125,15 @@ impl Service for Gris {
         //    update happens now — provider output is deterministic, so the
         //    skew within a single request is unobservable).
         let stale = self.stale(now);
+        let me = cx.me.index;
+        if stale.is_empty() {
+            cx.obs.ev_with(now, || Ev::CacheHit { svc: me });
+            cx.obs.incr("mds.cache_hits", 1);
+        } else {
+            cx.obs.ev_with(now, || Ev::CacheMiss { svc: me });
+            cx.obs.incr("mds.cache_misses", 1);
+        }
+        cx.obs.incr("mds.ldap_searches", 1);
         let mut plan = Plan::new();
         if !stale.is_empty() {
             if let Some(l) = self.exec_lock {

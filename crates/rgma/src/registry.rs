@@ -113,6 +113,7 @@ impl Service for Registry {
             }
             RgmaMsg::RegistryLookup { table } => {
                 self.lookups += 1;
+                _cx.obs.incr("rgma.registry_lookups", 1);
                 let esc = table.replace('\'', "''");
                 let r = self
                     .db
@@ -162,7 +163,8 @@ mod tests {
         let dummy = simcore::slab::SlabKey { index: 7, gen: 0 };
         let mut actions = Vec::new();
         let mut rng = simcore::SimRng::new(1);
-        let mut cx = make_cx(&mut actions, &mut rng);
+        let mut obs = simnet::Obs::off();
+        let mut cx = make_cx(&mut actions, &mut rng, &mut obs);
         let plan = reg.handle(
             Box::new(RgmaMsg::RegistryRegister {
                 servlet: dummy,
@@ -216,6 +218,7 @@ mod tests {
     fn make_cx<'a>(
         actions: &'a mut Vec<simnet::SvcAction>,
         rng: &'a mut simcore::SimRng,
+        obs: &'a mut simnet::Obs,
     ) -> SvcCx<'a> {
         // SvcCx fields are crate-private in simnet; go through the public
         // test constructor.
@@ -223,6 +226,7 @@ mod tests {
             simcore::SimTime::ZERO,
             simcore::slab::SlabKey::NULL,
             rng,
+            obs,
             actions,
         )
     }

@@ -164,6 +164,7 @@ impl Service for ProducerServlet {
         match *msg {
             RgmaMsg::ProducerQuery { sql } => {
                 self.queries += 1;
+                _cx.obs.incr("rgma.producer_queries", 1);
                 if sql == "*ALL*" {
                     // The all-collectors query: one SELECT per table.
                     let mut total_rows = Vec::new();
@@ -313,6 +314,7 @@ impl Service for ConsumerServlet {
             return Plan::reply_empty();
         };
         self.queries += 1;
+        _cx.obs.incr("rgma.consumer_queries", 1);
         // Which table does the query touch?  (Single-table SELECTs only —
         // that is all R-GMA 1.x's mediator handled well, too.)
         let table = match parse_stmt(&sql) {

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 
 /// Cache schema version: bump when the encoded record or the digest
 /// recipe changes, so stale files can never be misread.
-const CACHE_SCHEMA: &str = "gridmon-cache-v1";
+const CACHE_SCHEMA: &str = "gridmon-cache-v2";
 
 /// One extension-study point (the Section-4 future-work studies).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,16 +148,23 @@ impl Job {
 
     /// Content address of this job's result under `cfg`: a stable hash
     /// of everything the outcome depends on — schema version, point
-    /// identity, effective seed, measurement discipline, and the
-    /// calibrated parameters scoped to this job's system.  Editing one
-    /// system's constants therefore re-runs only that system's points.
+    /// identity, effective seed, measurement discipline, observability
+    /// mode, and the calibrated parameters scoped to this job's system.
+    /// Editing one system's constants therefore re-runs only that
+    /// system's points.
+    ///
+    /// The observability fingerprint is part of the address even though
+    /// tracing is designed not to perturb measurements: the contract is
+    /// enforced by tests, not by construction, so a cache entry must
+    /// never be allowed to paper over a regression in it.
     pub fn cache_digest(&self, cfg: &RunConfig) -> String {
         let material = format!(
-            "{CACHE_SCHEMA}\n{key}\nseed={seed}\nwarmup_us={wu}\nwindow_us={wi}\n{params}",
+            "{CACHE_SCHEMA}\n{key}\nseed={seed}\nwarmup_us={wu}\nwindow_us={wi}\n{obs}\n{params}",
             key = self.key(),
             seed = self.seed(cfg),
             wu = cfg.warmup.as_micros(),
             wi = cfg.window.as_micros(),
+            obs = cfg.obs.fingerprint(),
             params = cfg.params.fingerprint(self.system()),
         );
         digest128(material.as_bytes())
@@ -350,6 +357,26 @@ mod tests {
         let mut wan = cfg;
         wan.params.wan_bps *= 2.0;
         assert_ne!(a.cache_digest(&cfg), a.cache_digest(&wan));
+    }
+
+    #[test]
+    fn digests_separate_observability_modes() {
+        use gridmon_core::ObsMode;
+        let cfg = RunConfig::quick(1);
+        let a = Job::Figure(enumerate_set(1, 1.0).unwrap()[0]);
+        let mut traced = cfg;
+        traced.obs = ObsMode::FULL;
+        let mut metrics_only = cfg;
+        metrics_only.obs = ObsMode {
+            trace: false,
+            metrics: true,
+        };
+        let d_off = a.cache_digest(&cfg);
+        let d_full = a.cache_digest(&traced);
+        let d_metrics = a.cache_digest(&metrics_only);
+        assert_ne!(d_off, d_full);
+        assert_ne!(d_off, d_metrics);
+        assert_ne!(d_full, d_metrics);
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod progress;
 pub use cache::DiskCache;
 pub use job::{ExtPoint, Job, JobOutput};
 
-use gridmon_core::figures::{assemble_set, enumerate_set, FigureError, SetData};
+use gridmon_core::deploy::ObservedPoint;
+use gridmon_core::figures::{assemble_set, enumerate_set, FigureError, PointSpec, SetData};
 use gridmon_core::runcfg::RunConfig;
 use progress::Reporter;
 use std::path::PathBuf;
@@ -180,6 +181,30 @@ pub fn run_sets(
     Ok((data, stats))
 }
 
+/// Run figure points with observability harvested, across the pool.
+///
+/// Observed runs are never cached: the result cache stores figure
+/// measurements (a few floats), while an observed point carries the
+/// full event/metrics harvest, which is an artifact to export, not a
+/// memoizable scalar.  `cfg.obs` must enable tracing and/or metrics.
+pub fn run_points_observed(
+    specs: &[PointSpec],
+    cfg: &RunConfig,
+    rc: &RunnerConfig,
+) -> Vec<ObservedPoint> {
+    assert!(
+        cfg.obs.enabled(),
+        "run_points_observed requires cfg.obs to enable tracing or metrics"
+    );
+    let mut reporter = Reporter::new(specs.len(), !rc.quiet);
+    pool::run_indexed(
+        specs,
+        rc.jobs,
+        |spec| spec.run_observed(cfg),
+        |done| reporter.finished(&specs[done.index].key(), done.wall),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +304,29 @@ mod tests {
             for (a, b) in m1.iter().zip(m2) {
                 assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn observed_points_match_plain_measurements() {
+        use gridmon_core::ObsMode;
+        let cfg = tiny_cfg(9);
+        let mut ocfg = cfg;
+        ocfg.obs = ObsMode::FULL;
+        let specs = figures::enumerate_set(1, 0.01).unwrap();
+        let specs = &specs[..3.min(specs.len())];
+        let rc = RunnerConfig {
+            jobs: 2,
+            cache_dir: None,
+            quiet: true,
+        };
+        let observed = run_points_observed(specs, &ocfg, &rc);
+        assert_eq!(observed.len(), specs.len());
+        for (spec, op) in specs.iter().zip(&observed) {
+            let plain = spec.run(&cfg);
+            assert_eq!(op.m, plain, "tracing must not perturb {}", spec.key());
+            assert!(!op.report.events.is_empty());
+            assert!(!op.report.metrics.is_empty());
         }
     }
 

@@ -274,13 +274,45 @@ impl Histogram {
         self.total
     }
 
+    /// Merge another histogram's counts into this one.  Both histograms
+    /// must share the same bucket layout (`lo`, growth ratio, bucket
+    /// count) — merging per-node histograms into a registry snapshot
+    /// only makes sense bucket-for-bucket.
+    ///
+    /// # Panics
+    /// If the layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram merge: lo mismatch");
+        assert_eq!(
+            self.ratio_log2, other.ratio_log2,
+            "histogram merge: bucket ratio mismatch"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram merge: bucket count mismatch"
+        );
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+    }
+
     /// Approximate quantile `q` in `[0, 1]` (returns the lower edge of the
     /// bucket containing the quantile).
+    ///
+    /// Edge cases: an empty histogram returns `0.0` for every `q`, and
+    /// `q = 0` on a non-empty histogram returns the lower edge of the
+    /// smallest occupied bucket (`0.0` if any sample underflowed) rather
+    /// than pretending no data exists.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
-        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        // `q = 0` still names a data point (the minimum), so the rank
+        // target is at least 1.
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
         let mut seen = self.underflow;
         if seen >= target {
             return 0.0;
@@ -460,6 +492,69 @@ mod tests {
         h.record(2.0);
         assert_eq!(h.count(), 2);
         assert_eq!(h.quantile(0.25), 0.0); // underflow bucket
+    }
+
+    #[test]
+    fn histogram_empty_quantiles_are_zero() {
+        let h = Histogram::new(1.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_zero_is_minimum_bucket_edge() {
+        let mut h = Histogram::new(1.0);
+        h.record(8.0);
+        h.record(64.0);
+        // Before the fix, q=0 produced a rank target of 0 and always
+        // returned 0.0 even with data present.
+        let q0 = h.quantile(0.0);
+        assert!(q0 > 0.0, "q0 {q0}");
+        assert!(q0 <= 8.0, "q0 {q0} must not exceed the smallest sample");
+        assert_eq!(h.quantile(0.0), h.quantile(1e-12));
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::new(1e-3);
+        let mut b = Histogram::new(1e-3);
+        let mut both = Histogram::new(1e-3);
+        for i in 1..=500 {
+            let x = i as f64 / 50.0;
+            a.record(x);
+            both.record(x);
+        }
+        for i in 1..=300 {
+            let x = i as f64 / 5.0;
+            b.record(x);
+            both.record(x);
+        }
+        b.record(1e-6); // underflow must merge too
+        both.record(1e-6);
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_into_empty() {
+        let mut acc = Histogram::new(1.0);
+        let mut h = Histogram::new(1.0);
+        h.record(4.0);
+        acc.merge(&h);
+        assert_eq!(acc.count(), 1);
+        assert_eq!(acc.quantile(0.5), h.quantile(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo mismatch")]
+    fn histogram_merge_rejects_layout_mismatch() {
+        let mut a = Histogram::new(1.0);
+        let b = Histogram::new(2.0);
+        a.merge(&b);
     }
 
     #[test]

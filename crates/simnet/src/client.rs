@@ -74,7 +74,19 @@ impl ClientCx<'_> {
     /// Submit a request; the outcome arrives via `on_outcome` with `tag`.
     pub fn submit(&mut self, spec: RequestSpec, tag: u64) {
         let me = self.me;
-        self.net.submit_from_client(self.eng, me, tag, spec);
+        self.net.submit_from_client(self.eng, me, tag, spec, None);
+    }
+
+    /// Like [`submit`](Self::submit), for a query the client began
+    /// working on at `started` (e.g. burning query-tool CPU via
+    /// [`spend_cpu`](Self::spend_cpu) first).  Purely observational:
+    /// the traced span is backdated to `started` with a `client_cpu`
+    /// phase so its phases partition the client-perceived response
+    /// time; the simulation itself is unaffected.
+    pub fn submit_started(&mut self, spec: RequestSpec, tag: u64, started: SimTime) {
+        let me = self.me;
+        self.net
+            .submit_from_client(self.eng, me, tag, spec, Some(started));
     }
 
     /// Schedule `on_wake(tag)` after `dur`.

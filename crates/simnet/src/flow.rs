@@ -155,6 +155,15 @@ impl FlowNet {
         self.flows.get(key).map(|f| f.rate)
     }
 
+    /// Visit every active flow's `(token, rate)` in key order, rate in
+    /// bits/µs — how the tracer snapshots the rate vector after a
+    /// fair-share recomputation.
+    pub fn for_each_rate(&self, mut f: impl FnMut(FlowToken, f64)) {
+        for (_, flow) in self.flows.iter() {
+            f(flow.token, flow.rate);
+        }
+    }
+
     /// Recompute the max-min fair rate allocation by water-filling.
     fn recompute(&mut self, topo: &Topology) {
         self.dirty = false;

@@ -34,6 +34,12 @@ pub mod service;
 pub mod stats;
 pub mod topology;
 
+/// Re-export of the observability crate: service crates reach the event
+/// and metrics types through `simnet::trace::…` without a direct
+/// dependency.
+pub use gtrace as trace;
+pub use gtrace::{Obs, ObsMode};
+
 pub use client::{Client, ClientCx, ClientKey, ReqOutcome, ReqResult};
 pub use net::{Eng, Net, RequestSpec};
 pub use service::{

@@ -36,6 +36,7 @@ use crate::service::{
 };
 use crate::stats::StatsHub;
 use crate::topology::{NodeId, Topology};
+use gtrace::{Ev, Obs, Outcome, Phase};
 use simcore::slab::{Slab, SlabKey};
 use simcore::{Acquire, Engine, EventHandle, FifoTokens, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -140,6 +141,31 @@ fn ticket_req(ticket: u64) -> ReqKey {
     unpack(ticket).1
 }
 
+/// Trace span id of a request: `(index << 32) | gen` stays below 2^53,
+/// so it survives a round-trip through JSON numbers.
+fn span_of(key: ReqKey) -> u64 {
+    ((key.index as u64) << 32) | key.gen as u64
+}
+
+/// The trace phase a waiting state corresponds to.  Phases partition a
+/// span's lifetime exactly: every transition emits a `SpanPhase` event,
+/// and the segment between consecutive transitions (or span end) is the
+/// time spent in that phase.
+fn phase_of(w: Waiting) -> Phase {
+    match w {
+        Waiting::SynFlow => Phase::SynFlow,
+        Waiting::ConnPool => Phase::ConnQueue,
+        Waiting::Handshake => Phase::Handshake,
+        Waiting::ReqFlow => Phase::ReqFlow,
+        Waiting::WorkerPool => Phase::WorkerQueue,
+        Waiting::Cpu => Phase::ServerCpu,
+        Waiting::Latency => Phase::Backend,
+        Waiting::Lock => Phase::DbLock,
+        Waiting::Children => Phase::Children,
+        Waiting::RespFlow => Phase::RespFlow,
+    }
+}
+
 /// The simulation world.
 pub struct Net {
     pub topo: Topology,
@@ -151,6 +177,9 @@ pub struct Net {
     client_work: Slab<(ClientKey, u64)>,
     locks: Slab<FifoTokens>,
     pub stats: StatsHub,
+    /// Observability sink: tracer + metrics registry.  Defaults to off;
+    /// harnesses install a live [`Obs`] before running when requested.
+    pub obs: Obs,
 }
 
 impl Net {
@@ -165,6 +194,7 @@ impl Net {
             client_work: Slab::new(),
             locks: Slab::new(),
             stats,
+            obs: Obs::off(),
         }
     }
 
@@ -283,6 +313,50 @@ impl Net {
     }
 
     // ------------------------------------------------------------------
+    // Observability helpers (no-ops when `obs` is off)
+    // ------------------------------------------------------------------
+
+    /// Transition a request's waiting state and emit the matching span
+    /// phase event.
+    #[inline]
+    fn set_waiting(&mut self, now: SimTime, req: ReqKey, w: Waiting) {
+        if let Some(r) = self.requests.get_mut(req) {
+            r.waiting = w;
+        }
+        self.obs.ev_with(now, || Ev::SpanPhase {
+            span: span_of(req),
+            phase: phase_of(w),
+        });
+    }
+
+    /// Record a queue-depth gauge sample (conn backlog, worker queue...).
+    #[inline]
+    fn obs_depth(&mut self, now: SimTime, kind: &str, idx: u32, depth: u32) {
+        if self.obs.metrics_on() {
+            self.obs
+                .metrics
+                .gauge(&format!("{kind}.{idx}"), now, f64::from(depth));
+        }
+    }
+
+    /// Emit the current rate of every active flow (after a max-min
+    /// recomputation changed the allocation).
+    fn obs_flow_rates(&mut self, now: SimTime) {
+        if self.obs.tracing() {
+            let Net { flows, obs, .. } = self;
+            flows.for_each_rate(|tok, rate| {
+                obs.ev(
+                    now,
+                    Ev::FlowRate {
+                        flow: tok,
+                        bps: rate * 1e6,
+                    },
+                );
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Node metrics (read by the ganglia crate)
     // ------------------------------------------------------------------
 
@@ -310,8 +384,15 @@ impl Net {
         client: ClientKey,
         tag: u64,
         spec: RequestSpec,
+        started: Option<SimTime>,
     ) {
-        let req = self.new_request(Origin::Client { key: client, tag }, spec, eng.now(), false);
+        let req = self.new_request(
+            Origin::Client { key: client, tag },
+            spec,
+            eng.now(),
+            false,
+            started,
+        );
         self.start_syn(eng, req);
     }
 
@@ -349,8 +430,18 @@ impl Net {
         spec: RequestSpec,
         now: SimTime,
         oneway: bool,
+        // When the submitting client began working on this query
+        // (burning query-tool CPU on its own node) before this first
+        // connection attempt: backdates the span so its phases
+        // partition the response time the user records.
+        started: Option<SimTime>,
     ) -> ReqKey {
-        self.requests.insert(RequestState {
+        let parent = match &origin {
+            Origin::Parent { req, .. } => Some(span_of(*req)),
+            _ => None,
+        };
+        let svc = spec.to.index;
+        let key = self.requests.insert(RequestState {
             origin,
             from: spec.from,
             to: spec.to,
@@ -364,7 +455,25 @@ impl Net {
             held_locks: Vec::new(),
             steps: VecDeque::new(),
             pending: None,
-        })
+        });
+        let begin = started.filter(|&at| at < now);
+        self.obs.ev_with(begin.unwrap_or(now), || Ev::SpanBegin {
+            span: span_of(key),
+            parent,
+            svc,
+            oneway,
+        });
+        if let Some(at) = begin {
+            self.obs.ev_with(at, || Ev::SpanPhase {
+                span: span_of(key),
+                phase: Phase::ClientCpu,
+            });
+        }
+        self.obs.ev_with(now, || Ev::SpanPhase {
+            span: span_of(key),
+            phase: Phase::SynFlow,
+        });
+        key
     }
 
     /// Phase 1: the SYN exchange, modelled as a small flow so connection
@@ -376,30 +485,44 @@ impl Net {
         };
         if self.requests.get(req).unwrap().oneway {
             // Datagram: straight to payload transfer.
-            self.requests.get_mut(req).unwrap().waiting = Waiting::ReqFlow;
+            self.set_waiting(eng.now(), req, Waiting::ReqFlow);
             let bytes = self.requests.get(req).unwrap().req_bytes;
             self.start_flow(eng, from, to_node, bytes, pack(FK_REQ, req));
             return;
         }
-        self.requests.get_mut(req).unwrap().waiting = Waiting::SynFlow;
+        self.set_waiting(eng.now(), req, Waiting::SynFlow);
         self.start_flow(eng, from, to_node, SYN_BYTES, pack(FK_SYN, req));
     }
 
     /// SYN arrived at the server: try to enter the accept pool.
     fn syn_arrived(&mut self, eng: &mut Eng, req: ReqKey) {
         let to = self.requests.get(req).expect("request").to;
-        let slot = self.services.get_mut(to).expect("service");
-        match slot.conns.acquire(req_ticket(req)) {
+        let (outcome, depth) = {
+            let slot = self.services.get_mut(to).expect("service");
+            let outcome = slot.conns.acquire(req_ticket(req));
+            if matches!(outcome, Acquire::Rejected) {
+                slot.stats.conns_refused += 1;
+            }
+            (outcome, slot.conns.waiting() as u32)
+        };
+        match outcome {
             Acquire::Granted => {
                 self.requests.get_mut(req).unwrap().has_conn = true;
                 self.begin_handshake(eng, req);
             }
             Acquire::Queued => {
-                self.requests.get_mut(req).unwrap().waiting = Waiting::ConnPool;
+                self.set_waiting(eng.now(), req, Waiting::ConnPool);
+                self.obs.ev_with(eng.now(), || Ev::ConnQueue {
+                    svc: to.index,
+                    depth,
+                });
+                self.obs_depth(eng.now(), "conn_backlog", to.index, depth);
             }
             Acquire::Rejected => {
-                slot.stats.conns_refused += 1;
                 self.stats.incr("conn_refused");
+                self.obs
+                    .ev_with(eng.now(), || Ev::ConnDrop { svc: to.index });
+                self.obs.incr("net.conn_refused", 1);
                 self.fail_request(eng, req, /*refused=*/ true);
             }
         }
@@ -408,14 +531,23 @@ impl Net {
     /// Phase 2: handshake — 1 RTT for TCP plus the service's session-setup
     /// extras (GSI rounds, credential checks).
     fn begin_handshake(&mut self, eng: &mut Eng, req: ReqKey) {
-        let r = self.requests.get_mut(req).expect("request");
-        r.waiting = Waiting::Handshake;
-        r.has_conn = true;
-        let to = r.to;
-        let from = r.from;
-        let slot = self.services.get(to).expect("service");
-        let setup = slot.config.setup;
-        let rtt = self.topo.rtt(from, slot.node);
+        let (to, from) = {
+            let r = self.requests.get_mut(req).expect("request");
+            r.has_conn = true;
+            (r.to, r.from)
+        };
+        self.set_waiting(eng.now(), req, Waiting::Handshake);
+        let (setup, node) = {
+            let slot = self.services.get(to).expect("service");
+            (slot.config.setup, slot.node)
+        };
+        if setup.extra_rtts > 0.0 {
+            // Session setup beyond plain TCP: GSI/TLS exchanges.
+            self.obs
+                .ev_with(eng.now(), || Ev::GsiHandshake { svc: to.index });
+            self.obs.incr("gsi.handshakes", 1);
+        }
+        let rtt = self.topo.rtt(from, node);
         let delay = rtt.mul_f64(1.0 + setup.extra_rtts) + setup.fixed;
         eng.schedule_in(delay, move |net: &mut Net, eng| net.send_request(eng, req));
     }
@@ -423,38 +555,48 @@ impl Net {
     /// Phase 3: transfer the request body.
     fn send_request(&mut self, eng: &mut Eng, req: ReqKey) {
         let (from, to_node, bytes) = {
-            let r = self.requests.get_mut(req).expect("request");
-            r.waiting = Waiting::ReqFlow;
+            let r = self.requests.get(req).expect("request");
             (r.from, self.services.get(r.to).unwrap().node, r.req_bytes)
         };
+        self.set_waiting(eng.now(), req, Waiting::ReqFlow);
         self.start_flow(eng, from, to_node, bytes, pack(FK_REQ, req));
     }
 
     /// Phase 4: request body received — acquire a worker, then plan.
     fn request_arrived(&mut self, eng: &mut Eng, req: ReqKey) {
         let to = self.requests.get(req).expect("request").to;
-        let slot = self.services.get_mut(to).expect("service");
         if self.requests.get(req).unwrap().oneway {
-            slot.stats.oneways_received += 1;
+            self.services
+                .get_mut(to)
+                .expect("service")
+                .stats
+                .oneways_received += 1;
             // One-way messages bypass the worker pool (they are handled by
             // the server's event loop; their CPU demand still contends).
             self.start_plan(eng, req);
             return;
         }
-        let need_worker = slot.workers.is_some();
-        if need_worker {
-            match slot.workers.as_mut().unwrap().acquire(req_ticket(req)) {
-                Acquire::Granted => {
-                    self.requests.get_mut(req).unwrap().has_worker = true;
-                    self.start_plan(eng, req);
-                }
-                Acquire::Queued => {
-                    self.requests.get_mut(req).unwrap().waiting = Waiting::WorkerPool;
-                }
-                Acquire::Rejected => unreachable!("worker pools are unbounded"),
+        let acquired = {
+            let slot = self.services.get_mut(to).expect("service");
+            slot.workers
+                .as_mut()
+                .map(|w| (w.acquire(req_ticket(req)), w.waiting() as u32))
+        };
+        match acquired {
+            None => self.start_plan(eng, req),
+            Some((Acquire::Granted, _)) => {
+                self.requests.get_mut(req).unwrap().has_worker = true;
+                self.start_plan(eng, req);
             }
-        } else {
-            self.start_plan(eng, req);
+            Some((Acquire::Queued, depth)) => {
+                self.set_waiting(eng.now(), req, Waiting::WorkerPool);
+                self.obs.ev_with(eng.now(), || Ev::WorkerQueue {
+                    svc: to.index,
+                    depth,
+                });
+                self.obs_depth(eng.now(), "worker_queue", to.index, depth);
+            }
+            Some((Acquire::Rejected, _)) => unreachable!("worker pools are unbounded"),
         }
     }
 
@@ -494,8 +636,17 @@ impl Net {
             match step {
                 Step::Cpu(us) => {
                     let node = self.service_node(self.requests.get(req).unwrap().to);
-                    self.requests.get_mut(req).unwrap().waiting = Waiting::Cpu;
+                    self.set_waiting(eng.now(), req, Waiting::Cpu);
                     let now = eng.now();
+                    if self.obs.tracing() {
+                        self.obs.ev(
+                            now,
+                            Ev::CpuGrant {
+                                node: node.0,
+                                span: span_of(req),
+                            },
+                        );
+                    }
                     let cpu = &mut self.topo.node_mut(node).cpu;
                     let _ = cpu.advance(now); // normally empty; tick event handles completions
                     cpu.submit(now, us, req_ticket(req));
@@ -503,10 +654,10 @@ impl Net {
                     return;
                 }
                 Step::Latency(d) => {
-                    self.requests.get_mut(req).unwrap().waiting = Waiting::Latency;
+                    self.set_waiting(eng.now(), req, Waiting::Latency);
                     eng.schedule_in(d, move |net: &mut Net, eng| {
-                        if let Some(r) = net.requests.get_mut(req) {
-                            r.waiting = Waiting::Cpu;
+                        if net.requests.contains(req) {
+                            net.set_waiting(eng.now(), req, Waiting::Cpu);
                         }
                         net.advance_steps(eng, req);
                     });
@@ -524,7 +675,13 @@ impl Net {
                             continue;
                         }
                         Acquire::Queued => {
-                            self.requests.get_mut(req).unwrap().waiting = Waiting::Lock;
+                            self.set_waiting(eng.now(), req, Waiting::Lock);
+                            let depth = self.locks.get(l).unwrap().waiting() as u32;
+                            self.obs.ev_with(eng.now(), || Ev::LockQueue {
+                                lock: l.index,
+                                depth,
+                            });
+                            self.obs_depth(eng.now(), "lock_queue", l.index, depth);
                             // Remember which lock we are waiting for by
                             // pushing the Lock step back in front: on grant
                             // we mark it held directly.
@@ -565,6 +722,7 @@ impl Net {
                         },
                         eng.now(),
                         true,
+                        None,
                     );
                     self.start_syn(eng, oneway);
                     continue;
@@ -574,7 +732,7 @@ impl Net {
                         self.requests.get(req).unwrap().steps.is_empty(),
                         "CallAll must be the final step"
                     );
-                    self.requests.get_mut(req).unwrap().waiting = Waiting::Children;
+                    self.set_waiting(eng.now(), req, Waiting::Children);
                     if calls.is_empty() {
                         // Degenerate fan-out: resume on a zero-delay event to
                         // preserve "no synchronous callback" discipline.
@@ -614,6 +772,7 @@ impl Net {
                             },
                             eng.now(),
                             false,
+                            None,
                         );
                         self.start_syn(eng, child);
                     }
@@ -660,6 +819,10 @@ impl Net {
                     let to_node = self.service_node(to);
                     let slot = self.services.get_mut(to).unwrap();
                     slot.stats.replies_sent += 1;
+                    self.obs.ev_with(eng.now(), || Ev::SpanPhase {
+                        span: span_of(req),
+                        phase: Phase::RespFlow,
+                    });
                     self.start_flow(eng, to_node, from, bytes, pack(FK_RESP, req));
                     return;
                 }
@@ -683,6 +846,7 @@ impl Net {
                 now: eng.now(),
                 me: key,
                 rng: &mut rng,
+                obs: &mut self.obs,
                 actions: &mut actions,
             };
             f(svc.as_mut(), &mut cx)
@@ -712,6 +876,7 @@ impl Net {
                         },
                         eng.now(),
                         true,
+                        None,
                     );
                     self.start_syn(eng, req);
                 }
@@ -782,10 +947,18 @@ impl Net {
         let Some(state) = self.requests.remove(req) else {
             return;
         };
+        self.obs.ev_with(eng.now(), || Ev::SpanEnd {
+            span: span_of(req),
+            outcome: Outcome::Ok,
+        });
         let payload = state.payload.expect("response payload");
         let bytes = state.req_bytes;
         match state.origin {
             Origin::Client { key, tag } => {
+                if self.obs.metrics_on() {
+                    let rt = eng.now().saturating_since(state.submitted).as_micros() as f64;
+                    self.obs.observe("net.rt_us", rt);
+                }
                 let outcome = ReqOutcome {
                     tag,
                     result: ReqResult::Ok(payload, bytes),
@@ -813,6 +986,14 @@ impl Net {
             let Some(state) = net.requests.remove(req) else {
                 return;
             };
+            net.obs.ev_with(eng.now(), || Ev::SpanEnd {
+                span: span_of(req),
+                outcome: if refused {
+                    Outcome::Refused
+                } else {
+                    Outcome::Failed
+                },
+            });
             match state.origin {
                 Origin::Client { key, tag } => {
                     let outcome = ReqOutcome {
@@ -850,25 +1031,41 @@ impl Net {
             self.release_lock(eng, l);
         }
         if has_worker {
-            let next = self
-                .services
-                .get_mut(to)
-                .and_then(|s| s.workers.as_mut())
-                .and_then(|w| w.release());
+            let (next, depth) = {
+                match self.services.get_mut(to).and_then(|s| s.workers.as_mut()) {
+                    Some(w) => (w.release(), w.waiting() as u32),
+                    None => (None, 0),
+                }
+            };
             if let Some(ticket) = next {
                 let granted = ticket_req(ticket);
                 if let Some(r) = self.requests.get_mut(granted) {
                     r.has_worker = true;
                 }
+                self.obs.ev_with(eng.now(), || Ev::WorkerQueue {
+                    svc: to.index,
+                    depth,
+                });
+                self.obs_depth(eng.now(), "worker_queue", to.index, depth);
                 eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
                     net.start_plan(eng, granted)
                 });
             }
         }
         if has_conn {
-            let next = self.services.get_mut(to).and_then(|s| s.conns.release());
+            let (next, depth) = {
+                match self.services.get_mut(to) {
+                    Some(s) => (s.conns.release(), s.conns.waiting() as u32),
+                    None => (None, 0),
+                }
+            };
             if let Some(ticket) = next {
                 let granted = ticket_req(ticket);
+                self.obs.ev_with(eng.now(), || Ev::ConnQueue {
+                    svc: to.index,
+                    depth,
+                });
+                self.obs_depth(eng.now(), "conn_backlog", to.index, depth);
                 eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
                     if net.requests.contains(granted) {
                         net.begin_handshake(eng, granted);
@@ -882,6 +1079,11 @@ impl Net {
         self.release_server_side(eng, req);
         let state = self.requests.remove(req);
         if let Some(state) = state {
+            let clean = matches!(state.origin, Origin::None);
+            self.obs.ev_with(eng.now(), || Ev::SpanEnd {
+                span: span_of(req),
+                outcome: if clean { Outcome::Ok } else { Outcome::Failed },
+            });
             // A request that ends without a reply only makes sense for
             // one-ways; report a failure otherwise so callers aren't left
             // hanging.
@@ -909,6 +1111,18 @@ impl Net {
             if let Some(r) = self.requests.get_mut(granted) {
                 r.held_locks.push(l);
                 r.waiting = Waiting::Cpu;
+                self.obs.ev_with(eng.now(), || Ev::SpanPhase {
+                    span: span_of(granted),
+                    phase: Phase::ServerCpu,
+                });
+            }
+            if self.obs.on() {
+                let depth = self.locks.get(l).map_or(0, |lk| lk.waiting()) as u32;
+                self.obs.ev_with(eng.now(), || Ev::LockQueue {
+                    lock: l.index,
+                    depth,
+                });
+                self.obs_depth(eng.now(), "lock_queue", l.index, depth);
             }
             eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
                 net.advance_steps(eng, granted)
@@ -927,6 +1141,9 @@ impl Net {
         let done = self.flows.advance(&self.topo, now);
         let path = self.topo.route(from, to).to_vec();
         self.flows.start(&self.topo, now, path, bytes, token);
+        self.obs
+            .ev_with(now, || Ev::FlowStart { flow: token, bytes });
+        self.obs_flow_rates(now);
         self.resched_flows(eng);
         for t in done {
             self.dispatch_flow_token(eng, t);
@@ -936,6 +1153,7 @@ impl Net {
     fn flow_tick(&mut self, eng: &mut Eng) {
         let now = eng.now();
         let done = self.flows.advance(&self.topo, now);
+        self.obs_flow_rates(now);
         self.resched_flows(eng);
         for t in done {
             self.dispatch_flow_token(eng, t);
@@ -943,6 +1161,7 @@ impl Net {
     }
 
     fn dispatch_flow_token(&mut self, eng: &mut Eng, token: u64) {
+        self.obs.ev_with(eng.now(), || Ev::FlowEnd { flow: token });
         let (kind, key) = unpack(token);
         if !self.requests.contains(key) {
             return;
@@ -995,6 +1214,10 @@ impl Net {
             match kind {
                 CK_REQUEST => {
                     if self.requests.contains(key) {
+                        self.obs.ev_with(now, || Ev::CpuDone {
+                            node: node.0,
+                            span: span_of(key),
+                        });
                         self.advance_steps(eng, key);
                     }
                 }
@@ -1034,6 +1257,21 @@ impl Net {
             Some(t) => eng.schedule_at(t, move |net: &mut Net, eng| net.cpu_tick(eng, node)),
             None => EventHandle::NULL,
         };
+        if self.obs.on() {
+            let now = eng.now();
+            let runnable = self.topo.node(node).cpu.runnable() as u32;
+            self.obs.ev(
+                now,
+                Ev::CpuResched {
+                    node: node.0,
+                    runnable,
+                },
+            );
+            if self.obs.metrics_on() {
+                let name = format!("cpu.{}.runnable", self.topo.node(node).name);
+                self.obs.metrics.gauge(&name, now, f64::from(runnable));
+            }
+        }
     }
 }
 

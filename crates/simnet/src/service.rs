@@ -195,6 +195,10 @@ pub struct SvcCx<'a> {
     pub me: SvcKey,
     /// This service's deterministic RNG stream.
     pub rng: &'a mut SimRng,
+    /// The world's observability sink: services report protocol-level
+    /// events (cache hits, matchmaker evaluations, servlet queues) here.
+    /// Free when observability is off.
+    pub obs: &'a mut gtrace::Obs,
     pub(crate) actions: &'a mut Vec<SvcAction>,
 }
 
@@ -205,12 +209,14 @@ impl<'a> SvcCx<'a> {
         now: SimTime,
         me: SvcKey,
         rng: &'a mut SimRng,
+        obs: &'a mut gtrace::Obs,
         actions: &'a mut Vec<SvcAction>,
     ) -> SvcCx<'a> {
         SvcCx {
             now,
             me,
             rng,
+            obs,
             actions,
         }
     }

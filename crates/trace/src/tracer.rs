@@ -1,0 +1,132 @@
+//! Tracer implementations: a no-op sink and a bounded ring buffer.
+
+use crate::events::{Ev, TraceEvent};
+use simcore::SimTime;
+use std::collections::VecDeque;
+
+/// Default ring capacity (events).  Roughly 50 MB of `TraceEvent`s —
+/// enough for every event of a quick-profile sweep point; older events
+/// are dropped (and counted) beyond that.
+pub const DEFAULT_RING_CAP: usize = 1 << 21;
+
+/// Sink for simulation events.
+///
+/// `Send` so a tracer can live inside a world that sweep workers move
+/// across threads.  Implementations must preserve arrival order: the
+/// simulator emits events in deterministic dispatch order and the
+/// exporters rely on it.
+pub trait Tracer: Send {
+    /// Record one event at simulation time `at`.
+    fn record(&mut self, at: SimTime, ev: Ev);
+    /// Drain recorded events, returning `(events, dropped_count)` and
+    /// leaving the tracer empty.
+    fn take(&mut self) -> (Vec<TraceEvent>, u64);
+}
+
+/// Discards everything.  [`crate::Obs`] never even virtual-dispatches
+/// into a tracer when tracing is off, so with `NullTracer` installed the
+/// instrumentation reduces to one branch per site.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline(always)]
+    fn record(&mut self, _at: SimTime, _ev: Ev) {}
+
+    fn take(&mut self) -> (Vec<TraceEvent>, u64) {
+        (Vec::new(), 0)
+    }
+}
+
+/// Bounded ring of events: drops the *oldest* events once full, so the
+/// tail of a run (the measurement window) survives, and counts what it
+/// dropped.
+#[derive(Debug)]
+pub struct RingTracer {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl RingTracer {
+    /// Ring holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        RingTracer {
+            buf: VecDeque::new(),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Default for RingTracer {
+    fn default() -> Self {
+        RingTracer::new(DEFAULT_RING_CAP)
+    }
+}
+
+impl Tracer for RingTracer {
+    #[inline]
+    fn record(&mut self, at: SimTime, ev: Ev) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TraceEvent { at, ev });
+    }
+
+    fn take(&mut self) -> (Vec<TraceEvent>, u64) {
+        let dropped = self.dropped;
+        self.dropped = 0;
+        (std::mem::take(&mut self.buf).into(), dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    #[test]
+    fn ring_preserves_order_and_drops_oldest() {
+        let mut r = RingTracer::new(3);
+        for seq in 0..5 {
+            r.record(t(seq), Ev::Dispatch { seq });
+        }
+        let (evs, dropped) = r.take();
+        assert_eq!(dropped, 2);
+        let seqs: Vec<u64> = evs
+            .iter()
+            .map(|e| match e.ev {
+                Ev::Dispatch { seq } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert!(r.is_empty());
+        // The drop counter resets with each take.
+        r.record(t(9), Ev::Dispatch { seq: 9 });
+        let (evs, dropped) = r.take();
+        assert_eq!((evs.len(), dropped), (1, 0));
+    }
+
+    #[test]
+    fn null_tracer_yields_nothing() {
+        let mut n = NullTracer;
+        n.record(t(1), Ev::Dispatch { seq: 1 });
+        assert_eq!(n.take(), (Vec::new(), 0));
+    }
+}

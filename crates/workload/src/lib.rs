@@ -101,15 +101,21 @@ impl User {
 
     fn send(&mut self, cx: &mut ClientCx, _fresh: bool) {
         let (payload, bytes) = (self.make_query)(&mut self.rng);
-        cx.submit(
-            RequestSpec {
-                from: self.node,
-                to: self.target,
-                payload,
-                req_bytes: bytes,
-            },
-            0,
-        );
+        let spec = RequestSpec {
+            from: self.node,
+            to: self.target,
+            payload,
+            req_bytes: bytes,
+        };
+        if self.attempt == 0 {
+            // First attempt: the span covers the client-side CPU burned
+            // since `query_started`, matching the recorded response
+            // time.  Retries are separate spans (the recorded time
+            // additionally includes backoff, which no span covers).
+            cx.submit_started(spec, 0, self.query_started);
+        } else {
+            cx.submit(spec, 0);
+        }
     }
 
     fn backoff(&mut self) -> SimDuration {

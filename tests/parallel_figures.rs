@@ -68,6 +68,33 @@ fn every_figure_csv_is_byte_identical_across_job_counts() {
     }
 }
 
+/// Observability must not perturb the simulation: with tracing and
+/// metrics fully on (RingTracer + registry live), every figure CSV is
+/// byte-identical to the plain NullTracer run, sequential or 8-wide.
+#[test]
+fn tracing_never_changes_figure_csvs() {
+    let base = cfg();
+    let mut traced = base;
+    traced.obs = gridmon_core::ObsMode::FULL;
+    for set in 1..=4 {
+        let reference = csvs_of(&figures::run_set(set, &base, SCALE, None).unwrap());
+        for jobs in [1, 8] {
+            let rc = RunnerConfig {
+                jobs,
+                cache_dir: None,
+                quiet: true,
+            };
+            let (data, stats) = gridmon_runner::run_set(set, &traced, SCALE, &rc).unwrap();
+            assert_eq!(stats.executed, stats.total, "no cache in play");
+            assert_eq!(
+                csvs_of(&data),
+                reference,
+                "set {set} diverged under full tracing at jobs={jobs}"
+            );
+        }
+    }
+}
+
 #[test]
 fn warm_cache_reproduces_identical_csvs_without_executing() {
     let cfg = cfg();
