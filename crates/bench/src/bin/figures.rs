@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! figures [--profile paper|quick|bench] [--seed N] [--out DIR]
-//!         [--jobs N] [--no-cache] [--only figN]
-//!         [--trace SUBSTR] [--metrics] [TARGET...]
+//!         [--jobs N] [--no-cache] [--only figN] [--faults PLAN]
+//!         [--trace SUBSTR] [--metrics] [--list] [TARGET...]
 //!
-//! TARGET:  table1 | set1..set4 | fig5..fig20 | ext | all   (default: all)
+//! TARGET:  table1 | set1..set5 | fig5..fig24 | ext | all   (default: all)
 //!
 //! --jobs N    run sweep points on N worker threads (0 = all cores;
 //!             default 0).  Output is byte-identical for every N.
@@ -13,6 +13,14 @@
 //!             (DIR/.cache/); by default unchanged points are reused.
 //! --only figN print/write only figure N of the sets that run (may be
 //!             given several times; `figN` as a TARGET implies it).
+//! --faults P  fault plan for the Set-5 resilience sweep:
+//!             `SCENARIO[@START:HEAL]` with SCENARIO one of
+//!             none|auto|churn|partition|freeze|connburst and
+//!             START/HEAL fractions of the measurement window (default
+//!             `auto@0.25:0.6`; `auto` picks each series' canonical
+//!             scenario).  The number of faulted components is the
+//!             sweep's x value.  Only set 5 injects faults; other sets
+//!             ignore the flag.
 //! --trace S   after the sweep, re-run every point of the selected sets
 //!             whose id (`setN/<series>/x=<x>`) contains the substring S
 //!             with event tracing on, and write per-point Chrome-trace
@@ -22,6 +30,9 @@
 //! --metrics   also snapshot the metrics registry per point and write
 //!             `DIR/trace/<point>.metrics.csv`.  Without --trace this
 //!             covers every point of the selected sets.
+//! --list      print the catalogue — every figure with its title and
+//!             every `setN/<series>/x=<x>` point key the selected
+//!             targets would run — and exit without running anything.
 //!
 //! `ext` runs the future-work extension studies (WAN sweep, hierarchy
 //! vs flat aggregation, aggregate-vs-direct, open-loop arrivals,
@@ -35,7 +46,9 @@
 //! `tests/parallel_figures.rs`), so the CSVs stand whatever is traced.
 
 use gbench::{figures_of_set, Profile};
-use gridmon_core::figures::{enumerate_set, set_of_figure, PointSpec};
+use gfaults::{FaultSpec, Scenario};
+use gridmon_core::experiments::set5;
+use gridmon_core::figures::{self, enumerate_set, set_of_figure, PointSpec};
 use gridmon_core::mapping::render_table1;
 use gridmon_core::report::{ascii_chart, csv, text_table};
 use gridmon_core::ObsMode;
@@ -54,6 +67,8 @@ fn main() {
     let mut only_figs: BTreeSet<u32> = BTreeSet::new();
     let mut trace_substrs: Vec<String> = Vec::new();
     let mut want_metrics = false;
+    let mut want_list = false;
+    let mut faults: Option<FaultSpec> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -89,6 +104,11 @@ fn main() {
                 );
             }
             "--metrics" => want_metrics = true,
+            "--list" => want_list = true,
+            "--faults" => {
+                let plan = args.next().unwrap_or_else(|| die("--faults needs a plan"));
+                faults = Some(parse_faults(&plan));
+            }
             "--only" => {
                 let f = args.next().unwrap_or_else(|| die("--only needs figN"));
                 only_figs.insert(parse_fig(&f));
@@ -96,8 +116,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [--profile paper|quick|bench] [--seed N] [--out DIR] \
-                     [--jobs N] [--no-cache] [--only figN] [--trace SUBSTR] [--metrics] \
-                     [table1|setN|figN|ext|all]..."
+                     [--jobs N] [--no-cache] [--only figN] [--faults PLAN] [--trace SUBSTR] \
+                     [--metrics] [--list] [table1|setN|figN|ext|all]..."
                 );
                 return;
             }
@@ -116,7 +136,7 @@ fn main() {
         match t.as_str() {
             "all" => {
                 want_table1 = true;
-                sets.extend([1, 2, 3, 4]);
+                sets.extend([1, 2, 3, 4, 5]);
             }
             "table1" => want_table1 = true,
             "ext" => want_ext = true,
@@ -124,9 +144,9 @@ fn main() {
                 let n: u32 = s[3..]
                     .parse()
                     .unwrap_or_else(|_| die(&format!("bad target {s}")));
-                if !(1..=4).contains(&n) {
+                if !(1..=5).contains(&n) {
                     die(&format!(
-                        "no experiment set {n}: the paper defines sets 1-4"
+                        "no experiment set {n}: sets 1-4 are the paper's, 5 is resilience"
                     ));
                 }
                 sets.insert(n);
@@ -142,6 +162,22 @@ fn main() {
     // `--only fig9` with no explicit set target also selects set 2.
     for &n in &only_figs {
         sets.insert(set_of_figure(n).expect("parse_fig validated the range"));
+    }
+
+    // The Set-5 resilience sweep injects the requested (or canonical)
+    // fault plan; every other set runs pristine whatever the flag says,
+    // so fig05-fig20 stay byte-identical.
+    let spec_for = |set: u32| -> FaultSpec {
+        if set == 5 {
+            faults.unwrap_or_else(set5::default_spec)
+        } else {
+            FaultSpec::NONE
+        }
+    };
+
+    if want_list {
+        list_catalogue(&sets, &only_figs, want_table1, want_ext, profile);
+        return;
     }
 
     std::fs::create_dir_all(&out_dir).expect("create output dir");
@@ -166,8 +202,10 @@ fn main() {
                 rc.jobs.to_string()
             }
         );
-        let (data, stats) =
-            gbench::run_set(set, profile, seed, &rc).unwrap_or_else(|e| die(&e.to_string()));
+        let mut cfg = profile.run_config(seed);
+        cfg.faults = spec_for(set);
+        let (data, stats) = gridmon_runner::run_set(set, &cfg, profile.scale(), &rc)
+            .unwrap_or_else(|e| die(&e.to_string()));
         eprintln!(
             "== set {set} done in {:.1?} ({} points: {} executed, {} cached) ==",
             stats.wall, stats.total, stats.executed, stats.cache_hits
@@ -201,8 +239,85 @@ fn main() {
             &out_dir,
             &trace_substrs,
             want_metrics,
+            spec_for(5),
         );
     }
+}
+
+/// `--list`: the catalogue of what the selected targets cover — figure
+/// numbers with their titles, then every point key the sweep would run
+/// (`setN/<series>/x=<x>`, the ids `--trace` matches against).
+fn list_catalogue(
+    sets: &BTreeSet<u32>,
+    only_figs: &BTreeSet<u32>,
+    want_table1: bool,
+    want_ext: bool,
+    profile: Profile,
+) {
+    // Writes go through one handle with errors ignored: `--list | head`
+    // must not die of a broken pipe.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if want_table1 {
+        let _ = writeln!(out, "table1  Component Mapping");
+    }
+    if want_ext {
+        let _ = writeln!(out, "ext     Future-work extension studies");
+    }
+    for &set in sets {
+        for fig in figures::figures_of_set(set).unwrap_or_else(|e| die(&e.to_string())) {
+            if !only_figs.is_empty() && !only_figs.contains(&fig) {
+                continue;
+            }
+            let title = figures::figure_title(fig).expect("figures_of_set yields known figures");
+            let _ = writeln!(out, "fig{fig:02}   {title}");
+        }
+        for spec in enumerate_set(set, profile.scale()).unwrap_or_else(|e| die(&e.to_string())) {
+            let _ = writeln!(out, "  {}", spec.key());
+        }
+    }
+}
+
+/// Parse the `--faults` plan: `SCENARIO[@START:HEAL]`, fractions of the
+/// measurement window.  The faulted-component count is not part of the
+/// plan — the Set-5 sweep faults each point's x components.
+fn parse_faults(plan: &str) -> FaultSpec {
+    let (name, fracs) = match plan.split_once('@') {
+        Some((n, f)) => (n, Some(f)),
+        None => (plan, None),
+    };
+    let scenario = Scenario::parse(name).unwrap_or_else(|| {
+        die(&format!(
+            "unknown fault scenario {name:?} (none|auto|churn|partition|freeze|connburst)"
+        ))
+    });
+    if scenario == Scenario::None {
+        return FaultSpec::NONE;
+    }
+    let mut spec = set5::default_spec();
+    spec.scenario = scenario;
+    if let Some(fracs) = fracs {
+        let (s, h) = fracs
+            .split_once(':')
+            .unwrap_or_else(|| die("--faults fractions look like START:HEAL, e.g. 0.25:0.6"));
+        spec.start_frac = parse_frac(s);
+        spec.heal_frac = parse_frac(h);
+        if spec.heal_frac <= spec.start_frac {
+            die("--faults HEAL must come after START");
+        }
+    }
+    spec
+}
+
+fn parse_frac(s: &str) -> f64 {
+    let v: f64 = s
+        .parse()
+        .unwrap_or_else(|_| die(&format!("bad window fraction {s:?}")));
+    if !(0.0..=1.0).contains(&v) {
+        die(&format!("window fraction {v} outside 0..=1"));
+    }
+    v
 }
 
 /// The observability pass: re-run the matching points with tracing
@@ -210,6 +325,7 @@ fn main() {
 /// Points are re-executed (never served from the result cache) because
 /// events and metric streams are not part of the cached measurement;
 /// the measurements themselves still come out bit-identical.
+#[allow(clippy::too_many_arguments)]
 fn run_observability(
     sets: &BTreeSet<u32>,
     profile: Profile,
@@ -218,6 +334,7 @@ fn run_observability(
     out_dir: &std::path::Path,
     trace_substrs: &[String],
     want_metrics: bool,
+    fault_spec: FaultSpec,
 ) {
     let mut specs: Vec<PointSpec> = Vec::new();
     for &set in sets {
@@ -238,6 +355,9 @@ fn run_observability(
         trace: tracing,
         metrics: want_metrics,
     };
+    // Inert outside set 5 (only the resilience experiments build a
+    // fault plan from it), so a mixed selection is safe.
+    cfg.faults = fault_spec;
 
     let obs_dir = out_dir.join("trace");
     std::fs::create_dir_all(&obs_dir).expect("create trace dir");
@@ -308,7 +428,9 @@ fn parse_fig(arg: &str) -> u32 {
         .parse()
         .unwrap_or_else(|_| die(&format!("bad figure {arg:?} (expected figN)")));
     if set_of_figure(n).is_none() {
-        die(&format!("no figure {n}: the paper defines figures 5-20"));
+        die(&format!(
+            "no figure {n}: figures 5-20 are the paper's, 21-24 are resilience"
+        ));
     }
     n
 }

@@ -18,9 +18,26 @@
 //! that no single span covers, and the ±1 % phase-sum check would not
 //! be meaningful.
 
-use gtrace::inspect::{self_check, summarize};
+//! The Set-5 fixture (`fixtures/golden_set5_trace.json`) is the same
+//! idea for the resilience experiments: a traced Hawkeye agent-churn
+//! point whose fault-cause breakdown `gridmon-inspect` must keep
+//! surfacing.  Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p gridmon-bench --bin figures -- \
+//!     --profile bench --out /tmp/obs5 --no-cache set5 \
+//!     --trace "Hawkeye (agent churn)/x=1"
+//! cp "/tmp/obs5/trace/set5-hawkeye-agent-churn-x=1.trace.json" \
+//!     crates/bench/fixtures/golden_set5_trace.json
+//! ```
+
+use gtrace::inspect::{render, self_check, summarize};
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/golden_trace.json");
+const GOLDEN_SET5: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/fixtures/golden_set5_trace.json"
+);
 
 #[test]
 fn golden_trace_passes_self_check() {
@@ -33,4 +50,33 @@ fn golden_trace_passes_self_check() {
         "cached-GRIS latency is dominated by the GSI handshake"
     );
     self_check(&s).expect("phase sum and reported mean agree within 1%");
+}
+
+/// The Set-5 fixture carries an injected agent crash and its later
+/// restart; `gridmon-inspect` must attribute both in its cause
+/// breakdown, and the service must have kept answering queries through
+/// the churn (the Hawkeye resilience claim).
+#[test]
+fn golden_set5_trace_shows_fault_causes() {
+    let doc = std::fs::read_to_string(GOLDEN_SET5).expect("read set5 golden fixture");
+    let s = summarize(&doc).expect("set5 fixture parses");
+    assert!(
+        s.queries > 0,
+        "manager must keep serving Status queries through agent churn"
+    );
+    let count_of = |prefix: &str| -> u64 {
+        s.causes
+            .iter()
+            .filter(|c| c.cause.starts_with(prefix))
+            .map(|c| c.count)
+            .sum()
+    };
+    assert_eq!(count_of("fault_crash"), 1, "one agent crash injected");
+    assert_eq!(count_of("fault_restart"), 1, "and its matching restart");
+    // The breakdown names the faulted component, not just the kind.
+    let report = render(&s);
+    assert!(
+        report.contains("fault_crash hawkeye-agent@"),
+        "report must attribute the crash to the agent:\n{report}"
+    );
 }

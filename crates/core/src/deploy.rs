@@ -3,11 +3,12 @@
 
 use crate::runcfg::{Measurement, RunConfig};
 use ganglia::Monitor;
+use gfaults::{FaultDriver, FaultPlan};
 use hawkeye::{default_modules, AdvertiserFleet, Agent, Manager};
 use ldapdir::Dn;
 use mds::{default_providers, Giis, Gris};
 use rgma::{ConsumerServlet, ProducerServlet, Registry};
-use simcore::{Engine, SimDuration};
+use simcore::{Engine, SimDuration, SimTime};
 use simnet::trace::{Ev, Obs, ObsReport};
 use simnet::{ClientKey, Eng, Net, NodeId, StatsHub, SvcKey};
 use testbed::{Testbed, TestbedConfig};
@@ -34,6 +35,10 @@ pub struct Harness {
     pub cfg: RunConfig,
     monitor: Option<ClientKey>,
     server_node: Option<NodeId>,
+    /// Fault schedule, installed after deployment (keys and link ids are
+    /// only known then).  `None` keeps the run loop on the exact code path
+    /// a fault-free build would take.
+    faults: Option<FaultDriver>,
 }
 
 impl Harness {
@@ -61,6 +66,17 @@ impl Harness {
             cfg,
             monitor: None,
             server_node: None,
+            faults: None,
+        }
+    }
+
+    /// Install a fault schedule.  Must be called after the deployment is
+    /// complete (plans are bound to concrete service keys and link ids)
+    /// and before [`run_and_measure`](Harness::run_and_measure).  Empty
+    /// plans are discarded so the run loop stays on the fault-free path.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        if !plan.is_empty() {
+            self.faults = Some(FaultDriver::new(plan));
         }
     }
 
@@ -89,11 +105,15 @@ impl Harness {
         if self.net.obs.on() {
             self.run_window_observed();
         } else {
-            self.eng.run_until(&mut self.net, self.cfg.window_end());
+            self.run_to(self.cfg.window_end());
         }
         let (ws, we) = (self.cfg.window_start(), self.cfg.window_end());
         let monitor: &Monitor = self.net.client_as(self.monitor.unwrap()).expect("monitor");
         let server = self.server_node.unwrap();
+        let completions = self.net.stats.completions("user");
+        let failed = self.net.stats.counter("user.failed");
+        let timedout = self.net.stats.counter("user.timedout");
+        let attempts = completions + failed + timedout;
         Measurement {
             x,
             throughput: self.net.stats.throughput("user"),
@@ -101,7 +121,56 @@ impl Harness {
             load1: monitor.load1_mean(server, ws, we),
             cpu_load: monitor.cpu_mean(server, ws, we),
             refused: self.net.stats.counter("user.refused"),
-            completions: self.net.stats.completions("user"),
+            completions,
+            availability: if attempts == 0 {
+                1.0
+            } else {
+                completions as f64 / attempts as f64
+            },
+            staleness_s: self.net.stats.gauge_mean("probe.staleness_s"),
+            recovery_s: self.net.stats.gauge_mean("probe.recovery_s"),
+        }
+    }
+
+    /// Run the engine to `until`, pausing at each scheduled fault instant
+    /// to apply due fault events.  Without an installed fault schedule
+    /// this is a single plain `run_until` — the exact pre-faults path.
+    fn run_to(&mut self, until: SimTime) {
+        match self.faults.take() {
+            None => self.eng.run_until(&mut self.net, until),
+            Some(mut driver) => {
+                loop {
+                    let stop = driver.next_at().map_or(until, |t| t.min(until));
+                    self.eng.run_until(&mut self.net, stop);
+                    driver.apply_due(&mut self.net, &mut self.eng, stop);
+                    if stop >= until {
+                        break;
+                    }
+                }
+                self.faults = Some(driver);
+            }
+        }
+    }
+
+    /// Traced twin of [`run_to`]: same segmentation, with the dispatch
+    /// hook recording one `Dispatch` event per engine event.
+    fn run_to_traced(&mut self, until: SimTime) {
+        let mut hook = |net: &mut Net, at, seq| {
+            net.obs.ev(at, Ev::Dispatch { seq });
+        };
+        match self.faults.take() {
+            None => self.eng.run_until_with(&mut self.net, until, &mut hook),
+            Some(mut driver) => {
+                loop {
+                    let stop = driver.next_at().map_or(until, |t| t.min(until));
+                    self.eng.run_until_with(&mut self.net, stop, &mut hook);
+                    driver.apply_due(&mut self.net, &mut self.eng, stop);
+                    if stop >= until {
+                        break;
+                    }
+                }
+                self.faults = Some(driver);
+            }
         }
     }
 
@@ -111,15 +180,12 @@ impl Harness {
     /// event recorded per dispatched engine event.
     fn run_window_observed(&mut self) {
         let (ws, we) = (self.cfg.window_start(), self.cfg.window_end());
-        self.eng.run_until(&mut self.net, ws);
+        self.run_to(ws);
         self.net.obs.window_begin(ws);
         if self.net.obs.tracing() {
-            self.eng
-                .run_until_with(&mut self.net, we, &mut |net: &mut Net, at, seq| {
-                    net.obs.ev(at, Ev::Dispatch { seq });
-                });
+            self.run_to_traced(we);
         } else {
-            self.eng.run_until(&mut self.net, we);
+            self.run_to(we);
         }
     }
 

@@ -34,6 +34,7 @@ fn user_config(h: &Harness, client_cpu_us: f64) -> UserConfig {
         retry_cap: h.cfg.params.retry_cap,
         series: "user".to_string(),
         client_cpu_us,
+        timeout: None,
     }
 }
 
@@ -620,10 +621,470 @@ pub mod set4 {
     }
 }
 
+// ======================================================================
+// Experiment Set 5 — resilience under injected faults
+// ======================================================================
+pub mod set5 {
+    use super::*;
+    use gfaults::{FaultAction, FaultPlan, FaultSpec, Scenario, PARTITION_BPS};
+    use hawkeye::Manager;
+    use mds::Giis;
+    use rgma::ProducerServlet;
+    use simcore::{SimDuration, SimTime};
+    use simnet::{Client, ClientCx};
+    use testbed::TestbedConfig;
+
+    /// The three series of Figs 21–24: each system hit where its
+    /// soft-state design is most exposed.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Set5Series {
+        /// MDS GIIS with 5 registered GRISes; the GRIS hosts' access
+        /// links are partitioned.  The GIIS keeps answering from cache —
+        /// stale but available.
+        MdsGiis,
+        /// R-GMA Registry + 5 ProducerServlets queried through a
+        /// ConsumerServlet; producer servlets are killed and restarted.
+        /// Consumers fail outright until the registry's re-registration
+        /// machinery repopulates live producers.
+        RgmaRegistry,
+        /// Hawkeye Manager with 6 Agents; agents are killed and
+        /// restarted.  Queries keep succeeding on resident ClassAds,
+        /// but ad freshness degrades with every killed agent.
+        HawkeyeManager,
+    }
+
+    /// Concurrent closed-loop users per point (as in Sets 3/4).
+    pub const USERS: u32 = 10;
+
+    /// Client-side query timeout: an abandoned query counts against
+    /// availability and is retried with capped exponential backoff.
+    pub const CLIENT_TIMEOUT_S: u64 = 10;
+
+    /// How often the resilience probe samples staleness/recovery.
+    const PROBE_PERIOD_S: u64 = 2;
+
+    /// An agent ad older than this no longer matches (3 advertise
+    /// periods, Condor's classic 3×-heartbeat rule of thumb).
+    const HAWKEYE_FRESH_HORIZON_S: u64 = 90;
+
+    impl Set5Series {
+        pub const ALL: [Set5Series; 3] = [
+            Set5Series::MdsGiis,
+            Set5Series::RgmaRegistry,
+            Set5Series::HawkeyeManager,
+        ];
+
+        pub fn label(self) -> &'static str {
+            match self {
+                Set5Series::MdsGiis => "MDS GIIS (GRIS partition)",
+                Set5Series::RgmaRegistry => "R-GMA (producer churn)",
+                Set5Series::HawkeyeManager => "Hawkeye (agent churn)",
+            }
+        }
+
+        /// The swept x-axis: how many components are faulted.  Every
+        /// sweep starts at 0 — the unfaulted control point.
+        pub fn fault_counts(self) -> &'static [u32] {
+            &[0, 1, 2, 3, 4, 5]
+        }
+
+        /// The scenario [`Scenario::Auto`] resolves to for this series.
+        pub fn default_scenario(self) -> Scenario {
+            match self {
+                Set5Series::MdsGiis => Scenario::Partition,
+                Set5Series::RgmaRegistry | Set5Series::HawkeyeManager => Scenario::Churn,
+            }
+        }
+    }
+
+    /// The canonical Set-5 schedule: the per-series scenario, fault onset
+    /// 25% into the measurement window, heal at 60%.  `targets` is a
+    /// placeholder — each point overrides it with its x value.
+    pub fn default_spec() -> FaultSpec {
+        FaultSpec {
+            scenario: Scenario::Auto,
+            targets: 1,
+            start_frac: 0.25,
+            heal_frac: 0.6,
+        }
+    }
+
+    /// The satellite components a series faults, in deployment order.
+    struct Targets {
+        svcs: Vec<SvcKey>,
+        hosts: Vec<String>,
+        /// Timers to re-prime on restart (each service's deployment kick,
+        /// so recovery rides its own re-registration machinery).
+        prime: Vec<(SimDuration, u64)>,
+    }
+
+    /// Translate (scenario, n targets) into a concrete schedule.
+    fn build_plan(
+        h: &Harness,
+        scenario: Scenario,
+        t: &Targets,
+        n: usize,
+        start_at: SimTime,
+        heal_at: SimTime,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        let n = n.min(t.svcs.len());
+        match scenario {
+            Scenario::None | Scenario::Auto => {}
+            Scenario::Churn => {
+                for &svc in &t.svcs[..n] {
+                    plan.push(start_at, FaultAction::Crash { svc });
+                    plan.push(
+                        heal_at,
+                        FaultAction::Restart {
+                            svc,
+                            prime: t.prime.clone(),
+                        },
+                    );
+                }
+            }
+            Scenario::Partition => {
+                let lan = TestbedConfig::default().lan_bps;
+                for host in &t.hosts[..n] {
+                    for dir in ["up", "down"] {
+                        let link = h
+                            .net
+                            .topo
+                            .find_link(&format!("{host}-{dir}"))
+                            .expect("access link");
+                        plan.push(
+                            start_at,
+                            FaultAction::SetLinkCapacity {
+                                link,
+                                bps: PARTITION_BPS,
+                            },
+                        );
+                        plan.push(heal_at, FaultAction::SetLinkCapacity { link, bps: lan });
+                    }
+                }
+            }
+            Scenario::Freeze => {
+                for &svc in &t.svcs[..n] {
+                    plan.push(
+                        start_at,
+                        FaultAction::Freeze {
+                            svc,
+                            until: heal_at,
+                        },
+                    );
+                }
+            }
+            Scenario::ConnBurst => {
+                for &svc in &t.svcs[..n] {
+                    plan.push(
+                        start_at,
+                        FaultAction::DropConns {
+                            svc,
+                            until: heal_at,
+                        },
+                    );
+                }
+            }
+        }
+        plan
+    }
+
+    /// What the resilience probe watches, per series.
+    enum ProbeTarget {
+        Giis {
+            giis: SvcKey,
+            /// Data older than this means a subtree missed its re-pull.
+            fresh_horizon: SimDuration,
+        },
+        Rgma {
+            /// All producer servlets (staleness = mean publication age).
+            all: Vec<SvcKey>,
+            /// The crashed subset (recovery = all have republished).
+            crashed: Vec<SvcKey>,
+        },
+        Hawkeye {
+            mgr: SvcKey,
+            total: usize,
+        },
+    }
+
+    /// A passive deterministic observer: samples system staleness into a
+    /// gauge every [`PROBE_PERIOD_S`] seconds (window samples only) and
+    /// records the first instant the system looks healthy again after the
+    /// heal.  It only reads simulation state and writes stats, so it
+    /// cannot perturb the run's trajectory.
+    struct Probe {
+        target: ProbeTarget,
+        ws: SimTime,
+        we: SimTime,
+        heal_at: SimTime,
+        faulted: bool,
+        recovered: bool,
+    }
+
+    impl Probe {
+        fn staleness(&self, net: &simnet::Net, now: SimTime) -> Option<f64> {
+            match &self.target {
+                ProbeTarget::Giis { giis, .. } => net
+                    .service_as::<Giis>(*giis)
+                    .and_then(|g| g.max_data_age(now))
+                    .map(|d| d.as_secs_f64()),
+                ProbeTarget::Rgma { all, .. } => {
+                    let ages: Vec<f64> = all
+                        .iter()
+                        .filter_map(|&k| net.service_as::<ProducerServlet>(k))
+                        .filter_map(|ps| ps.last_publish_at)
+                        .map(|t| now.saturating_since(t).as_secs_f64())
+                        .collect();
+                    if ages.is_empty() {
+                        None
+                    } else {
+                        Some(ages.iter().sum::<f64>() / ages.len() as f64)
+                    }
+                }
+                ProbeTarget::Hawkeye { mgr, .. } => net
+                    .service_as::<Manager>(*mgr)
+                    .and_then(|m| m.mean_ad_age(now)),
+            }
+        }
+
+        fn healthy(&self, net: &simnet::Net, now: SimTime) -> bool {
+            match &self.target {
+                ProbeTarget::Giis {
+                    giis,
+                    fresh_horizon,
+                } => net
+                    .service_as::<Giis>(*giis)
+                    .and_then(|g| g.max_data_age(now))
+                    .is_some_and(|age| age <= *fresh_horizon),
+                ProbeTarget::Rgma { crashed, .. } => crashed.iter().all(|&k| {
+                    !net.service_down(k)
+                        && net
+                            .service_as::<ProducerServlet>(k)
+                            .and_then(|ps| ps.last_publish_at)
+                            .is_some_and(|t| t >= self.heal_at)
+                }),
+                ProbeTarget::Hawkeye { mgr, total } => {
+                    net.service_as::<Manager>(*mgr).is_some_and(|m| {
+                        m.fresh_count(now, SimDuration::from_secs(HAWKEYE_FRESH_HORIZON_S))
+                            == *total
+                    })
+                }
+            }
+        }
+    }
+
+    impl Client for Probe {
+        fn on_start(&mut self, cx: &mut ClientCx) {
+            cx.wake_in(SimDuration::from_secs(PROBE_PERIOD_S), 0);
+        }
+
+        fn on_wake(&mut self, _tag: u64, cx: &mut ClientCx) {
+            let now = cx.now();
+            let period = SimDuration::from_secs(PROBE_PERIOD_S);
+            if now >= self.ws && now < self.we {
+                if let Some(age) = self.staleness(cx.net, now) {
+                    cx.net.stats.gauge("probe.staleness_s", age);
+                }
+            }
+            if self.faulted && !self.recovered && now >= self.heal_at {
+                if self.healthy(cx.net, now) {
+                    self.recovered = true;
+                    let r = now.saturating_since(self.heal_at).as_secs_f64();
+                    cx.net.stats.gauge("probe.recovery_s", r);
+                    cx.net.stats.incr("probe.recovered");
+                } else if now + period >= self.we && self.heal_at < self.we {
+                    // Last in-window sample and still unhealthy: censor
+                    // recovery at window end so the mean stays defined.
+                    self.recovered = true;
+                    let r = self.we.saturating_since(self.heal_at).as_secs_f64();
+                    cx.net.stats.gauge("probe.recovery_s", r);
+                    cx.net.stats.incr("probe.censored");
+                }
+            }
+            cx.wake_in(period, 0);
+        }
+    }
+
+    /// Like [`user_config`], with the Set-5 client timeout enabled.
+    fn user_config_t(h: &Harness, client_cpu_us: f64) -> UserConfig {
+        UserConfig {
+            timeout: Some(SimDuration::from_secs(CLIENT_TIMEOUT_S)),
+            ..user_config(h, client_cpu_us)
+        }
+    }
+
+    /// Deploy and wire one point's world — deployment, fault schedule and
+    /// resilience probe — without running it.
+    ///
+    /// `cfg.faults` is honoured verbatim: [`Scenario::Auto`] resolves to
+    /// the series default, [`Scenario::None`] (the `RunConfig` default)
+    /// injects nothing.  Callers that want the canonical Set-5 schedule
+    /// set `cfg.faults = set5::default_spec()` first (the figures CLI
+    /// does this when `--faults` is not given).  `faults` (the x value)
+    /// overrides `cfg.faults.targets`.
+    pub fn build(series: Set5Series, faults: u32, cfg: &RunConfig) -> Harness {
+        let mut h = Harness::new(*cfg);
+        let spec = cfg.faults;
+        let scenario = match spec.scenario {
+            Scenario::Auto => series.default_scenario(),
+            s => s,
+        };
+        let ws = cfg.window_start();
+        let we = cfg.window_end();
+        let start_at = ws + cfg.window.mul_f64(spec.start_frac);
+        let heal_at = ws + cfg.window.mul_f64(spec.heal_frac);
+        let (targets, probe_target) = match series {
+            Set5Series::MdsGiis => {
+                let giis_node = h.lucky("lucky0");
+                let gris_hosts = ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
+                let gris_nodes: Vec<NodeId> = gris_hosts.iter().map(|n| h.lucky(n)).collect();
+                // Finite cache TTL (as in Set 4): staleness is the age of
+                // each subtree's last successful re-pull.
+                let ttl = h.cfg.params.giis_exp4_cachettl;
+                let (giis, _grafts) = deploy_giis(&mut h, giis_node, &gris_nodes, 5, Some(ttl));
+                h.watch(giis_node);
+                let placement = uc_placement(&h, USERS);
+                let cpu = h.cfg.params.mds_client_cpu_us;
+                let ucfg = user_config_t(&h, cpu);
+                workload::spawn_users(&mut h.net, &mut h.eng, &placement, giis, &ucfg, || {
+                    Box::new(|_rng| {
+                        let req = MdsRequest::Search {
+                            base: giis_suffix(),
+                            scope: Scope::Sub,
+                            filter: Filter::parse("(mds-device-group-name=cpu)").unwrap(),
+                            attrs: None,
+                        };
+                        let bytes = req.wire_size();
+                        (Box::new(req) as simnet::Payload, bytes)
+                    })
+                });
+                let svcs = services_named(&h, "gris");
+                let targets = Targets {
+                    svcs,
+                    hosts: gris_hosts.iter().map(|s| s.to_string()).collect(),
+                    prime: vec![(SimDuration::from_millis(50), 0)],
+                };
+                let probe_target = ProbeTarget::Giis {
+                    giis,
+                    fresh_horizon: ttl + SimDuration::from_secs(5),
+                };
+                (targets, probe_target)
+            }
+            Set5Series::RgmaRegistry => {
+                let reg_node = h.lucky("lucky1");
+                let cs_node = h.lucky("lucky0");
+                let ps_hosts = ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
+                let reg = deploy_registry(&mut h, reg_node);
+                let mut svcs = Vec::new();
+                for name in ps_hosts {
+                    let node = h.lucky(name);
+                    svcs.push(deploy_producer_servlet(&mut h, node, 10, reg));
+                }
+                let cs = deploy_consumer_servlet(&mut h, cs_node, reg);
+                h.watch(reg_node);
+                let placement = uc_placement(&h, USERS);
+                let cpu = h.cfg.params.rgma_client_cpu_us;
+                let ucfg = user_config_t(&h, cpu);
+                workload::spawn_users(&mut h.net, &mut h.eng, &placement, cs, &ucfg, || {
+                    Box::new(|_rng| {
+                        let m = RgmaMsg::ConsumerQuery {
+                            sql: "SELECT * FROM cpuload".into(),
+                        };
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+                let crashed: Vec<SvcKey> =
+                    svcs.iter().copied().take(faults.min(5) as usize).collect();
+                let targets = Targets {
+                    svcs: svcs.clone(),
+                    hosts: ps_hosts.iter().map(|s| s.to_string()).collect(),
+                    prime: vec![(SimDuration::from_millis(200), 0)],
+                };
+                let probe_target = ProbeTarget::Rgma { all: svcs, crashed };
+                (targets, probe_target)
+            }
+            Set5Series::HawkeyeManager => {
+                let mgr_node = h.lucky("lucky3");
+                let mgr = deploy_manager(&mut h, mgr_node);
+                let agent_hosts: Vec<String> =
+                    ["lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7"]
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect();
+                let mut svcs = Vec::new();
+                for name in &agent_hosts {
+                    let node = h.lucky(name);
+                    svcs.push(deploy_agent(&mut h, node, 11, mgr));
+                }
+                h.watch(mgr_node);
+                let placement = uc_placement(&h, USERS);
+                let cpu = h.cfg.params.condor_client_cpu_us;
+                let ucfg = user_config_t(&h, cpu);
+                let hosts = agent_hosts.clone();
+                workload::spawn_users(&mut h.net, &mut h.eng, &placement, mgr, &ucfg, move || {
+                    let hosts = hosts.clone();
+                    Box::new(move |rng| {
+                        let host = hosts[rng.next_below(hosts.len() as u64) as usize].clone();
+                        let m = HawkeyeMsg::Status {
+                            machine: Some(host),
+                        };
+                        let bytes = m.wire_size();
+                        (Box::new(m) as simnet::Payload, bytes)
+                    })
+                });
+                let total = svcs.len();
+                let targets = Targets {
+                    svcs,
+                    hosts: agent_hosts,
+                    prime: vec![(SimDuration::from_millis(500), 0)],
+                };
+                (targets, ProbeTarget::Hawkeye { mgr, total })
+            }
+        };
+        let plan = build_plan(&h, scenario, &targets, faults as usize, start_at, heal_at);
+        let faulted = !plan.is_empty();
+        h.net.add_client(Box::new(Probe {
+            target: probe_target,
+            ws,
+            we,
+            heal_at,
+            faulted,
+            recovered: false,
+        }));
+        h.install_faults(plan);
+        h
+    }
+
+    /// Every deployed service with the given `name()`, in deployment
+    /// order (slab order is deterministic).
+    fn services_named(h: &Harness, name: &str) -> Vec<SvcKey> {
+        h.net
+            .services
+            .iter()
+            .filter(|&(k, _)| h.net.service(k).is_some_and(|s| s.name() == name))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Run one point of Experiment Set 5.
+    pub fn run_point(series: Set5Series, faults: u32, cfg: &RunConfig) -> Measurement {
+        build(series, faults, cfg).run_and_measure(f64::from(faults))
+    }
+
+    /// Run one point with the observability report harvested
+    /// (requires `cfg.obs` to enable tracing and/or metrics).
+    pub fn run_point_observed(series: Set5Series, faults: u32, cfg: &RunConfig) -> ObservedPoint {
+        build(series, faults, cfg).run_and_observe(f64::from(faults))
+    }
+}
+
 pub use set1::Set1Series;
 pub use set2::Set2Series;
 pub use set3::Set3Series;
 pub use set4::Set4Series;
+pub use set5::Set5Series;
 
 #[cfg(test)]
 mod tests {
@@ -649,5 +1110,100 @@ mod tests {
         assert!(!op.report.metrics.is_empty());
         assert!(op.services.iter().any(|s| s.starts_with("gris")));
         assert!(op.nodes.iter().any(|n| n == "lucky7"));
+    }
+
+    /// A short Set-5 configuration: canonical fault schedule on a
+    /// compressed clock.
+    fn set5_cfg(seed: u64) -> RunConfig {
+        let mut cfg = RunConfig::quick(seed);
+        cfg.warmup = SimDuration::from_secs(20);
+        cfg.window = SimDuration::from_secs(100);
+        cfg.faults = set5::default_spec();
+        cfg
+    }
+
+    /// Pinned claim (MDS): partitioning GRIS hosts leaves the GIIS
+    /// answering from cache — availability holds up while staleness
+    /// climbs well past the cache TTL, and recovery takes measurable
+    /// time after the heal.
+    #[test]
+    fn set5_partition_leaves_giis_stale_but_available() {
+        let cfg = set5_cfg(11);
+        let base = set5::run_point(Set5Series::MdsGiis, 0, &cfg);
+        let hit = set5::run_point(Set5Series::MdsGiis, 3, &cfg);
+        assert!(base.completions > 0 && hit.completions > 0);
+        assert!((base.availability - 1.0).abs() < 1e-9, "{base:?}");
+        assert!(
+            hit.availability > 0.5,
+            "cached answers should keep most queries alive: {hit:?}"
+        );
+        // staleness_s is a whole-window mean, so a 35 s partition moves
+        // it by a few seconds, not by its full depth.
+        assert!(
+            hit.staleness_s > base.staleness_s + 4.0,
+            "partition must show up as data age: {} vs {}",
+            hit.staleness_s,
+            base.staleness_s
+        );
+        assert_eq!(base.recovery_s, 0.0);
+        assert!(hit.recovery_s > 0.0, "{hit:?}");
+    }
+
+    /// Pinned claim (R-GMA): killing every producer servlet makes
+    /// consumer queries fail outright (availability collapses) until the
+    /// registry's re-registration machinery brings producers back.
+    #[test]
+    fn set5_rgma_full_churn_fails_consumers_until_reregistration() {
+        let cfg = set5_cfg(12);
+        let base = set5::run_point(Set5Series::RgmaRegistry, 0, &cfg);
+        let hit = set5::run_point(Set5Series::RgmaRegistry, 5, &cfg);
+        assert!((base.availability - 1.0).abs() < 1e-9, "{base:?}");
+        assert!(
+            hit.availability < 0.9,
+            "a full producer outage must fail consumer queries: {hit:?}"
+        );
+        // Recovery is observed (producers republished after the heal).
+        assert!(hit.recovery_s > 0.0, "{hit:?}");
+        assert!(hit.throughput < base.throughput);
+    }
+
+    /// Pinned claim (Hawkeye): killed agents don't fail queries — the
+    /// Manager matches on resident ClassAds — but freshness degrades
+    /// with the number of killed agents.
+    #[test]
+    fn set5_hawkeye_churn_keeps_availability_but_ages_ads() {
+        let cfg = set5_cfg(13);
+        let base = set5::run_point(Set5Series::HawkeyeManager, 0, &cfg);
+        let one = set5::run_point(Set5Series::HawkeyeManager, 1, &cfg);
+        let four = set5::run_point(Set5Series::HawkeyeManager, 4, &cfg);
+        assert!((base.availability - 1.0).abs() < 1e-9, "{base:?}");
+        assert!(
+            four.availability > 0.95,
+            "resident ads keep queries answerable: {four:?}"
+        );
+        assert!(
+            base.staleness_s < one.staleness_s && one.staleness_s < four.staleness_s,
+            "ad age must grow with killed agents: {} < {} < {}",
+            base.staleness_s,
+            one.staleness_s,
+            four.staleness_s
+        );
+    }
+
+    /// Identical seed and plan ⇒ identical measurements; and a Set-5
+    /// point with `FaultSpec::NONE` equals a run of the same deployment
+    /// with no fault machinery at all (x = 0 under the canonical spec
+    /// builds an empty plan too).
+    #[test]
+    fn set5_is_deterministic_and_none_matches_x0() {
+        let cfg = set5_cfg(14);
+        let a = set5::run_point(Set5Series::RgmaRegistry, 2, &cfg);
+        let b = set5::run_point(Set5Series::RgmaRegistry, 2, &cfg);
+        assert_eq!(a, b);
+        let mut none = cfg;
+        none.faults = gfaults::FaultSpec::NONE;
+        let x0 = set5::run_point(Set5Series::RgmaRegistry, 0, &cfg);
+        let unfaulted = set5::run_point(Set5Series::RgmaRegistry, 0, &none);
+        assert_eq!(x0, unfaulted);
     }
 }

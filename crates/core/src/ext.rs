@@ -168,6 +168,7 @@ pub fn hierarchy_tree_point(cfg: &RunConfig, n: u32, branches: usize) -> Measure
         retry_cap: cfg.params.retry_cap,
         series: "user".into(),
         client_cpu_us: cfg.params.mds_client_cpu_us,
+        timeout: None,
     };
     workload::spawn_users(&mut h.net, &mut h.eng, &placement, top, &ucfg, || {
         Box::new(|_rng| {
@@ -275,6 +276,7 @@ pub fn composite_study(cfg: &RunConfig, sources: u32) -> Measurement {
         retry_cap: cfg.params.retry_cap,
         series: "user".into(),
         client_cpu_us: cfg.params.rgma_client_cpu_us,
+        timeout: None,
     };
     workload::spawn_users(&mut h.net, &mut h.eng, &placement, comp, &ucfg, || {
         Box::new(|_rng| {

@@ -9,7 +9,9 @@
 //! [`figure`] projects the metric a given figure plots.
 
 use crate::deploy::ObservedPoint;
-use crate::experiments::{set1, set2, set3, set4, Set1Series, Set2Series, Set3Series, Set4Series};
+use crate::experiments::{
+    set1, set2, set3, set4, set5, Set1Series, Set2Series, Set3Series, Set4Series, Set5Series,
+};
 use crate::mapping::System;
 use crate::runcfg::{Measurement, RunConfig};
 use crate::stablehash::{fnv1a64, mix64};
@@ -41,12 +43,13 @@ pub struct SetData {
     pub series: Vec<(String, Vec<Measurement>)>,
 }
 
-/// Selection errors: the paper defines sets 1–4 and figures 5–20.
+/// Selection errors: the paper defines sets 1–4 (figures 5–20); this
+/// reproduction adds the resilience set 5 (figures 21–24).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FigureError {
-    /// Experiment sets are 1..=4.
+    /// Experiment sets are 1..=5.
     UnknownSet(u32),
-    /// Figures are 5..=20.
+    /// Figures are 5..=24.
     UnknownFigure(u32),
     /// The figure exists but belongs to a different set's data.
     FigureNotInSet { fig: u32, set: u32 },
@@ -56,10 +59,16 @@ impl fmt::Display for FigureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             FigureError::UnknownSet(s) => {
-                write!(f, "no experiment set {s}: the paper defines sets 1-4")
+                write!(
+                    f,
+                    "no experiment set {s}: sets 1-4 are the paper's, 5 is resilience"
+                )
             }
             FigureError::UnknownFigure(n) => {
-                write!(f, "no figure {n}: the paper defines figures 5-20")
+                write!(
+                    f,
+                    "no figure {n}: figures 5-20 are the paper's, 21-24 are resilience"
+                )
             }
             FigureError::FigureNotInSet { fig, set } => {
                 write!(f, "figure {fig} is not produced by experiment set {set}")
@@ -71,14 +80,24 @@ impl fmt::Display for FigureError {
 impl std::error::Error for FigureError {}
 
 /// Which metric each figure within a set plots, in paper order.
-const SET_FIGS: [(u32, [u32; 4]); 4] = [
+const SET_FIGS: [(u32, [u32; 4]); 5] = [
     (1, [5, 6, 7, 8]),
     (2, [9, 10, 11, 12]),
     (3, [13, 14, 15, 16]),
     (4, [17, 18, 19, 20]),
+    (5, [21, 22, 23, 24]),
 ];
 
-fn metric_of_position(pos: usize) -> (&'static str, &'static str) {
+fn metric_of(set: u32, pos: usize) -> (&'static str, &'static str) {
+    if set == 5 {
+        // The resilience metrics of Figs 21-24.
+        return match pos {
+            0 => ("availability", "Availability (fraction)"),
+            1 => ("staleness_s", "Staleness (sec)"),
+            2 => ("recovery_s", "Recovery Time (sec)"),
+            _ => ("throughput", "Goodput (queries/sec)"),
+        };
+    }
     match pos {
         0 => ("throughput", "Throughput (queries/sec)"),
         1 => ("response_time", "Response Time (sec)"),
@@ -91,6 +110,7 @@ fn x_label(set: u32) -> &'static str {
     match set {
         1 | 2 => "No. of Users",
         3 => "# of Information Collectors",
+        5 => "# of Faulted Components",
         _ => "# of Information Servers",
     }
 }
@@ -100,9 +120,10 @@ fn set_title(set: u32, pos: usize) -> String {
         1 => "Information Server",
         2 => "Directory Servers",
         3 => "Information Server",
+        5 => "Monitoring Service",
         _ => "Aggregate Information Server",
     };
-    let metric = metric_of_position(pos).1;
+    let metric = metric_of(set, pos).1;
     format!("{subject} {metric} vs. {}", x_label(set))
 }
 
@@ -118,6 +139,7 @@ pub enum SeriesId {
     S2(Set2Series),
     S3(Set3Series),
     S4(Set4Series),
+    S5(Set5Series),
 }
 
 impl SeriesId {
@@ -128,6 +150,7 @@ impl SeriesId {
             2 => Set2Series::ALL.iter().map(|&s| SeriesId::S2(s)).collect(),
             3 => Set3Series::ALL.iter().map(|&s| SeriesId::S3(s)).collect(),
             4 => Set4Series::ALL.iter().map(|&s| SeriesId::S4(s)).collect(),
+            5 => Set5Series::ALL.iter().map(|&s| SeriesId::S5(s)).collect(),
             other => return Err(FigureError::UnknownSet(other)),
         })
     }
@@ -139,6 +162,7 @@ impl SeriesId {
             SeriesId::S2(_) => 2,
             SeriesId::S3(_) => 3,
             SeriesId::S4(_) => 4,
+            SeriesId::S5(_) => 5,
         }
     }
 
@@ -149,6 +173,7 @@ impl SeriesId {
             SeriesId::S2(s) => s.label(),
             SeriesId::S3(s) => s.label(),
             SeriesId::S4(s) => s.label(),
+            SeriesId::S5(s) => s.label(),
         }
     }
 
@@ -159,6 +184,7 @@ impl SeriesId {
             SeriesId::S2(s) => s.user_counts(),
             SeriesId::S3(s) => s.collector_counts(),
             SeriesId::S4(s) => s.server_counts(),
+            SeriesId::S5(s) => s.fault_counts(),
         }
     }
 
@@ -177,6 +203,9 @@ impl SeriesId {
             SeriesId::S3(Set3Series::ProducerServlet) => System::Rgma,
             SeriesId::S4(Set4Series::HawkeyeManager) => System::Hawkeye,
             SeriesId::S4(_) => System::Mds,
+            SeriesId::S5(Set5Series::MdsGiis) => System::Mds,
+            SeriesId::S5(Set5Series::RgmaRegistry) => System::Rgma,
+            SeriesId::S5(Set5Series::HawkeyeManager) => System::Hawkeye,
         }
     }
 
@@ -188,6 +217,7 @@ impl SeriesId {
             SeriesId::S2(s) => set2::run_point(s, x, cfg),
             SeriesId::S3(s) => set3::run_point(s, x, cfg),
             SeriesId::S4(s) => set4::run_point(s, x, cfg),
+            SeriesId::S5(s) => set5::run_point(s, x, cfg),
         }
     }
 
@@ -199,6 +229,7 @@ impl SeriesId {
             SeriesId::S2(s) => set2::run_point_observed(s, x, cfg),
             SeriesId::S3(s) => set3::run_point_observed(s, x, cfg),
             SeriesId::S4(s) => set4::run_point_observed(s, x, cfg),
+            SeriesId::S5(s) => set5::run_point_observed(s, x, cfg),
         }
     }
 }
@@ -253,10 +284,17 @@ impl PointSpec {
 
 /// Shrink a sweep's x-values by `scale` in `(0, 1]` (for quick runs);
 /// 1.0 reproduces the paper's sweep.  Collapsed duplicates are removed.
+/// An x of 0 (Set 5's unfaulted control point) is never scaled away.
 pub fn scale_xs(xs: &[u32], scale: f64) -> Vec<u32> {
     let mut v: Vec<u32> = xs
         .iter()
-        .map(|&x| ((f64::from(x) * scale).round() as u32).max(1))
+        .map(|&x| {
+            if x == 0 {
+                0
+            } else {
+                ((f64::from(x) * scale).round() as u32).max(1)
+            }
+        })
         .collect();
     v.dedup();
     v
@@ -327,7 +365,7 @@ pub fn figure(data: &SetData, fig: u32) -> Result<FigureData, FigureError> {
             FigureError::UnknownFigure(fig)
         }
     })?;
-    let (metric, y_label) = metric_of_position(pos);
+    let (metric, y_label) = metric_of(*set, pos);
     Ok(FigureData {
         id: format!("Figure {fig}"),
         title: set_title(*set, pos),
@@ -344,6 +382,14 @@ pub fn figure(data: &SetData, fig: u32) -> Result<FigureData, FigureError> {
     })
 }
 
+/// Title of one figure without running anything (`None` for unknown
+/// figure numbers).  Lets the CLI's `--list` describe the catalogue.
+pub fn figure_title(fig: u32) -> Option<String> {
+    let set = set_of_figure(fig)?;
+    let pos = figures_of_set(set).ok()?.iter().position(|&f| f == fig)?;
+    Some(set_title(set, pos))
+}
+
 /// The set a figure belongs to.
 pub fn set_of_figure(fig: u32) -> Option<u32> {
     SET_FIGS
@@ -352,9 +398,10 @@ pub fn set_of_figure(fig: u32) -> Option<u32> {
         .map(|(s, _)| *s)
 }
 
-/// All figure numbers, in paper order.
+/// All figure numbers, in paper order (5–20), plus the resilience
+/// figures 21–24.
 pub fn all_figures() -> Vec<u32> {
-    (5..=20).collect()
+    (5..=24).collect()
 }
 
 /// The four figures an experiment set produces, in paper order.
@@ -377,10 +424,13 @@ mod tests {
         assert_eq!(set_of_figure(12), Some(2));
         assert_eq!(set_of_figure(16), Some(3));
         assert_eq!(set_of_figure(20), Some(4));
+        assert_eq!(set_of_figure(21), Some(5));
+        assert_eq!(set_of_figure(24), Some(5));
         assert_eq!(set_of_figure(4), None);
-        assert_eq!(set_of_figure(21), None);
-        assert_eq!(all_figures().len(), 16);
+        assert_eq!(set_of_figure(25), None);
+        assert_eq!(all_figures().len(), 20);
         assert_eq!(figures_of_set(2).unwrap(), [9, 10, 11, 12]);
+        assert_eq!(figures_of_set(5).unwrap(), [21, 22, 23, 24]);
         assert_eq!(figures_of_set(9), Err(FigureError::UnknownSet(9)));
     }
 
@@ -389,6 +439,9 @@ mod tests {
         assert!(set_title(1, 0).contains("Information Server Throughput"));
         assert!(set_title(2, 1).contains("Directory Servers Response Time"));
         assert!(set_title(4, 3).contains("Aggregate Information Server CPU Load"));
+        assert!(set_title(5, 0).contains("Availability"));
+        assert!(set_title(5, 3).contains("Goodput"));
+        assert!(set_title(5, 0).contains("Faulted Components"));
     }
 
     #[test]
@@ -411,6 +464,8 @@ mod tests {
         );
         let msg = FigureError::UnknownSet(7).to_string();
         assert!(msg.contains("sets 1-4"), "{msg}");
+        let msg = FigureError::UnknownFigure(42).to_string();
+        assert!(msg.contains("21-24"), "{msg}");
     }
 
     #[test]
@@ -427,6 +482,14 @@ mod tests {
         let quick = enumerate_set(1, 0.01).unwrap();
         assert!(quick.len() < specs.len());
         assert!(quick.iter().all(|p| p.x >= 1));
+        // Set 5 keeps its x=0 control point under any scale.
+        let s5 = enumerate_set(5, 0.34).unwrap();
+        assert_eq!(s5.len() % 3, 0, "three series");
+        for series in SeriesId::all_in_set(5).unwrap() {
+            assert!(s5.iter().any(|p| p.series == series && p.x == 0));
+        }
+        assert_eq!(scale_xs(&[0, 1, 2, 3, 4, 5], 1.0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(scale_xs(&[0, 1, 2, 3, 4, 5], 0.4), vec![0, 1, 2]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Run configuration and the per-point measurement record.
 
 use crate::params::Params;
+use gfaults::FaultSpec;
 use simcore::{SimDuration, SimTime};
 use simnet::ObsMode;
 
@@ -19,6 +20,10 @@ pub struct RunConfig {
     /// observe the run without perturbing it, so measurements are
     /// byte-identical across modes).
     pub obs: ObsMode,
+    /// Fault-injection spec (Experiment Set 5).  `FaultSpec::NONE` by
+    /// default, in which case no `FaultDriver` is ever installed and runs
+    /// are byte-identical to a build without the faults subsystem.
+    pub faults: FaultSpec,
 }
 
 impl RunConfig {
@@ -31,6 +36,7 @@ impl RunConfig {
             window: SimDuration::from_secs(600),
             params: Params::default(),
             obs: ObsMode::OFF,
+            faults: FaultSpec::NONE,
         }
     }
 
@@ -43,6 +49,7 @@ impl RunConfig {
             window: SimDuration::from_secs(120),
             params: Params::default(),
             obs: ObsMode::OFF,
+            faults: FaultSpec::NONE,
         }
     }
 
@@ -75,23 +82,41 @@ pub struct Measurement {
     pub refused: u64,
     /// Completed queries inside the window.
     pub completions: u64,
+    /// Fraction of windowed query attempts that completed successfully
+    /// (completions / (completions + failed + timed-out)); 1.0 when no
+    /// attempts landed in the window (Set 5, Fig 21).
+    pub availability: f64,
+    /// Mean data staleness observed by the resilience probe, seconds
+    /// (Set 5, Fig 22).  Zero for Sets 1-4 where no probe runs.
+    pub staleness_s: f64,
+    /// Time from the heal event until the probe first saw the service
+    /// healthy again, seconds; censored at window end (Set 5, Fig 23).
+    pub recovery_s: f64,
 }
 
 impl Measurement {
-    /// Pick one of the four figure metrics by name.
+    /// Pick one of the figure metrics by name.
     pub fn metric(&self, name: &str) -> f64 {
         match name {
             "throughput" => self.throughput,
             "response_time" => self.response_time,
             "load1" => self.load1,
             "cpu_load" => self.cpu_load,
+            "availability" => self.availability,
+            "staleness_s" => self.staleness_s,
+            "recovery_s" => self.recovery_s,
             _ => f64::NAN,
         }
     }
 }
 
-/// The four metric names, in figure order within each experiment set.
+/// The four metric names, in figure order within each of experiment sets
+/// 1-4.
 pub const METRICS: [&str; 4] = ["throughput", "response_time", "load1", "cpu_load"];
+
+/// The four metric names, in figure order, for the resilience set (Set 5).
+/// "throughput" doubles as goodput: only completed queries count.
+pub const SET5_METRICS: [&str; 4] = ["availability", "staleness_s", "recovery_s", "throughput"];
 
 #[cfg(test)]
 mod tests {
@@ -118,5 +143,20 @@ mod tests {
         assert_eq!(m.metric("throughput"), 1.0);
         assert_eq!(m.metric("cpu_load"), 4.0);
         assert!(m.metric("nope").is_nan());
+        let r = Measurement {
+            availability: 0.5,
+            staleness_s: 30.0,
+            recovery_s: 12.0,
+            ..Default::default()
+        };
+        assert_eq!(r.metric("availability"), 0.5);
+        assert_eq!(r.metric("staleness_s"), 30.0);
+        assert_eq!(r.metric("recovery_s"), 12.0);
+    }
+
+    #[test]
+    fn default_config_has_no_faults() {
+        assert!(RunConfig::paper(1).faults.is_none());
+        assert!(RunConfig::quick(1).faults.is_none());
     }
 }

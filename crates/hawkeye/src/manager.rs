@@ -34,6 +34,10 @@ struct Trigger {
 /// The Manager service.
 pub struct Manager {
     ads: BTreeMap<String, ClassAd>,
+    /// When each machine's ad last arrived.  The resident database never
+    /// purges (Condor keeps the last ad of a silent machine), so freshness
+    /// — not presence — is how a dead agent shows up.
+    last_ad_at: BTreeMap<String, simcore::SimTime>,
     triggers: Vec<Trigger>,
     /// Counters.
     pub queries: u64,
@@ -51,6 +55,7 @@ impl Manager {
     pub fn new() -> Manager {
         Manager {
             ads: BTreeMap::new(),
+            last_ad_at: BTreeMap::new(),
             triggers: Vec::new(),
             queries: 0,
             ads_received: 0,
@@ -68,6 +73,30 @@ impl Manager {
 
     pub fn ad_of(&self, machine: &str) -> Option<&ClassAd> {
         self.ads.get(machine)
+    }
+
+    /// Machines whose last ad is no older than `horizon` at `now`:
+    /// the pool a matchmaking scan can trust.  Killed agents stop
+    /// advertising, so this degrades linearly with the kill count while
+    /// `pool_size` stays flat.
+    pub fn fresh_count(&self, now: simcore::SimTime, horizon: simcore::SimDuration) -> usize {
+        self.last_ad_at
+            .values()
+            .filter(|&&t| now.saturating_since(t) <= horizon)
+            .count()
+    }
+
+    /// Mean age (seconds) of the stored ads at `now` (`None` if empty).
+    pub fn mean_ad_age(&self, now: simcore::SimTime) -> Option<f64> {
+        if self.last_ad_at.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .last_ad_at
+            .values()
+            .map(|&t| now.saturating_since(t).as_secs_f64())
+            .sum();
+        Some(sum / self.last_ad_at.len() as f64)
     }
 
     fn fire_matching_triggers(&mut self, machine: &str, plan: &mut Plan) {
@@ -109,6 +138,7 @@ impl Service for Manager {
             HawkeyeMsg::StartdAd { machine, ad } => {
                 self.ads_received += 1;
                 self.ads.insert(machine.clone(), ad);
+                self.last_ad_at.insert(machine.clone(), cx.now);
                 // Each incoming ad is evaluated against every trigger.
                 cx.obs
                     .incr("hawkeye.match_evals", self.triggers.len() as u64);

@@ -34,8 +34,12 @@ struct Registration {
     /// Where its subtree is grafted in our namespace.
     graft: Dn,
     last_seen: SimTime,
-    /// When we last pulled its data (`None` = never).
+    /// When we last pulled its data (`None` = never).  Refreshed when the
+    /// pull is *issued* (stampede guard), so it cannot honestly answer
+    /// "how old is the data we serve?" — `last_data` does.
     last_fetch: Option<SimTime>,
+    /// When a pull last *returned* data for this subtree (`None` = never).
+    last_data: Option<SimTime>,
     entry_count: usize,
 }
 
@@ -44,6 +48,9 @@ struct PendingQuery {
     scope: ldapdir::Scope,
     filter: ldapdir::Filter,
     attrs: Option<Vec<String>>,
+    /// Sources pulled for this query, in sub-call order, so the resume can
+    /// stamp `last_data` on exactly the subtrees that answered.
+    pulled: Vec<SvcKey>,
 }
 
 /// The GIIS service.
@@ -111,6 +118,18 @@ impl Giis {
     /// Total entries currently aggregated.
     pub fn aggregated_entries(&self) -> usize {
         self.dit.len()
+    }
+
+    /// Age of the *oldest* subtree data this GIIS would serve at `now`:
+    /// the staleness a client may observe when the cache (or a partition)
+    /// keeps answering without fresh pulls.  `None` until any pull has
+    /// returned data.
+    pub fn max_data_age(&self, now: SimTime) -> Option<SimDuration> {
+        self.registered
+            .values()
+            .filter_map(|r| r.last_data)
+            .map(|t| now.saturating_since(t))
+            .max()
     }
 
     fn purge_expired(&mut self, now: SimTime) {
@@ -188,6 +207,7 @@ impl Service for Giis {
                         graft,
                         last_seen: now,
                         last_fetch: None,
+                        last_data: None,
                         entry_count: 0,
                     });
                 return Plan::new().cpu(REGISTRATION_CPU_US).done();
@@ -211,6 +231,7 @@ impl Service for Giis {
             scope,
             filter,
             attrs,
+            pulled: Vec::new(),
         };
         let stale = self.stale_sources(now);
         let me = cx.me.index;
@@ -223,8 +244,10 @@ impl Service for Giis {
         cx.obs.incr("mds.cache_misses", 1);
         // Pull the stale subtrees, then search.  Mark the fetch time now so
         // concurrent queries don't stampede the same sources.
+        let mut q = q;
         let mut calls = Vec::with_capacity(stale.len());
         for k in stale {
+            q.pulled.push(k);
             let r = self.registered.get_mut(&k).unwrap();
             r.last_fetch = Some(now);
             self.pulls += 1;
@@ -242,8 +265,19 @@ impl Service for Giis {
         Plan::new().cpu(SEARCH_CPU_FIXED_US).call_all(calls, cont)
     }
 
-    fn resume(&mut self, cont: u64, outcomes: Vec<CallOutcome>, _cx: &mut SvcCx) -> Plan {
+    fn resume(&mut self, cont: u64, outcomes: Vec<CallOutcome>, cx: &mut SvcCx) -> Plan {
         let q = self.pending.remove(&cont).expect("pending query");
+        // Stamp data freshness for every subtree that actually answered.
+        let now = cx.now;
+        for o in &outcomes {
+            if o.response.is_some() {
+                if let Some(&k) = q.pulled.get(o.index as usize) {
+                    if let Some(r) = self.registered.get_mut(&k) {
+                        r.last_data = Some(now);
+                    }
+                }
+            }
+        }
         // Merge pulled subtrees, rebasing each entry's DN by matching its
         // remote suffix (indexed by suffix for large registries).
         let mut merged = 0usize;

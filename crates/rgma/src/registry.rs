@@ -19,6 +19,10 @@ pub struct Registry {
     db: Database,
     /// Registered servlet keys by numeric id (SQL stores the id).
     servlets: HashMap<i64, SvcKey>,
+    /// Existing registrations by (servlet, table), so a producer that
+    /// re-registers after a crash/restart refreshes its row instead of
+    /// accumulating duplicates (consumers would double-count it).
+    by_owner: HashMap<(SvcKey, String), i64>,
     next_id: i64,
     /// The RDBMS connection lock (registered with the world at deploy
     /// time).
@@ -38,6 +42,7 @@ impl Registry {
         Registry {
             db,
             servlets: HashMap::new(),
+            by_owner: HashMap::new(),
             next_id: 1,
             db_lock: None,
             lookups: 0,
@@ -91,19 +96,25 @@ impl Service for Registry {
                 predicate,
             } => {
                 self.registrations += 1;
-                let id = self.next_id;
-                self.next_id += 1;
-                self.servlets.insert(id, servlet);
-                let table = table.replace('\'', "''");
-                let predicate = predicate.replace('\'', "''");
-                let r = self
-                    .db
-                    .execute(&format!(
-                        "INSERT INTO producers VALUES ({id}, {}, '{table}', '{predicate}')",
-                        id // servlet id stands in for the URL
-                    ))
-                    .expect("insert registration");
-                let _ = r;
+                if let Some(&id) = self.by_owner.get(&(servlet, table.clone())) {
+                    // Idempotent re-registration (producer restart): the
+                    // row is already there; just make sure the servlet key
+                    // is current.  Costs the same DB access.
+                    self.servlets.insert(id, servlet);
+                } else {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.servlets.insert(id, servlet);
+                    self.by_owner.insert((servlet, table.clone()), id);
+                    let table = table.replace('\'', "''");
+                    let predicate = predicate.replace('\'', "''");
+                    self.db
+                        .execute(&format!(
+                            "INSERT INTO producers VALUES ({id}, {}, '{table}', '{predicate}')",
+                            id // servlet id stands in for the URL
+                        ))
+                        .expect("insert registration");
+                }
                 // The JVM/servlet work is parallel; only the RDBMS access
                 // serialises.
                 let inner = Plan::new().cpu(DB_FIXED_CPU_US).reply((), 300);
@@ -213,6 +224,55 @@ mod tests {
             .producers
             .is_empty());
         assert_eq!(reg.lookups, 2);
+    }
+
+    #[test]
+    fn reregistration_is_idempotent() {
+        let mut reg = Registry::new();
+        let dummy = simcore::slab::SlabKey { index: 7, gen: 0 };
+        let mut actions = Vec::new();
+        let mut rng = simcore::SimRng::new(1);
+        let mut obs = simnet::Obs::off();
+        let mut cx = make_cx(&mut actions, &mut rng, &mut obs);
+        for _ in 0..3 {
+            reg.handle(
+                Box::new(RgmaMsg::RegistryRegister {
+                    servlet: dummy,
+                    table: "cpuload".into(),
+                    predicate: "site='anl'".into(),
+                }),
+                &mut cx,
+            );
+        }
+        // Three heartbeats, one row: lookups must not double-count the
+        // producer after a restart.
+        assert_eq!(reg.registrations, 3);
+        assert_eq!(reg.producer_count(), 1);
+        let plan = reg.handle(
+            Box::new(RgmaMsg::RegistryLookup {
+                table: "cpuload".into(),
+            }),
+            &mut cx,
+        );
+        let reply = plan
+            .steps
+            .into_iter()
+            .find_map(|s| match s {
+                simnet::Step::Reply { payload, .. } => Some(payload),
+                _ => None,
+            })
+            .expect("reply");
+        assert_eq!(reply.downcast::<ProducerList>().unwrap().producers.len(), 1);
+        // A different table from the same servlet is a separate row.
+        reg.handle(
+            Box::new(RgmaMsg::RegistryRegister {
+                servlet: dummy,
+                table: "memfree".into(),
+                predicate: String::new(),
+            }),
+            &mut cx,
+        );
+        assert_eq!(reg.producer_count(), 2);
     }
 
     fn make_cx<'a>(

@@ -43,6 +43,9 @@ pub struct ProducerServlet {
     pub db_lock: Option<LockKey>,
     subscriptions: Vec<Subscription>,
     publish_seq: u64,
+    /// When any producer on this servlet last published a round (`None`
+    /// until the first publish) — the freshness a consumer query can see.
+    pub last_publish_at: Option<simcore::SimTime>,
     /// Counters.
     pub queries: u64,
     pub tuples_published: u64,
@@ -67,6 +70,7 @@ impl ProducerServlet {
             db_lock: None,
             subscriptions: Vec::new(),
             publish_seq: 0,
+            last_publish_at: None,
             queries: 0,
             tuples_published: 0,
             stream_batches: 0,
@@ -244,6 +248,7 @@ impl Service for ProducerServlet {
         if tag & TIMER_PUBLISH != 0 && tag & TIMER_STREAM == 0 {
             let i = (tag & 0xFFFF_FFFF) as usize;
             self.publish(i);
+            self.last_publish_at = Some(cx.now);
             if let Some(p) = self.producers.get(i) {
                 cx.set_timer(p.publish_period, tag);
             }

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 
 /// Cache schema version: bump when the encoded record or the digest
 /// recipe changes, so stale files can never be misread.
-const CACHE_SCHEMA: &str = "gridmon-cache-v2";
+const CACHE_SCHEMA: &str = "gridmon-cache-v3";
 
 /// One extension-study point (the Section-4 future-work studies).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,12 +159,13 @@ impl Job {
     /// never be allowed to paper over a regression in it.
     pub fn cache_digest(&self, cfg: &RunConfig) -> String {
         let material = format!(
-            "{CACHE_SCHEMA}\n{key}\nseed={seed}\nwarmup_us={wu}\nwindow_us={wi}\n{obs}\n{params}",
+            "{CACHE_SCHEMA}\n{key}\nseed={seed}\nwarmup_us={wu}\nwindow_us={wi}\n{obs}\n{faults}\n{params}",
             key = self.key(),
             seed = self.seed(cfg),
             wu = cfg.warmup.as_micros(),
             wi = cfg.window.as_micros(),
             obs = cfg.obs.fingerprint(),
+            faults = cfg.faults.fingerprint(),
             params = cfg.params.fingerprint(self.system()),
         );
         digest128(material.as_bytes())
@@ -189,6 +190,9 @@ impl Job {
                 ("cpu_load", f(m.cpu_load)),
                 ("refused", u(m.refused)),
                 ("completions", u(m.completions)),
+                ("availability", f(m.availability)),
+                ("staleness_s", f(m.staleness_s)),
+                ("recovery_s", f(m.recovery_s)),
             ]
         }
         match out {
@@ -235,6 +239,9 @@ impl Job {
                 cpu_load: f(fields, "cpu_load")?,
                 refused: u(fields, "refused")?,
                 completions: u(fields, "completions")?,
+                availability: f(fields, "availability")?,
+                staleness_s: f(fields, "staleness_s")?,
+                recovery_s: f(fields, "recovery_s")?,
             })
         }
         let kind = fields.get("kind")?.as_str();
@@ -295,6 +302,9 @@ mod tests {
             cpu_load: 99.999_999,
             refused: 7,
             completions: 123_456,
+            availability: 0.875,
+            staleness_s: 31.25,
+            recovery_s: 12.5,
         };
         let fig = Job::Figure(enumerate_set(1, 1.0).unwrap()[0]);
         assert_eq!(
@@ -357,6 +367,33 @@ mod tests {
         let mut wan = cfg;
         wan.params.wan_bps *= 2.0;
         assert_ne!(a.cache_digest(&cfg), a.cache_digest(&wan));
+    }
+
+    #[test]
+    fn digests_separate_fault_plans() {
+        use gfaults::{FaultSpec, Scenario};
+        let cfg = RunConfig::quick(1);
+        let a = Job::Figure(enumerate_set(1, 1.0).unwrap()[0]);
+
+        let mut faulted = cfg;
+        faulted.faults = FaultSpec {
+            scenario: Scenario::Churn,
+            targets: 2,
+            start_frac: 0.25,
+            heal_frac: 0.6,
+        };
+        assert_ne!(a.cache_digest(&cfg), a.cache_digest(&faulted));
+
+        // Varying only the target count must also separate addresses.
+        let mut wider = faulted;
+        wider.faults.targets = 3;
+        assert_ne!(a.cache_digest(&faulted), a.cache_digest(&wider));
+
+        // An explicit do-nothing spec shares the unfaulted address, so
+        // pristine sweeps never lose their cache to the new field.
+        let mut none = cfg;
+        none.faults = FaultSpec::NONE;
+        assert_eq!(a.cache_digest(&cfg), a.cache_digest(&none));
     }
 
     #[test]

@@ -132,6 +132,14 @@ impl FlowNet {
         Some(f.token)
     }
 
+    /// Re-derive the fair-share allocation after a link capacity changed
+    /// underneath the active flows (fault injection: partition / heal).
+    /// The caller must have advanced to the current time first.
+    pub fn capacity_changed(&mut self, topo: &Topology) {
+        self.dirty = true;
+        self.recompute(topo);
+    }
+
     /// The earliest absolute time at which some flow completes.
     pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
         debug_assert!(!self.dirty);

@@ -35,7 +35,7 @@ use crate::service::{
     SvcCx, SvcKey,
 };
 use crate::stats::StatsHub;
-use crate::topology::{NodeId, Topology};
+use crate::topology::{LinkId, NodeId, Topology};
 use gtrace::{Ev, Obs, Outcome, Phase};
 use simcore::slab::{Slab, SlabKey};
 use simcore::{Acquire, Engine, EventHandle, FifoTokens, SimDuration, SimTime};
@@ -221,6 +221,9 @@ impl Net {
             conns,
             workers,
             rng,
+            down: false,
+            frozen_until: SimTime::ZERO,
+            dropping_until: SimTime::ZERO,
         })
     }
 
@@ -496,7 +499,30 @@ impl Net {
 
     /// SYN arrived at the server: try to enter the accept pool.
     fn syn_arrived(&mut self, eng: &mut Eng, req: ReqKey) {
-        let to = self.requests.get(req).expect("request").to;
+        let Some(to) = self.requests.get(req).map(|r| r.to) else {
+            return;
+        };
+        // Fault injection: a crashed host sends RSTs (well, its kernel is
+        // gone — the client's SYN times out; we model the cheap variant),
+        // and a drop burst refuses every attempt while it lasts.
+        let forced_drop = {
+            let slot = self.services.get(to).expect("service");
+            slot.down || eng.now() < slot.dropping_until
+        };
+        if forced_drop {
+            self.services
+                .get_mut(to)
+                .expect("service")
+                .stats
+                .conns_refused += 1;
+            self.stats.incr("conn_refused");
+            self.stats.incr("fault.conn_refused");
+            self.obs
+                .ev_with(eng.now(), || Ev::ConnDrop { svc: to.index });
+            self.obs.incr("net.conn_refused", 1);
+            self.fail_request(eng, req, /*refused=*/ true);
+            return;
+        }
         let (outcome, depth) = {
             let slot = self.services.get_mut(to).expect("service");
             let outcome = slot.conns.acquire(req_ticket(req));
@@ -531,6 +557,9 @@ impl Net {
     /// Phase 2: handshake — 1 RTT for TCP plus the service's session-setup
     /// extras (GSI rounds, credential checks).
     fn begin_handshake(&mut self, eng: &mut Eng, req: ReqKey) {
+        if !self.requests.contains(req) {
+            return;
+        }
         let (to, from) = {
             let r = self.requests.get_mut(req).expect("request");
             r.has_conn = true;
@@ -554,6 +583,9 @@ impl Net {
 
     /// Phase 3: transfer the request body.
     fn send_request(&mut self, eng: &mut Eng, req: ReqKey) {
+        if !self.requests.contains(req) {
+            return;
+        }
         let (from, to_node, bytes) = {
             let r = self.requests.get(req).expect("request");
             (r.from, self.services.get(r.to).unwrap().node, r.req_bytes)
@@ -564,7 +596,16 @@ impl Net {
 
     /// Phase 4: request body received — acquire a worker, then plan.
     fn request_arrived(&mut self, eng: &mut Eng, req: ReqKey) {
-        let to = self.requests.get(req).expect("request").to;
+        let Some(to) = self.requests.get(req).map(|r| r.to) else {
+            return;
+        };
+        if self.services.get(to).expect("service").down {
+            // Fault injection: one-way datagrams to a crashed host vanish
+            // (connection-oriented requests were already aborted or refused
+            // at admission).
+            self.fail_request(eng, req, /*refused=*/ true);
+            return;
+        }
         if self.requests.get(req).unwrap().oneway {
             self.services
                 .get_mut(to)
@@ -602,18 +643,22 @@ impl Net {
 
     /// Phase 5: ask the service for its plan and start executing.
     fn start_plan(&mut self, eng: &mut Eng, req: ReqKey) {
+        if !self.requests.contains(req) {
+            return;
+        }
         let (to, payload, oneway) = {
             let r = self.requests.get_mut(req).expect("request");
             (r.to, r.payload.take().expect("payload"), r.oneway)
         };
-        let setup_cpu = {
+        let (setup_cpu, frozen_until) = {
             let slot = self.services.get_mut(to).expect("service");
             slot.stats.requests_handled += 1;
-            if oneway {
+            let cpu = if oneway {
                 0.0
             } else {
                 slot.config.setup.server_cpu_us
-            }
+            };
+            (cpu, slot.frozen_until)
         };
         let plan = self.with_service(eng, to, |svc, cx| svc.handle(payload, cx));
         let r = self.requests.get_mut(req).expect("request");
@@ -621,11 +666,23 @@ impl Net {
         if setup_cpu > 0.0 {
             r.steps.push_front(Step::Cpu(setup_cpu));
         }
+        // Fault injection: a frozen process makes no progress until it
+        // thaws; the whole plan stalls behind the remaining pause.
+        let now = eng.now();
+        if frozen_until > now {
+            r.steps
+                .push_front(Step::Latency(frozen_until.saturating_since(now)));
+        }
         self.advance_steps(eng, req);
     }
 
     /// Execute plan steps until the request blocks or finishes.
     fn advance_steps(&mut self, eng: &mut Eng, req: ReqKey) {
+        if !self.requests.contains(req) {
+            // The request was aborted (fault injection) while an event that
+            // would resume it was in flight.
+            return;
+        }
         loop {
             let Some(step) = self.requests.get_mut(req).and_then(|r| r.steps.pop_front()) else {
                 // Plan exhausted without Reply: end of a one-way (or a
@@ -885,7 +942,18 @@ impl Net {
     }
 
     fn svc_timer(&mut self, eng: &mut Eng, svc: SvcKey, tag: u64) {
-        if self.services.get(svc).is_none() {
+        let Some(slot) = self.services.get(svc) else {
+            return;
+        };
+        // Fault injection: a crashed process loses its timer chains (the
+        // fault driver re-primes them on restart), and a frozen one fires
+        // them only after the thaw.
+        if slot.down {
+            return;
+        }
+        if slot.frozen_until > eng.now() {
+            let due = slot.frozen_until;
+            eng.schedule_at(due, move |net: &mut Net, eng| net.svc_timer(eng, svc, tag));
             return;
         }
         self.with_service(eng, svc, |s, cx| s.on_timer(tag, cx));
@@ -976,11 +1044,10 @@ impl Net {
 
     /// Refusal / failure path: notify the origin after the return latency.
     fn fail_request(&mut self, eng: &mut Eng, req: ReqKey, refused: bool) {
-        self.release_server_side(eng, req);
-        let (to, from) = {
-            let r = self.requests.get(req).expect("request");
-            (r.to, r.from)
+        let Some((to, from)) = self.requests.get(req).map(|r| (r.to, r.from)) else {
+            return;
         };
+        self.release_server_side(eng, req);
         let latency = self.topo.one_way_latency(self.service_node(to), from);
         eng.schedule_in(latency, move |net: &mut Net, eng| {
             let Some(state) = net.requests.remove(req) else {
@@ -1016,62 +1083,91 @@ impl Net {
         });
     }
 
-    /// Release conn/worker/locks held by a finishing request.
+    /// Release conn/worker/locks held by a finishing request.  Tolerates
+    /// already-removed requests (fault-aborted) as a no-op: their resources
+    /// were released when they were aborted.
     fn release_server_side(&mut self, eng: &mut Eng, req: ReqKey) {
-        let (to, has_conn, has_worker, locks) = {
-            let r = self.requests.get_mut(req).expect("request");
-            (
-                r.to,
-                std::mem::take(&mut r.has_conn),
-                std::mem::take(&mut r.has_worker),
-                std::mem::take(&mut r.held_locks),
-            )
+        let Some(r) = self.requests.get_mut(req) else {
+            return;
         };
+        let (to, has_conn, has_worker, locks) = (
+            r.to,
+            std::mem::take(&mut r.has_conn),
+            std::mem::take(&mut r.has_worker),
+            std::mem::take(&mut r.held_locks),
+        );
         for l in locks {
             self.release_lock(eng, l);
         }
         if has_worker {
-            let (next, depth) = {
-                match self.services.get_mut(to).and_then(|s| s.workers.as_mut()) {
-                    Some(w) => (w.release(), w.waiting() as u32),
-                    None => (None, 0),
-                }
-            };
-            if let Some(ticket) = next {
-                let granted = ticket_req(ticket);
-                if let Some(r) = self.requests.get_mut(granted) {
-                    r.has_worker = true;
-                }
-                self.obs.ev_with(eng.now(), || Ev::WorkerQueue {
-                    svc: to.index,
-                    depth,
-                });
-                self.obs_depth(eng.now(), "worker_queue", to.index, depth);
-                eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
-                    net.start_plan(eng, granted)
-                });
-            }
+            self.grant_next_worker(eng, to);
         }
         if has_conn {
-            let (next, depth) = {
-                match self.services.get_mut(to) {
-                    Some(s) => (s.conns.release(), s.conns.waiting() as u32),
-                    None => (None, 0),
-                }
+            self.grant_next_conn(eng, to);
+        }
+    }
+
+    /// Pass a released worker token to the next live waiter (skipping
+    /// waiters that were aborted while queued) or back to the pool.
+    fn grant_next_worker(&mut self, eng: &mut Eng, to: SvcKey) {
+        loop {
+            let next = match self.services.get_mut(to).and_then(|s| s.workers.as_mut()) {
+                Some(w) => w.release(),
+                None => return,
             };
-            if let Some(ticket) = next {
-                let granted = ticket_req(ticket);
-                self.obs.ev_with(eng.now(), || Ev::ConnQueue {
-                    svc: to.index,
-                    depth,
-                });
-                self.obs_depth(eng.now(), "conn_backlog", to.index, depth);
-                eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
-                    if net.requests.contains(granted) {
-                        net.begin_handshake(eng, granted);
-                    }
-                });
+            let Some(ticket) = next else { return };
+            let granted = ticket_req(ticket);
+            if !self.requests.contains(granted) {
+                // Dead waiter: release again so the token moves on.
+                continue;
             }
+            self.requests.get_mut(granted).unwrap().has_worker = true;
+            let depth = self
+                .services
+                .get(to)
+                .and_then(|s| s.workers.as_ref())
+                .map_or(0, |w| w.waiting() as u32);
+            self.obs.ev_with(eng.now(), || Ev::WorkerQueue {
+                svc: to.index,
+                depth,
+            });
+            self.obs_depth(eng.now(), "worker_queue", to.index, depth);
+            eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
+                net.start_plan(eng, granted)
+            });
+            return;
+        }
+    }
+
+    /// Pass a released connection token to the next live waiter (skipping
+    /// waiters that were aborted while queued) or back to the pool.
+    fn grant_next_conn(&mut self, eng: &mut Eng, to: SvcKey) {
+        loop {
+            let next = match self.services.get_mut(to) {
+                Some(s) => s.conns.release(),
+                None => return,
+            };
+            let Some(ticket) = next else { return };
+            let granted = ticket_req(ticket);
+            if !self.requests.contains(granted) {
+                continue;
+            }
+            // Mark ownership at grant time so an abort between the grant and
+            // the handshake event releases the token instead of leaking it.
+            self.requests.get_mut(granted).unwrap().has_conn = true;
+            let depth = self
+                .services
+                .get(to)
+                .map_or(0, |s| s.conns.waiting() as u32);
+            self.obs.ev_with(eng.now(), || Ev::ConnQueue {
+                svc: to.index,
+                depth,
+            });
+            self.obs_depth(eng.now(), "conn_backlog", to.index, depth);
+            eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
+                net.begin_handshake(eng, granted);
+            });
+            return;
         }
     }
 
@@ -1106,16 +1202,21 @@ impl Net {
     }
 
     fn release_lock(&mut self, eng: &mut Eng, l: LockKey) {
-        if let Some(next) = self.locks.get_mut(l).and_then(|lk| lk.release()) {
+        loop {
+            let Some(next) = self.locks.get_mut(l).and_then(|lk| lk.release()) else {
+                return;
+            };
             let granted = ticket_req(next);
-            if let Some(r) = self.requests.get_mut(granted) {
-                r.held_locks.push(l);
-                r.waiting = Waiting::Cpu;
-                self.obs.ev_with(eng.now(), || Ev::SpanPhase {
-                    span: span_of(granted),
-                    phase: Phase::ServerCpu,
-                });
-            }
+            let Some(r) = self.requests.get_mut(granted) else {
+                // The waiter was aborted while queued: grant to the next one.
+                continue;
+            };
+            r.held_locks.push(l);
+            r.waiting = Waiting::Cpu;
+            self.obs.ev_with(eng.now(), || Ev::SpanPhase {
+                span: span_of(granted),
+                phase: Phase::ServerCpu,
+            });
             if self.obs.on() {
                 let depth = self.locks.get(l).map_or(0, |lk| lk.waiting()) as u32;
                 self.obs.ev_with(eng.now(), || Ev::LockQueue {
@@ -1127,6 +1228,179 @@ impl Net {
             eng.schedule_in(SimDuration::ZERO, move |net: &mut Net, eng| {
                 net.advance_steps(eng, granted)
             });
+            return;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (driven by gfaults::FaultDriver)
+    // ------------------------------------------------------------------
+
+    /// Is the service's host process currently crashed?
+    pub fn service_down(&self, svc: SvcKey) -> bool {
+        self.services.get(svc).is_some_and(|s| s.down)
+    }
+
+    /// Crash a service's host process: every in-flight request targeting it
+    /// aborts (its requester sees a failure, as with a TCP reset), new
+    /// connections are refused, and its timer chains go silent until
+    /// [`Net::restart_service`].  The service object itself keeps its state —
+    /// restart models a process reboot on the same host, and protocol-level
+    /// recovery (re-registration, heartbeats) runs through each service's
+    /// own soft-state machinery.
+    pub fn crash_service(&mut self, eng: &mut Eng, svc: SvcKey) {
+        {
+            let Some(slot) = self.services.get_mut(svc) else {
+                return;
+            };
+            if slot.down {
+                return;
+            }
+            slot.down = true;
+        }
+        self.stats.incr("fault.crashes");
+        self.obs
+            .ev_with(eng.now(), || Ev::FaultCrash { svc: svc.index });
+        self.obs.incr("fault.crashes", 1);
+        let victims: Vec<ReqKey> = self
+            .requests
+            .keys()
+            .into_iter()
+            .filter(|&k| self.requests.get(k).is_some_and(|r| r.to == svc))
+            .collect();
+        for k in victims {
+            self.abort_request(eng, k);
+        }
+    }
+
+    /// Bring a crashed service back up with empty accept/worker pools
+    /// (whatever the dead process held is gone).  The fault driver re-primes
+    /// the service's timers so periodic soft-state traffic resumes.
+    pub fn restart_service(&mut self, eng: &mut Eng, svc: SvcKey) {
+        let Some(slot) = self.services.get_mut(svc) else {
+            return;
+        };
+        if !slot.down {
+            return;
+        }
+        slot.down = false;
+        slot.conns = FifoTokens::bounded(slot.config.conn_capacity, slot.config.backlog);
+        slot.workers = slot.config.workers.map(FifoTokens::new);
+        self.stats.incr("fault.restarts");
+        self.obs
+            .ev_with(eng.now(), || Ev::FaultRestart { svc: svc.index });
+        self.obs.incr("fault.restarts", 1);
+    }
+
+    /// Freeze a service until `until` (a GC-pause-style stall): plans started
+    /// during the freeze stall for its remainder, timers defer to the thaw.
+    pub fn freeze_service(&mut self, eng: &mut Eng, svc: SvcKey, until: SimTime) {
+        let Some(slot) = self.services.get_mut(svc) else {
+            return;
+        };
+        slot.frozen_until = slot.frozen_until.max(until);
+        self.stats.incr("fault.freezes");
+        self.obs
+            .ev_with(eng.now(), || Ev::FaultFreeze { svc: svc.index });
+        self.obs.incr("fault.freezes", 1);
+    }
+
+    /// Force-drop every new connection attempt at a service until `until`
+    /// (a SYN-drop burst: the process stays up, clients see refusals).
+    pub fn drop_conns_until(&mut self, eng: &mut Eng, svc: SvcKey, until: SimTime) {
+        let Some(slot) = self.services.get_mut(svc) else {
+            return;
+        };
+        slot.dropping_until = slot.dropping_until.max(until);
+        self.stats.incr("fault.conn_bursts");
+        self.obs
+            .ev_with(eng.now(), || Ev::FaultDropBurst { svc: svc.index });
+        self.obs.incr("fault.conn_bursts", 1);
+    }
+
+    /// Change a link's capacity mid-run and re-share the active flows.
+    /// A partition degrades a link to ~1 bit/s (in-flight transfers stall
+    /// until the heal restores the original capacity); capacities must stay
+    /// positive.  Emits a partition instant when capacity shrinks, a heal
+    /// instant when it grows.
+    pub fn set_link_capacity(&mut self, eng: &mut Eng, link: LinkId, bps: f64) {
+        assert!(bps > 0.0, "link capacity must stay positive");
+        let now = eng.now();
+        let done = self.flows.advance(&self.topo, now);
+        let old = self.topo.link(link).capacity_bps;
+        self.topo.link_mut(link).capacity_bps = bps;
+        self.flows.capacity_changed(&self.topo);
+        if bps < old {
+            self.stats.incr("fault.partitions");
+            self.obs
+                .ev_with(now, || Ev::FaultPartition { link: link.0 });
+            self.obs.incr("fault.partitions", 1);
+        } else {
+            self.stats.incr("fault.heals");
+            self.obs.ev_with(now, || Ev::FaultHeal { link: link.0 });
+            self.obs.incr("fault.heals", 1);
+        }
+        self.obs_flow_rates(now);
+        self.resched_flows(eng);
+        for t in done {
+            self.dispatch_flow_token(eng, t);
+        }
+    }
+
+    /// Abort one in-flight request *now*: pull it out of any wait queue,
+    /// release what it holds, remove it, and notify its origin of failure
+    /// synchronously.  Unlike [`Net::fail_request`] there is no delayed
+    /// removal — fault aborts must leave no half-dead request behind.
+    fn abort_request(&mut self, eng: &mut Eng, req: ReqKey) {
+        let Some(r) = self.requests.get(req) else {
+            return;
+        };
+        let (to, waiting) = (r.to, r.waiting);
+        let ticket = req_ticket(req);
+        match waiting {
+            Waiting::ConnPool => {
+                if let Some(s) = self.services.get_mut(to) {
+                    s.conns.remove_waiter(ticket);
+                }
+            }
+            Waiting::WorkerPool => {
+                if let Some(w) = self.services.get_mut(to).and_then(|s| s.workers.as_mut()) {
+                    w.remove_waiter(ticket);
+                }
+            }
+            Waiting::Lock => {
+                // The queued-on lock id is not stored on the request; scan
+                // the (small) lock table.
+                for k in self.locks.keys() {
+                    if let Some(lk) = self.locks.get_mut(k) {
+                        lk.remove_waiter(ticket);
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.release_server_side(eng, req);
+        let Some(state) = self.requests.remove(req) else {
+            return;
+        };
+        self.obs.ev_with(eng.now(), || Ev::SpanEnd {
+            span: span_of(req),
+            outcome: Outcome::Failed,
+        });
+        match state.origin {
+            Origin::Client { key, tag } => {
+                let outcome = ReqOutcome {
+                    tag,
+                    result: ReqResult::Failed,
+                    submitted: state.submitted,
+                    completed: eng.now(),
+                };
+                self.with_client(eng, key, |c, cx| c.on_outcome(outcome, cx));
+            }
+            Origin::Parent { req: parent, index } => {
+                self.child_done(eng, parent, index, None);
+            }
+            Origin::None => {}
         }
     }
 
@@ -1783,5 +2057,368 @@ mod tests {
         // Processor sharing: both 1s jobs finish together at ~2s.
         assert!((f[0] - 2.0).abs() < 0.01, "{f:?}");
         assert!((f[1] - 2.0).abs() < 0.01, "{f:?}");
+    }
+
+    /// Service that fails while holding the database lock: Fail must
+    /// release held locks or the service wedges forever.
+    struct FailingLocked {
+        lock: LockKey,
+    }
+
+    impl Service for FailingLocked {
+        fn handle(&mut self, _req: Payload, _cx: &mut SvcCx) -> Plan {
+            Plan::new().lock(self.lock).cpu(2_000.0).fail()
+        }
+        fn name(&self) -> &str {
+            "failing_locked"
+        }
+    }
+
+    #[test]
+    fn fail_step_releases_held_locks() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let lock = net.add_lock(1);
+        let bad = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(FailingLocked { lock }),
+            &mut eng,
+        );
+        let good = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Locked { lock }),
+            &mut eng,
+        );
+        let ok_bad = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: bad,
+            n: 3,
+            ok: ok_bad.clone(),
+        }));
+        let ok_good = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: good,
+            n: 2,
+            ok: ok_good.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(30));
+        // All lock-then-fail requests failed...
+        assert_eq!(*ok_bad.borrow(), (0, 3));
+        // ...yet the lock kept circulating: the well-behaved service
+        // finished its lock-guarded sections.
+        assert_eq!(*ok_good.borrow(), (2, 0));
+        assert_eq!(net.inflight(), 0);
+    }
+
+    /// Client that retries exactly once, after a delay, when refused.
+    struct RetryOnce {
+        from: NodeId,
+        to: SvcKey,
+        log: std::rc::Rc<std::cell::RefCell<Vec<&'static str>>>,
+        retried: bool,
+    }
+
+    impl RetryOnce {
+        fn spec(&self) -> RequestSpec {
+            RequestSpec {
+                from: self.from,
+                to: self.to,
+                payload: Box::new(String::from("r")),
+                req_bytes: 256,
+            }
+        }
+    }
+
+    impl Client for RetryOnce {
+        fn on_start(&mut self, cx: &mut ClientCx) {
+            let spec = self.spec();
+            cx.submit(spec, 0);
+        }
+        fn on_outcome(&mut self, outcome: ReqOutcome, cx: &mut ClientCx) {
+            match outcome.result {
+                ReqResult::Ok(..) => self.log.borrow_mut().push("ok"),
+                ReqResult::Refused => {
+                    self.log.borrow_mut().push("refused");
+                    if !self.retried {
+                        self.retried = true;
+                        cx.wake_in(SimDuration::from_secs(30), 9);
+                    }
+                }
+                ReqResult::Failed => self.log.borrow_mut().push("failed"),
+            }
+        }
+        fn on_wake(&mut self, tag: u64, cx: &mut ClientCx) {
+            assert_eq!(tag, 9);
+            let spec = self.spec();
+            cx.submit(spec, 1);
+        }
+    }
+
+    #[test]
+    fn backlog_refusal_then_retry_succeeds() {
+        // Saturate a tiny pool with slow requests, have one client retry
+        // after the backlog drains: the retry must be admitted and succeed.
+        let (mut net, mut eng, a, b) = two_node_net();
+        let cfg = ServiceConfig {
+            conn_capacity: 1,
+            backlog: 1,
+            workers: Some(1),
+            setup: SetupCost::plain(),
+        };
+        let svc = net.add_service(
+            b,
+            cfg,
+            Box::new(Echo {
+                cpu_us: 1_000_000.0,
+            }),
+            &mut eng,
+        );
+        let ok = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 2, // fills capacity + backlog
+            ok: ok.clone(),
+        }));
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(RetryOnce {
+            from: a,
+            to: svc,
+            log: log.clone(),
+            retried: false,
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(120));
+        assert_eq!(*ok.borrow(), (2, 0));
+        assert_eq!(*log.borrow(), vec!["refused", "ok"]);
+        assert_eq!(net.inflight(), 0);
+    }
+
+    #[test]
+    fn failed_subcall_reaches_resume_as_none() {
+        // A fan-out whose second backend fails: resume() must see one Some
+        // and one None outcome, not hang or panic.
+        let (mut net, mut eng, a, b) = two_node_net();
+        let good = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Echo { cpu_us: 500.0 }),
+            &mut eng,
+        );
+        let bad = net.add_service(b, ServiceConfig::default(), Box::new(Failing), &mut eng);
+        let agg = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(FanOut {
+                backends: vec![good, bad],
+            }),
+            &mut eng,
+        );
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(OneShot {
+            from: a,
+            to: agg,
+            got: got.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "agg:1");
+        assert_eq!(net.inflight(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection hooks
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn crash_aborts_inflight_refuses_new_and_restart_recovers() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let svc = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Echo { cpu_us: 50_000.0 }),
+            &mut eng,
+        );
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(OneShot {
+            from: a,
+            to: svc,
+            got: got.clone(),
+        }));
+        net.start(&mut eng);
+        // Let the request reach the server CPU, then pull the plug.
+        eng.run_until(&mut net, SimTime::from_secs_f64(0.01));
+        net.crash_service(&mut eng, svc);
+        assert!(net.service_down(svc));
+        eng.run_until(&mut net, SimTime::from_secs(5));
+        assert_eq!(got.borrow().as_slice(), &[(String::from("FAIL"), 0.0)]);
+        assert_eq!(net.inflight(), 0, "abort must leave no zombie requests");
+        // New connection attempts are refused while down.
+        let got2 = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let late = net.add_client(Box::new(OneShot {
+            from: a,
+            to: svc,
+            got: got2.clone(),
+        }));
+        net.start_client(&mut eng, late);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        assert_eq!(got2.borrow().as_slice(), &[(String::from("FAIL"), 0.0)]);
+        // Restart: the service answers again.
+        net.restart_service(&mut eng, svc);
+        assert!(!net.service_down(svc));
+        let got3 = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let third = net.add_client(Box::new(OneShot {
+            from: a,
+            to: svc,
+            got: got3.clone(),
+        }));
+        net.start_client(&mut eng, third);
+        eng.run_until(&mut net, SimTime::from_secs(20));
+        assert_eq!(got3.borrow().len(), 1);
+        assert_eq!(got3.borrow()[0].0, "echo:hi");
+        assert_eq!(net.inflight(), 0);
+    }
+
+    #[test]
+    fn freeze_stalls_plans_until_thaw() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let svc = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Echo { cpu_us: 1_000.0 }),
+            &mut eng,
+        );
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(OneShot {
+            from: a,
+            to: svc,
+            got: got.clone(),
+        }));
+        net.freeze_service(&mut eng, svc, SimTime::from_secs(6));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(30));
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "echo:hi");
+        // The plan started shortly after t=0 and stalled to the thaw at 6s.
+        assert!(got[0].1 > 5.5, "rt {} should include the stall", got[0].1);
+        assert!(got[0].1 < 7.0, "rt {}", got[0].1);
+    }
+
+    #[test]
+    fn drop_burst_refuses_then_recovers() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let svc = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Echo { cpu_us: 1_000.0 }),
+            &mut eng,
+        );
+        net.drop_conns_until(&mut eng, svc, SimTime::from_secs(5));
+        let ok = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 3,
+            ok: ok.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(4));
+        assert_eq!(*ok.borrow(), (0, 3), "burst arrives inside the drop window");
+        assert_eq!(net.service_stats(svc).conns_refused, 3);
+        // After the window, connections are admitted normally.
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let late = net.add_client(Box::new(OneShot {
+            from: a,
+            to: svc,
+            got: got.clone(),
+        }));
+        eng.run_until(&mut net, SimTime::from_secs(6));
+        net.start_client(&mut eng, late);
+        eng.run_until(&mut net, SimTime::from_secs(20));
+        assert_eq!(got.borrow().len(), 1);
+        assert_eq!(got.borrow()[0].0, "echo:hi");
+    }
+
+    #[test]
+    fn partition_stalls_flows_until_heal() {
+        let (mut net, mut eng, a, b) = two_node_net();
+        let svc = net.add_service(
+            b,
+            ServiceConfig::default(),
+            Box::new(Echo { cpu_us: 1_000.0 }),
+            &mut eng,
+        );
+        let up = net.topo.find_link("client->server").expect("link");
+        let down = net.topo.find_link("server->client").expect("link");
+        let got = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        net.add_client(Box::new(OneShot {
+            from: a,
+            to: svc,
+            got: got.clone(),
+        }));
+        net.start(&mut eng);
+        net.set_link_capacity(&mut eng, up, 1.0);
+        net.set_link_capacity(&mut eng, down, 1.0);
+        eng.run_until(&mut net, SimTime::from_secs(5));
+        assert!(got.borrow().is_empty(), "SYN cannot cross a partition");
+        assert!(net.inflight() > 0);
+        // Heal: the stalled transfer resumes at full rate.
+        net.set_link_capacity(&mut eng, up, 100e6);
+        net.set_link_capacity(&mut eng, down, 100e6);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "echo:hi");
+        // The response only arrived after the heal at t=5s.
+        assert!(got[0].1 > 5.0, "rt {}", got[0].1);
+        assert_eq!(net.inflight(), 0);
+    }
+
+    #[test]
+    fn crash_with_queued_waiters_leaks_nothing() {
+        // Saturate a 1-slot pool so requests queue in the backlog and the
+        // worker pool, crash, restart, and verify fresh requests flow.
+        let (mut net, mut eng, a, b) = two_node_net();
+        let cfg = ServiceConfig {
+            conn_capacity: 2,
+            backlog: 4,
+            workers: Some(1),
+            setup: SetupCost::plain(),
+        };
+        let svc = net.add_service(b, cfg, Box::new(Echo { cpu_us: 500_000.0 }), &mut eng);
+        let ok = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 6,
+            ok: ok.clone(),
+        }));
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs_f64(0.05));
+        net.crash_service(&mut eng, svc);
+        eng.run_until(&mut net, SimTime::from_secs(2));
+        let (ok_n, not_ok) = *ok.borrow();
+        assert_eq!(ok_n, 0);
+        assert_eq!(not_ok, 6, "every queued/in-flight request fails on crash");
+        assert_eq!(net.inflight(), 0);
+        net.restart_service(&mut eng, svc);
+        let ok2 = std::rc::Rc::new(std::cell::RefCell::new((0u32, 0u32)));
+        let late = net.add_client(Box::new(Burst {
+            from: a,
+            to: svc,
+            n: 2,
+            ok: ok2.clone(),
+        }));
+        net.start_client(&mut eng, late);
+        eng.run_until(&mut net, SimTime::from_secs(10));
+        assert_eq!(*ok2.borrow(), (2, 0), "restarted pools admit new work");
+        assert_eq!(net.inflight(), 0);
     }
 }

@@ -351,6 +351,16 @@ pub struct ServiceSlot {
     pub(crate) conns: simcore::FifoTokens,
     pub(crate) workers: Option<simcore::FifoTokens>,
     pub(crate) rng: SimRng,
+    /// Fault injection: the host process is crashed.  New connections are
+    /// refused and timer chains are silenced until a restart.
+    pub(crate) down: bool,
+    /// Fault injection: a GC-pause-style stall.  Plans started before this
+    /// instant gain a latency step covering the remainder of the stall,
+    /// and timers are deferred to it.
+    pub(crate) frozen_until: SimTime,
+    /// Fault injection: force-drop new connection attempts until this
+    /// instant (models a SYN-drop burst without taking the process down).
+    pub(crate) dropping_until: SimTime,
 }
 
 #[cfg(test)]

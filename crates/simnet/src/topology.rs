@@ -147,6 +147,21 @@ impl Topology {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
+    /// Mutable access to a link (fault injection changes capacities
+    /// mid-run; go through `Net::set_link_capacity` so flow rates are
+    /// re-shared).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// Find a directed link by name (for tests and fault targeting).
+    pub fn find_link(&self, name: &str) -> Option<LinkId> {
+        self.links
+            .iter()
+            .position(|l| l.name == name)
+            .map(|i| LinkId(i as u32))
+    }
+
     /// Find a node by name (for tests and reporting).
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
         self.nodes

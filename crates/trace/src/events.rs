@@ -147,6 +147,20 @@ pub enum Ev {
     CpuDone { node: u32, span: SpanId },
     /// The runnable-task count on a node's CPU changed.
     CpuResched { node: u32, runnable: u32 },
+    /// Fault injection: a service host crashed (all in-flight requests
+    /// targeting it abort, its timers stop, new connections are refused).
+    FaultCrash { svc: u32 },
+    /// Fault injection: a crashed service host came back up.
+    FaultRestart { svc: u32 },
+    /// Fault injection: a service froze (GC-pause-style stall) until the
+    /// recorded deadline; work resumes afterwards with added latency.
+    FaultFreeze { svc: u32 },
+    /// Fault injection: a link was degraded to (near) zero capacity.
+    FaultPartition { link: u32 },
+    /// Fault injection: a degraded link's original capacity was restored.
+    FaultHeal { link: u32 },
+    /// Fault injection: a service started force-dropping new connections.
+    FaultDropBurst { svc: u32 },
 }
 
 impl Ev {
@@ -170,6 +184,12 @@ impl Ev {
             Ev::CpuGrant { .. } => "cpu_grant",
             Ev::CpuDone { .. } => "cpu_done",
             Ev::CpuResched { .. } => "cpu_resched",
+            Ev::FaultCrash { .. } => "fault_crash",
+            Ev::FaultRestart { .. } => "fault_restart",
+            Ev::FaultFreeze { .. } => "fault_freeze",
+            Ev::FaultPartition { .. } => "fault_partition",
+            Ev::FaultHeal { .. } => "fault_heal",
+            Ev::FaultDropBurst { .. } => "fault_drop_burst",
         }
     }
 }

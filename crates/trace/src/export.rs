@@ -157,8 +157,15 @@ pub fn jsonl(events: &[TraceEvent]) -> String {
             Ev::ConnDrop { svc }
             | Ev::GsiHandshake { svc }
             | Ev::CacheHit { svc }
-            | Ev::CacheMiss { svc } => {
+            | Ev::CacheMiss { svc }
+            | Ev::FaultCrash { svc }
+            | Ev::FaultRestart { svc }
+            | Ev::FaultFreeze { svc }
+            | Ev::FaultDropBurst { svc } => {
                 let _ = write!(out, ",\"svc\":{svc}");
+            }
+            Ev::FaultPartition { link } | Ev::FaultHeal { link } => {
+                let _ = write!(out, ",\"link\":{link}");
             }
             Ev::FlowStart { flow, bytes } => {
                 let _ = write!(out, ",\"flow\":{flow},\"bytes\":{bytes}");
@@ -363,6 +370,24 @@ pub fn chrome_trace(meta: &TraceMeta, events: &[TraceEvent], dropped: u64) -> St
                 format!(
                     "{{\"ph\":\"i\",\"pid\":2,\"tid\":0,\"ts\":{ts},\"s\":\"g\",\"name\":\"cache_miss {}\"}}",
                     escape(&svc_label(meta, svc))
+                ),
+                &mut out,
+            ),
+            Ev::FaultCrash { svc }
+            | Ev::FaultRestart { svc }
+            | Ev::FaultFreeze { svc }
+            | Ev::FaultDropBurst { svc } => emit(
+                format!(
+                    "{{\"ph\":\"i\",\"pid\":2,\"tid\":0,\"ts\":{ts},\"s\":\"g\",\"name\":\"{} {}\"}}",
+                    e.ev.name(),
+                    escape(&svc_label(meta, svc))
+                ),
+                &mut out,
+            ),
+            Ev::FaultPartition { link } | Ev::FaultHeal { link } => emit(
+                format!(
+                    "{{\"ph\":\"i\",\"pid\":2,\"tid\":0,\"ts\":{ts},\"s\":\"g\",\"name\":\"{} link{link}\"}}",
+                    e.ev.name()
                 ),
                 &mut out,
             ),

@@ -37,6 +37,10 @@ pub struct UserConfig {
     /// other users on that machine — at high user counts this is what
     /// capped the measured throughput of the fast servers.
     pub client_cpu_us: f64,
+    /// Give up on a query after this long and retry with backoff (the
+    /// script's `-timelimit` flag).  `None` (the default) waits forever,
+    /// which reproduces the original closed loop exactly.
+    pub timeout: Option<SimDuration>,
 }
 
 impl Default for UserConfig {
@@ -47,6 +51,7 @@ impl Default for UserConfig {
             retry_cap: SimDuration::from_secs(48),
             series: "user".to_string(),
             client_cpu_us: 0.0,
+            timeout: None,
         }
     }
 }
@@ -60,17 +65,26 @@ pub struct User {
     retry_cap: SimDuration,
     series: String,
     client_cpu_us: f64,
+    client_timeout: Option<SimDuration>,
     make_query: QueryFactory,
     rng: SimRng,
     /// Time the current query's first attempt was submitted.
     query_started: SimTime,
     attempt: u32,
+    /// Generation of the attempt currently awaited (`None` while thinking
+    /// or backing off).  Stale outcomes — a response arriving after its
+    /// attempt timed out — carry an older generation and are discarded.
+    awaiting: Option<u64>,
+    /// Attempt generation counter; doubles as the submit tag.
+    gen: u64,
     /// Completed queries (whole run, not just the window).
     pub completed: u64,
     /// Refusals encountered (whole run).
     pub refused: u64,
     /// Failures encountered (whole run).
     pub failed: u64,
+    /// Attempts abandoned at the client timeout (whole run).
+    pub timedout: u64,
 }
 
 impl User {
@@ -89,13 +103,17 @@ impl User {
             retry_cap: config.retry_cap,
             series: config.series.clone(),
             client_cpu_us: config.client_cpu_us,
+            client_timeout: config.timeout,
             make_query,
             rng,
             query_started: SimTime::ZERO,
             attempt: 0,
+            awaiting: None,
+            gen: 0,
             completed: 0,
             refused: 0,
             failed: 0,
+            timedout: 0,
         }
     }
 
@@ -107,14 +125,19 @@ impl User {
             payload,
             req_bytes: bytes,
         };
+        self.gen += 1;
+        self.awaiting = Some(self.gen);
         if self.attempt == 0 {
             // First attempt: the span covers the client-side CPU burned
             // since `query_started`, matching the recorded response
             // time.  Retries are separate spans (the recorded time
             // additionally includes backoff, which no span covers).
-            cx.submit_started(spec, 0, self.query_started);
+            cx.submit_started(spec, self.gen, self.query_started);
         } else {
-            cx.submit(spec, 0);
+            cx.submit(spec, self.gen);
+        }
+        if let Some(limit) = self.client_timeout {
+            cx.wake_in(limit, TAG_TIMEOUT | self.gen);
         }
     }
 
@@ -127,10 +150,13 @@ impl User {
     }
 }
 
-/// Wake tags.
+/// Wake tags.  Timeout wakes carry the attempt generation in the low 32
+/// bits so a late-firing timeout for an attempt that already completed is
+/// recognisable as stale.
 const TAG_NEXT_QUERY: u64 = 1;
 const TAG_RETRY: u64 = 2;
 const TAG_CPU_DONE: u64 = 3;
+const TAG_TIMEOUT: u64 = 1 << 32;
 
 impl Client for User {
     fn on_start(&mut self, cx: &mut ClientCx) {
@@ -153,11 +179,41 @@ impl Client for User {
                 }
             }
             TAG_CPU_DONE | TAG_RETRY => self.send(cx, false),
+            t if t & TAG_TIMEOUT != 0 => {
+                let gen = t & !TAG_TIMEOUT;
+                if self.awaiting != Some(gen) {
+                    return; // the attempt already resolved; stale timer
+                }
+                // Give up on this attempt.  Its eventual outcome (if any)
+                // will arrive with a stale generation and be discarded.
+                self.awaiting = None;
+                self.timedout += 1;
+                self.attempt += 1;
+                let now = cx.now();
+                let rt = (now - self.query_started).as_secs_f64();
+                let series = format!("{}.timedout", self.series);
+                cx.net.stats.incr_windowed(&series, now);
+                // Recorded under its own series: abandoned attempts must
+                // not drag the completed-query response-time mean.
+                cx.net.stats.record_completion(&series, now, rt);
+                let delay = self.backoff();
+                cx.wake_in(delay, TAG_RETRY);
+            }
             _ => {}
         }
     }
 
     fn on_outcome(&mut self, outcome: ReqOutcome, cx: &mut ClientCx) {
+        if self.awaiting != Some(outcome.tag) {
+            // Response (or refusal) for an attempt we already abandoned at
+            // the timeout: count it, but the loop has moved on.
+            let now = cx.now();
+            cx.net
+                .stats
+                .incr_windowed(&format!("{}.late", self.series), now);
+            return;
+        }
+        self.awaiting = None;
         match outcome.result {
             ReqResult::Ok(..) => {
                 self.completed += 1;
@@ -179,9 +235,13 @@ impl Client for User {
             ReqResult::Failed => {
                 self.failed += 1;
                 let now = cx.now();
-                cx.net
-                    .stats
-                    .incr_windowed(&format!("{}.failed", self.series), now);
+                let rt = (outcome.completed - self.query_started).as_secs_f64();
+                let series = format!("{}.failed", self.series);
+                cx.net.stats.incr_windowed(&series, now);
+                // Failed queries get their own latency series; folding them
+                // into the main mean under-reported response times whenever
+                // a server died mid-burst (failures resolve fast).
+                cx.net.stats.record_completion(&series, now, rt);
                 // Treat like the script dying and restarting the loop.
                 cx.wake_in(self.think, TAG_NEXT_QUERY);
             }
@@ -475,6 +535,92 @@ mod tests {
         let lost = net.stats.counter("user.lost");
         assert!(x < 5.0, "completed {x}");
         assert!(lost > 500, "lost {lost}");
+    }
+
+    /// Fails every other query after a long compute, answers the rest
+    /// quickly — the failure latency is far above the success latency.
+    struct Flaky {
+        n: u64,
+    }
+
+    impl Service for Flaky {
+        fn handle(&mut self, _req: Payload, _cx: &mut SvcCx) -> Plan {
+            self.n += 1;
+            if self.n.is_multiple_of(2) {
+                Plan::new().cpu(400_000.0).fail()
+            } else {
+                Plan::new().cpu(1_000.0).reply((), 512)
+            }
+        }
+    }
+
+    #[test]
+    fn failed_queries_do_not_pollute_response_time_mean() {
+        let mut topo = Topology::new();
+        let server = topo.add_node("server", 2, 1.0);
+        let c = topo.add_node("c0", 1, 1.0);
+        topo.connect(c, server, 100e6, SimDuration::from_millis(1));
+        let stats = StatsHub::new(SimTime::from_secs(10), SimTime::from_secs(110));
+        let mut net = Net::new(topo, stats);
+        let mut eng: Eng = Engine::new(11);
+        let svc = net.add_service(
+            server,
+            ServiceConfig::default(),
+            Box::new(Flaky { n: 0 }),
+            &mut eng,
+        );
+        let cfg = UserConfig::default();
+        spawn_users(&mut net, &mut eng, &[c], svc, &cfg, factory);
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(110));
+        // Successes are milliseconds; the 0.4 s failures must live in
+        // their own series, not the completed-query mean.
+        let rt_ok = net.stats.mean_response_time("user");
+        assert!(rt_ok < 0.1, "ok mean {rt_ok}");
+        assert!(net.stats.counter("user.failed") > 10);
+        assert!(net.stats.completions("user.failed") > 10);
+        let rt_fail = net.stats.mean_response_time("user.failed");
+        assert!(rt_fail > 0.3, "failed mean {rt_fail}");
+    }
+
+    #[test]
+    fn timeout_abandons_slow_queries_and_discards_late_responses() {
+        // 5 s of server CPU per query against a 1 s client timeout: every
+        // attempt is abandoned, retried with backoff, and the eventual
+        // response arrives late and is discarded.
+        let (mut net, mut eng, clients, svc) = world_with_cost(1024, 128, 5_000_000.0);
+        let cfg = UserConfig {
+            timeout: Some(SimDuration::from_secs(1)),
+            ..Default::default()
+        };
+        let keys = spawn_users(&mut net, &mut eng, &clients[..1], svc, &cfg, factory);
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(130));
+        let user = net.client_as::<User>(keys[0]).unwrap();
+        assert!(user.timedout > 3, "timedout {}", user.timedout);
+        assert_eq!(user.completed, 0);
+        // The windowed counter sees fewer: backoff stretches attempts out
+        // and the stats window opens at t=30 s.
+        assert!(net.stats.counter("user.timedout") >= 1);
+        // Late responses were seen and ignored, not recorded as successes.
+        assert!(net.stats.counter("user.late") > 0);
+        assert_eq!(net.stats.completions("user"), 0);
+        // Abandoned-attempt waits are tracked in their own series.
+        let rt = net.stats.mean_response_time("user.timedout");
+        assert!(rt > 0.9, "timedout mean {rt}");
+    }
+
+    #[test]
+    fn no_timeout_config_never_times_out() {
+        let (mut net, mut eng, clients, svc) = world_with_cost(1024, 128, 3_000_000.0);
+        let cfg = UserConfig::default(); // timeout: None
+        let keys = spawn_users(&mut net, &mut eng, &clients[..1], svc, &cfg, factory);
+        net.start(&mut eng);
+        eng.run_until(&mut net, SimTime::from_secs(130));
+        let user = net.client_as::<User>(keys[0]).unwrap();
+        assert_eq!(user.timedout, 0);
+        assert!(user.completed > 10);
+        assert_eq!(net.stats.counter("user.late"), 0);
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! **byte-identical** to the sequential runner's, whatever the worker
 //! count, and a warm-cache run reproduces the same bytes without
 //! executing a single point.  These tests pin that contract on a
-//! scaled-down sweep of all four sets.
+//! scaled-down sweep of all five sets — the Set-5 resilience sweep
+//! runs with its canonical fault plan installed, so injected faults
+//! are held to the same byte-identity bar as pristine points.
 
+use gridmon_core::experiments::set5;
 use gridmon_core::figures::{self, SetData};
 use gridmon_core::report::csv;
 use gridmon_core::runcfg::RunConfig;
@@ -26,6 +29,16 @@ fn cfg() -> RunConfig {
 
 const SCALE: f64 = 0.02;
 
+/// Per-set configuration: set 5 injects its canonical fault plan (the
+/// other sets ignore `faults` entirely).
+fn cfg_for(set: u32) -> RunConfig {
+    let mut c = cfg();
+    if set == 5 {
+        c.faults = set5::default_spec();
+    }
+    c
+}
+
 /// Render every figure of a set to CSV, keyed by figure number.
 fn csvs_of(data: &SetData) -> BTreeMap<u32, String> {
     figures::figures_of_set(data.set)
@@ -43,8 +56,8 @@ fn scratch_cache(tag: &str) -> PathBuf {
 
 #[test]
 fn every_figure_csv_is_byte_identical_across_job_counts() {
-    let cfg = cfg();
-    for set in 1..=4 {
+    for set in 1..=5 {
+        let cfg = cfg_for(set);
         // The in-crate sequential runner is the reference.
         let reference = csvs_of(&figures::run_set(set, &cfg, SCALE, None).unwrap());
         assert!(!reference.is_empty());
@@ -73,10 +86,10 @@ fn every_figure_csv_is_byte_identical_across_job_counts() {
 /// byte-identical to the plain NullTracer run, sequential or 8-wide.
 #[test]
 fn tracing_never_changes_figure_csvs() {
-    let base = cfg();
-    let mut traced = base;
-    traced.obs = gridmon_core::ObsMode::FULL;
-    for set in 1..=4 {
+    for set in 1..=5 {
+        let base = cfg_for(set);
+        let mut traced = base;
+        traced.obs = gridmon_core::ObsMode::FULL;
         let reference = csvs_of(&figures::run_set(set, &base, SCALE, None).unwrap());
         for jobs in [1, 8] {
             let rc = RunnerConfig {
@@ -97,14 +110,14 @@ fn tracing_never_changes_figure_csvs() {
 
 #[test]
 fn warm_cache_reproduces_identical_csvs_without_executing() {
-    let cfg = cfg();
     let dir = scratch_cache("warm");
     let rc = RunnerConfig {
         jobs: 2,
         cache_dir: Some(dir.clone()),
         quiet: true,
     };
-    for set in 1..=4 {
+    for set in 1..=5 {
+        let cfg = cfg_for(set);
         let (cold, s_cold) = gridmon_runner::run_set(set, &cfg, SCALE, &rc).unwrap();
         assert_eq!(s_cold.cache_hits, 0, "set {set}: scratch cache starts cold");
         assert_eq!(s_cold.executed, s_cold.total);
