@@ -16,6 +16,14 @@
 //!   <2 % over the pre-instrumentation baseline; compare `off` runs
 //!   across commits to watch it), `trace_full` is the opt-in price of
 //!   `figures --trace`.
+//!
+//! * `perf_gate/*` — the same pin for the self-profiler.  With no
+//!   `PerfSink` alive, `gperf::sim_report` is one relaxed load and a
+//!   predictable branch (`sim_report_off` vs `spin`), and a whole
+//!   figure point with profiling compiled in but disabled
+//!   (`point_unprofiled`) must stay within the same <2 % budget of the
+//!   pre-profiler baseline; `point_profiled` shows the opt-in cost of
+//!   `figures --perf` / `gridmon-bench`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gbench::Profile;
@@ -87,5 +95,61 @@ fn sweep_point(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, obs_gate, sweep_point);
+/// The self-profiler's gate: per-site cost of `sim_report` off vs on,
+/// and a whole figure point unprofiled vs profiled.
+fn perf_gate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perf_gate");
+    const N: u64 = 100_000;
+
+    g.bench_function("spin", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(criterion::black_box(i));
+            }
+            criterion::black_box(acc)
+        })
+    });
+    g.bench_function("sim_report_off", |b| {
+        assert!(!gperf::profiling(), "no sink may leak into this bench");
+        b.iter(|| {
+            for i in 0..N {
+                gperf::sim_report(criterion::black_box(i), i, i);
+            }
+            criterion::black_box(gperf::profiling())
+        })
+    });
+    g.bench_function("sim_report_on", |b| {
+        let _sink = gperf::PerfSink::new();
+        b.iter(|| {
+            let (_, sample) = gperf::measure_point(|| {
+                for i in 0..N {
+                    gperf::sim_report(criterion::black_box(i), i, i);
+                }
+            });
+            criterion::black_box(sample.sim.engine_runs)
+        })
+    });
+
+    g.sample_size(10);
+    g.bench_function("point_unprofiled", |b| {
+        b.iter(|| {
+            let cfg = Profile::Bench.run_config(13);
+            let m = set1::run_point(Set1Series::GrisCache, 10, &cfg);
+            criterion::black_box(m.response_time)
+        })
+    });
+    g.bench_function("point_profiled", |b| {
+        let _sink = gperf::PerfSink::new();
+        b.iter(|| {
+            let cfg = Profile::Bench.run_config(13);
+            let (m, sample) =
+                gperf::measure_point(|| set1::run_point(Set1Series::GrisCache, 10, &cfg));
+            criterion::black_box((m.response_time, sample.sim.events))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, obs_gate, sweep_point, perf_gate);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! figures [--profile paper|quick|bench] [--seed N] [--out DIR]
 //!         [--jobs N] [--no-cache] [--only figN] [--faults PLAN]
-//!         [--trace SUBSTR] [--metrics] [--list] [TARGET...]
+//!         [--trace SUBSTR] [--metrics] [--perf] [--list] [TARGET...]
 //!
 //! TARGET:  table1 | set1..set5 | fig5..fig24 | ext | all   (default: all)
 //!
@@ -30,6 +30,13 @@
 //! --metrics   also snapshot the metrics registry per point and write
 //!             `DIR/trace/<point>.metrics.csv`.  Without --trace this
 //!             covers every point of the selected sets.
+//! --perf      profile the harness itself and write `DIR/perf.json`
+//!             (schema gridmon-perf-v1): phase breakdown, per-point
+//!             wall/sim/event records, cache traffic and pool
+//!             utilization.  Render it with
+//!             `gridmon-inspect --profile DIR`.  Profiling only reads
+//!             engine counters after each run, so figure CSVs stay
+//!             byte-identical with or without it.
 //! --list      print the catalogue — every figure with its title and
 //!             every `setN/<series>/x=<x>` point key the selected
 //!             targets would run — and exit without running anything.
@@ -67,6 +74,7 @@ fn main() {
     let mut only_figs: BTreeSet<u32> = BTreeSet::new();
     let mut trace_substrs: Vec<String> = Vec::new();
     let mut want_metrics = false;
+    let mut want_perf = false;
     let mut want_list = false;
     let mut faults: Option<FaultSpec> = None;
 
@@ -104,6 +112,7 @@ fn main() {
                 );
             }
             "--metrics" => want_metrics = true,
+            "--perf" => want_perf = true,
             "--list" => want_list = true,
             "--faults" => {
                 let plan = args.next().unwrap_or_else(|| die("--faults needs a plan"));
@@ -117,7 +126,7 @@ fn main() {
                 eprintln!(
                     "usage: figures [--profile paper|quick|bench] [--seed N] [--out DIR] \
                      [--jobs N] [--no-cache] [--only figN] [--faults PLAN] [--trace SUBSTR] \
-                     [--metrics] [--list] [table1|setN|figN|ext|all]..."
+                     [--metrics] [--perf] [--list] [table1|setN|figN|ext|all]..."
                 );
                 return;
             }
@@ -193,6 +202,10 @@ fn main() {
         std::fs::write(out_dir.join("table1.txt"), render_table1()).expect("write table1");
     }
 
+    // Self-profiling sink: collects across every sweep of this
+    // invocation; written as one perf.json at the end.
+    let mut perf_sink = want_perf.then(gperf::PerfSink::new);
+
     for &set in &sets {
         eprintln!(
             "== running experiment set {set} ({profile:?}, jobs={}) ==",
@@ -204,8 +217,9 @@ fn main() {
         );
         let mut cfg = profile.run_config(seed);
         cfg.faults = spec_for(set);
-        let (data, stats) = gridmon_runner::run_set(set, &cfg, profile.scale(), &rc)
-            .unwrap_or_else(|e| die(&e.to_string()));
+        let (data, stats) =
+            gridmon_runner::run_set_profiled(set, &cfg, profile.scale(), &rc, perf_sink.as_mut())
+                .unwrap_or_else(|e| die(&e.to_string()));
         eprintln!(
             "== set {set} done in {:.1?} ({} points: {} executed, {} cached) ==",
             stats.wall, stats.total, stats.executed, stats.cache_hits
@@ -224,7 +238,7 @@ fn main() {
     }
 
     if want_ext {
-        run_extensions(profile, seed, &out_dir, &rc);
+        run_extensions(profile, seed, &out_dir, &rc, perf_sink.as_mut());
     }
 
     if !trace_substrs.is_empty() || want_metrics {
@@ -240,7 +254,14 @@ fn main() {
             &trace_substrs,
             want_metrics,
             spec_for(5),
+            perf_sink.as_mut(),
         );
+    }
+
+    if let Some(sink) = &perf_sink {
+        let path = out_dir.join("perf.json");
+        std::fs::write(&path, gperf::report::perf_json(sink)).expect("write perf.json");
+        eprintln!("wrote {}", path.display());
     }
 }
 
@@ -335,6 +356,7 @@ fn run_observability(
     trace_substrs: &[String],
     want_metrics: bool,
     fault_spec: FaultSpec,
+    perf_sink: Option<&mut gperf::PerfSink>,
 ) {
     let mut specs: Vec<PointSpec> = Vec::new();
     for &set in sets {
@@ -366,7 +388,7 @@ fn run_observability(
         specs.len(),
         cfg.obs.fingerprint()
     );
-    let observed = gridmon_runner::run_points_observed(&specs, &cfg, rc);
+    let observed = gridmon_runner::run_points_observed_profiled(&specs, &cfg, rc, perf_sink);
 
     for (spec, op) in specs.iter().zip(&observed) {
         let slug = slug(&spec.key());
@@ -442,7 +464,13 @@ fn parse_fig(arg: &str) -> u32 {
 const OPEN_LOOP_RATES: [f64; 4] = [5.0, 15.0, 30.0, 60.0];
 const COMPOSITE_SOURCES: [u32; 3] = [2, 5, 10];
 
-fn run_extensions(profile: Profile, seed: u64, out_dir: &std::path::Path, rc: &RunnerConfig) {
+fn run_extensions(
+    profile: Profile,
+    seed: u64,
+    out_dir: &std::path::Path,
+    rc: &RunnerConfig,
+    perf_sink: Option<&mut gperf::PerfSink>,
+) {
     use gridmon_core::ext::WAN_CASES;
     let cfg = profile.run_config(seed);
 
@@ -468,7 +496,7 @@ fn run_extensions(profile: Profile, seed: u64, out_dir: &std::path::Path, rc: &R
         "== running extension studies ({} points) ==",
         ext_jobs.len()
     );
-    let (outputs, stats) = gridmon_runner::run_jobs(&ext_jobs, &cfg, rc);
+    let (outputs, stats) = gridmon_runner::run_jobs_profiled(&ext_jobs, &cfg, rc, perf_sink);
     eprintln!(
         "== extensions done in {:.1?} ({} executed, {} cached) ==",
         stats.wall, stats.executed, stats.cache_hits

@@ -1,7 +1,7 @@
 //! gridmon-inspect — summarize a gridmon Chrome-trace JSON file.
 //!
 //! ```text
-//! gridmon-inspect [--self-check] [FILE]
+//! gridmon-inspect [--self-check] [--profile RUN_DIR] [FILE]
 //! ```
 //!
 //! FILE is a `<point>.trace.json` written by `figures --trace` (it
@@ -10,6 +10,13 @@
 //! window the trace covers: the per-phase latency breakdown of the
 //! completed query spans, the top queues by time-weighted depth, and
 //! every drop/refusal cause with counts.
+//!
+//! `--profile RUN_DIR` instead renders the harness self-profile a
+//! `figures --perf` run wrote to `RUN_DIR/perf.json`: the run's phase
+//! breakdown together with the per-point perf records (wall vs
+//! simulated time, engine events, sim-events/s, worker and cache
+//! attribution), cache traffic and pool utilization.  RUN_DIR may also
+//! be the path of a perf.json itself.
 //!
 //! `--self-check` additionally validates the trace's internal
 //! accounting: the per-phase means must sum to the span-level mean
@@ -26,11 +33,19 @@ const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/golden_trace
 fn main() {
     let mut check = false;
     let mut file: Option<String> = None;
-    for a in std::env::args().skip(1) {
+    let mut profile_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--self-check" => check = true,
+            "--profile" => {
+                profile_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--profile needs a RUN_DIR or perf.json path")),
+                );
+            }
             "--help" | "-h" => {
-                eprintln!("usage: gridmon-inspect [--self-check] [FILE]");
+                eprintln!("usage: gridmon-inspect [--self-check] [--profile RUN_DIR] [FILE]");
                 return;
             }
             f if !f.starts_with('-') => {
@@ -40,6 +55,21 @@ fn main() {
             }
             other => die(&format!("unknown flag {other:?}")),
         }
+    }
+    if let Some(dir) = profile_dir {
+        let mut path = std::path::PathBuf::from(&dir);
+        if path.is_dir() {
+            path = path.join("perf.json");
+        }
+        let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            die(&format!(
+                "read {}: {e} (run figures --perf?)",
+                path.display()
+            ))
+        });
+        let text = gbench::profile::render_perf(&doc).unwrap_or_else(|e| die(&e));
+        print!("{text}");
+        return;
     }
     let path = file.unwrap_or_else(|| GOLDEN.to_string());
     let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));

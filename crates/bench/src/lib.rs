@@ -1,4 +1,8 @@
-//! Shared helpers for the benchmark harness and the `figures` binary.
+//! Shared helpers for the benchmark harness and the `figures`,
+//! `gridmon-bench` and `gridmon-inspect` binaries.
+
+pub mod profile;
+pub mod suite;
 
 use gridmon_core::figures::{self, FigureData, FigureError, SetData};
 use gridmon_core::runcfg::RunConfig;

@@ -1,0 +1,157 @@
+//! End-to-end tests of the `gridmon-bench` regression gate: the binary
+//! must exit nonzero when the current report regresses beyond the
+//! tolerance, exit zero when it is within tolerance, and produce a
+//! valid schema-versioned report when it actually runs the matrix.
+
+use gbench::suite::{BenchEntry, BenchReport, BENCH_SCHEMA};
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_gridmon-bench");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gridmon-bench-gate-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn synthetic(label: &str, eps: f64, warm_wall: f64) -> BenchReport {
+    BenchReport {
+        label: label.into(),
+        seed: 1,
+        jobs: 1,
+        entries: vec![
+            BenchEntry {
+                id: "set1/cold".into(),
+                warm: false,
+                points: 2,
+                wall_s: 1.0,
+                events: eps as u64,
+                sim_s: 120.0,
+                events_per_sec: eps,
+            },
+            BenchEntry {
+                id: "set1/warm".into(),
+                warm: true,
+                points: 2,
+                wall_s: warm_wall,
+                events: 0,
+                sim_s: 0.0,
+                events_per_sec: 0.0,
+            },
+        ],
+    }
+}
+
+#[test]
+fn gate_exits_nonzero_on_injected_regression() {
+    let dir = scratch("regress");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    std::fs::write(&base, synthetic("base", 100_000.0, 0.010).to_json()).unwrap();
+    // 40% throughput drop: far beyond the 10% tolerance.
+    std::fs::write(&cur, synthetic("cur", 60_000.0, 0.010).to_json()).unwrap();
+    let out = Command::new(BIN)
+        .args(["--compare"])
+        .arg(&cur)
+        .arg("--baseline")
+        .arg(&base)
+        .args(["--tolerance", "10"])
+        .output()
+        .expect("run gridmon-bench");
+    assert_eq!(out.status.code(), Some(1), "regression must fail the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("events_per_sec"),
+        "names the metric:\n{stdout}"
+    );
+    assert!(stdout.contains("set1/cold"), "names the entry:\n{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn gate_passes_within_tolerance() {
+    let dir = scratch("pass");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    std::fs::write(&base, synthetic("base", 100_000.0, 0.010).to_json()).unwrap();
+    // 5% slower, warm path twice as fast: within a 10% gate.
+    std::fs::write(&cur, synthetic("cur", 95_000.0, 0.005).to_json()).unwrap();
+    let out = Command::new(BIN)
+        .args(["--compare"])
+        .arg(&cur)
+        .arg("--baseline")
+        .arg(&base)
+        .args(["--tolerance", "10"])
+        .output()
+        .expect("run gridmon-bench");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("perf gate: OK"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbled_reports_fail_cleanly() {
+    let dir = scratch("garbled");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"schema\": \"wrong\"}").unwrap();
+    let out = Command::new(BIN)
+        .args(["--compare"])
+        .arg(&bad)
+        .output()
+        .expect("run gridmon-bench");
+    assert_eq!(out.status.code(), Some(2), "usage-level failure");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn matrix_run_emits_a_valid_report() {
+    let dir = scratch("matrix");
+    let out_path = dir.join("BENCH_test.json");
+    // One set keeps the smoke fast; --jobs 2 exercises the pool path.
+    let out = Command::new(BIN)
+        .args([
+            "--sets", "1", "--jobs", "2", "--label", "test", "--quiet", "--out",
+        ])
+        .arg(&out_path)
+        .output()
+        .expect("run gridmon-bench");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&out_path).expect("report written");
+    assert!(doc.contains(BENCH_SCHEMA));
+    let report = BenchReport::from_json(&doc).expect("valid schema-versioned report");
+    assert_eq!(report.label, "test");
+    assert_eq!(report.entries.len(), 2, "set1 cold + warm");
+    let cold = &report.entries[0];
+    assert_eq!(cold.id, "set1/cold");
+    assert!(cold.events > 0, "cold entry carries engine events");
+    assert!(cold.events_per_sec > 0.0);
+    assert!(cold.sim_s > 0.0);
+    let warm = &report.entries[1];
+    assert_eq!(warm.id, "set1/warm");
+    assert!(warm.warm);
+    assert_eq!(warm.points, cold.points, "warm serves what cold stored");
+    assert_eq!(warm.events, 0);
+    // A self-compare passes the gate (event counts are deterministic;
+    // wall times trivially match themselves).
+    let gate = Command::new(BIN)
+        .args(["--compare"])
+        .arg(&out_path)
+        .arg("--baseline")
+        .arg(&out_path)
+        .args(["--tolerance", "5"])
+        .output()
+        .expect("run gridmon-bench gate");
+    assert!(gate.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}

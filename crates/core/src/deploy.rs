@@ -107,6 +107,10 @@ impl Harness {
         } else {
             self.run_to(self.cfg.window_end());
         }
+        // Profiling hook: one call per completed run, reading counters the
+        // engine keeps anyway.  A single predictable branch when no
+        // profile is collecting, and never an input to the simulation.
+        gperf::sim_report(self.eng.now().as_micros(), self.eng.fired, self.eng.popped);
         let (ws, we) = (self.cfg.window_start(), self.cfg.window_end());
         let monitor: &Monitor = self.net.client_as(self.monitor.unwrap()).expect("monitor");
         let server = self.server_node.unwrap();

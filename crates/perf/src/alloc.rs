@@ -1,0 +1,129 @@
+//! Optional counting global allocator.
+//!
+//! With the `count-alloc` feature, `gperf` installs [`CountingAlloc`]
+//! (a thin shim over the system allocator) as the process' global
+//! allocator and keeps four relaxed atomics: allocation count, total
+//! bytes ever allocated, current in-use bytes and the peak of that
+//! high-water mark.  [`stats`] then reports `Some(AllocStats)`;
+//! without the feature it reports `None` and the default allocator is
+//! untouched — the counting path is compiled out entirely.
+//!
+//! The shim adds two or three relaxed atomic ops per allocation —
+//! measurable on allocation-heavy code, which is exactly why it is a
+//! feature and not a default.  Enable it via
+//! `cargo run -p gridmon-bench --features alloc-profile ...`.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES_TOTAL: AtomicU64 = AtomicU64::new(0);
+static IN_USE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the allocator counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Allocations since process start (reallocs count as one).
+    pub allocs: u64,
+    /// Cumulative bytes ever handed out.
+    pub bytes_total: u64,
+    /// Bytes currently in use.
+    pub in_use: u64,
+    /// High-water mark of `in_use`.
+    pub peak: u64,
+}
+
+/// Allocator counters, or `None` when the `count-alloc` feature (and
+/// with it the counting allocator) is not compiled in.
+pub fn stats() -> Option<AllocStats> {
+    if !cfg!(feature = "count-alloc") {
+        return None;
+    }
+    Some(AllocStats {
+        allocs: ALLOCS.load(Relaxed),
+        bytes_total: BYTES_TOTAL.load(Relaxed),
+        in_use: IN_USE.load(Relaxed),
+        peak: PEAK.load(Relaxed),
+    })
+}
+
+/// The counting shim over [`std::alloc::System`].
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn on_alloc(size: usize) {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES_TOTAL.fetch_add(size as u64, Relaxed);
+        let now = IN_USE.fetch_add(size as u64, Relaxed) + size as u64;
+        PEAK.fetch_max(now, Relaxed);
+    }
+
+    #[inline]
+    fn on_dealloc(size: usize) {
+        // Saturating: allocations made before the counters existed
+        // (there are none when installed as the global allocator, but
+        // stay defensive) must not wrap the gauge.
+        let _ = IN_USE.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(size as u64)));
+    }
+}
+
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        let p = std::alloc::System.alloc(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout);
+        Self::on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        let p = std::alloc::System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            Self::on_dealloc(layout.size());
+            Self::on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_feature_gate() {
+        assert_eq!(stats().is_some(), cfg!(feature = "count-alloc"));
+        if let Some(s) = stats() {
+            // The test harness itself allocates, so the counters
+            // must already be live and consistent.
+            assert!(s.allocs > 0);
+            assert!(s.peak >= s.in_use);
+            assert!(s.bytes_total >= s.peak);
+        }
+    }
+
+    #[test]
+    fn shim_counts_without_being_global() {
+        // Drive the shim directly (not as the global allocator) and
+        // watch the counters move.
+        use std::alloc::{GlobalAlloc, Layout};
+        let before = ALLOCS.load(Relaxed);
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            assert!(!p.is_null());
+            CountingAlloc.dealloc(p, layout);
+        }
+        assert!(ALLOCS.load(Relaxed) > before);
+    }
+}

@@ -1,0 +1,175 @@
+//! The `perf.json` profile report.
+//!
+//! [`perf_json`] serializes a [`PerfSink`] into a schema-versioned
+//! JSON document (`gridmon-perf-v1`): coarse phases, cache traffic,
+//! per-worker pool attribution, allocator counters (when compiled in)
+//! and one row per point.  `figures --perf` writes it next to the
+//! figure CSVs and `gridmon-inspect --profile RUN_DIR` renders it back
+//! into tables.  No external JSON dependency: the writer below emits
+//! the document directly (readers use the in-tree parser in
+//! `gridmon-trace`).
+
+use crate::alloc;
+use crate::point::PerfSink;
+
+/// Schema tag of the emitted document; bump on layout changes so
+/// readers can reject files they do not understand.
+pub const PERF_SCHEMA: &str = "gridmon-perf-v1";
+
+/// Escape `s` as the body of a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float for JSON: finite shortest-roundtrip, with the
+/// non-finite values JSON cannot carry mapped to null.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize `sink` as a `gridmon-perf-v1` document.
+pub fn perf_json(sink: &PerfSink) -> String {
+    let mut out = String::with_capacity(4096 + sink.points.len() * 160);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{PERF_SCHEMA}\",\n"));
+
+    out.push_str("  \"phases\": [");
+    for (i, (name, wall)) in sink.phases.entries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"wall_s\": {}}}",
+            json_escape(name),
+            json_f64(wall.as_secs_f64())
+        ));
+    }
+    out.push_str("\n  ],\n");
+
+    out.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"bytes_read\": {}, \"bytes_written\": {}}},\n",
+        sink.cache.hits, sink.cache.misses, sink.cache.bytes_read, sink.cache.bytes_written
+    ));
+
+    out.push_str(&format!(
+        "  \"pool\": {{\"workers\": {}, \"wall_s\": {}, \"busy_share\": {}, \"busy_s\": [{}], \"jobs\": [{}]}},\n",
+        sink.pool.workers,
+        json_f64(sink.pool.wall.as_secs_f64()),
+        json_f64(sink.pool.busy_share()),
+        sink.pool
+            .busy
+            .iter()
+            .map(|d| json_f64(d.as_secs_f64()))
+            .collect::<Vec<_>>()
+            .join(", "),
+        sink.pool
+            .jobs
+            .iter()
+            .map(|j| j.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+
+    match alloc::stats() {
+        Some(a) => out.push_str(&format!(
+            "  \"alloc\": {{\"allocs\": {}, \"bytes_total\": {}, \"in_use\": {}, \"peak\": {}}},\n",
+            a.allocs, a.bytes_total, a.in_use, a.peak
+        )),
+        None => out.push_str("  \"alloc\": null,\n"),
+    }
+
+    let t = sink.totals();
+    out.push_str(&format!(
+        "  \"totals\": {{\"executed\": {}, \"cached\": {}, \"exec_wall_s\": {}, \"sim_s\": {}, \"events\": {}, \"popped\": {}, \"events_per_sec\": {}}},\n",
+        t.executed,
+        t.cached,
+        json_f64(t.exec_wall.as_secs_f64()),
+        json_f64(t.sim_us as f64 / 1e6),
+        t.events,
+        t.popped,
+        json_f64(t.events_per_sec())
+    ));
+
+    out.push_str("  \"points\": [");
+    for (i, p) in sink.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"key\": \"{}\", \"worker\": {}, \"cached\": {}, \"wall_s\": {}, \"sim_s\": {}, \"events\": {}, \"popped\": {}, \"engine_runs\": {}, \"events_per_sec\": {}}}",
+            json_escape(&p.key),
+            p.worker,
+            p.cached,
+            json_f64(p.wall.as_secs_f64()),
+            json_f64(p.sim_s()),
+            p.sim.events,
+            p.sim.popped,
+            p.sim.engine_runs,
+            json_f64(p.events_per_sec())
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::{PointSample, SimCounters};
+    use std::time::Duration;
+
+    #[test]
+    fn report_carries_schema_and_rows() {
+        let mut sink = PerfSink::new();
+        sink.phases.add("execute", Duration::from_millis(12));
+        sink.record_pool_run(2, Duration::from_millis(12));
+        sink.record_miss();
+        sink.record_executed(
+            "set1/MDS GRIS (cache)/x=10".into(),
+            1,
+            PointSample {
+                wall: Duration::from_millis(10),
+                sim: SimCounters {
+                    sim_us: 60_000_000,
+                    events: 1234,
+                    popped: 1250,
+                    engine_runs: 1,
+                },
+            },
+        );
+        sink.record_cached("set1/MDS GRIS (cache)/x=20".into(), Duration::ZERO, 99);
+        let doc = perf_json(&sink);
+        assert!(doc.contains("\"schema\": \"gridmon-perf-v1\""));
+        assert!(doc.contains("set1/MDS GRIS (cache)/x=10"));
+        assert!(doc.contains("\"events\": 1234"));
+        assert!(doc.contains("\"hits\": 1"));
+        assert!(doc.contains("\"misses\": 1"));
+        assert!(doc.contains("\"workers\": 2"));
+        // Valid-JSON smoke: balanced braces/brackets at the ends.
+        assert!(doc.trim_start().starts_with('{') && doc.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_and_non_finite_floats() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

@@ -39,6 +39,12 @@ impl DiskCache {
         self.root.join(format!("{digest}.csv"))
     }
 
+    /// On-disk size of the record stored under `digest`, if present.
+    /// (Profiling-path helper: one `stat`, no content read.)
+    pub fn size_of(&self, digest: &str) -> Option<u64> {
+        fs::metadata(self.path_of(digest)).ok().map(|m| m.len())
+    }
+
     /// Fetch the record stored under `digest`, if present and parsable.
     pub fn load(&self, digest: &str) -> Option<BTreeMap<String, String>> {
         let text = fs::read_to_string(self.path_of(digest)).ok()?;
@@ -60,17 +66,18 @@ impl DiskCache {
 
     /// Store `fields` under `digest`.  `key` is recorded as a comment so
     /// the cache is inspectable (`grep -r 'set1/' results/.cache`).
+    /// Returns the bytes written, `None` on failure.
     ///
     /// Best-effort: a full disk or read-only tree degrades to "no
     /// cache", it never fails the sweep.  The write goes through a
     /// temporary file and an atomic rename so concurrent sweeps sharing
     /// a cache directory can only ever observe complete records.
-    pub fn store(&self, digest: &str, key: &str, fields: &[(&'static str, String)]) {
+    pub fn store(&self, digest: &str, key: &str, fields: &[(&'static str, String)]) -> Option<u64> {
         let final_path = self.path_of(digest);
         let tmp_path = self
             .root
             .join(format!(".{digest}.{}.tmp", std::process::id()));
-        let write = || -> std::io::Result<()> {
+        let write = || -> std::io::Result<u64> {
             fs::create_dir_all(&self.root)?;
             let mut out = String::new();
             out.push_str("# gridmon-runner result cache\n");
@@ -80,10 +87,15 @@ impl DiskCache {
             }
             let mut f = fs::File::create(&tmp_path)?;
             f.write_all(out.as_bytes())?;
-            fs::rename(&tmp_path, &final_path)
+            fs::rename(&tmp_path, &final_path)?;
+            Ok(out.len() as u64)
         };
-        if write().is_err() {
-            let _ = fs::remove_file(&tmp_path);
+        match write() {
+            Ok(bytes) => Some(bytes),
+            Err(_) => {
+                let _ = fs::remove_file(&tmp_path);
+                None
+            }
         }
     }
 }
@@ -104,7 +116,8 @@ mod tests {
         let dir = scratch_dir("roundtrip");
         let cache = DiskCache::new(&dir);
         assert!(cache.load("aa").is_none(), "empty cache misses");
-        cache.store(
+        assert!(cache.size_of("aa").is_none());
+        let bytes = cache.store(
             "aa",
             "set1/example/x=1",
             &[
@@ -112,6 +125,8 @@ mod tests {
                 ("x", "f:0000000000000000".into()),
             ],
         );
+        assert!(bytes.expect("store succeeds") > 0);
+        assert_eq!(cache.size_of("aa"), bytes, "size_of sees the record");
         let fields = cache.load("aa").expect("hit after store");
         assert_eq!(fields.get("kind").unwrap(), "measurement");
         assert_eq!(fields.get("x").unwrap(), "f:0000000000000000");
@@ -141,7 +156,9 @@ mod tests {
         let blocker = dir.join("blocker");
         fs::write(&blocker, "").unwrap();
         let cache = DiskCache::new(blocker.join("nested"));
-        cache.store("cc", "k", &[("kind", "measurement".into())]);
+        assert!(cache
+            .store("cc", "k", &[("kind", "measurement".into())])
+            .is_none());
         assert!(cache.load("cc").is_none());
         let _ = fs::remove_dir_all(&dir);
     }

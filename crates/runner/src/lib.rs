@@ -25,6 +25,7 @@ pub mod progress;
 pub use cache::DiskCache;
 pub use job::{ExtPoint, Job, JobOutput};
 
+use gperf::PerfSink;
 use gridmon_core::deploy::ObservedPoint;
 use gridmon_core::figures::{assemble_set, enumerate_set, FigureError, PointSpec, SetData};
 use gridmon_core::runcfg::RunConfig;
@@ -79,6 +80,21 @@ pub struct SweepStats {
 /// across the thread pool, store fresh results back.  Outputs are
 /// returned in job order regardless of scheduling.
 pub fn run_jobs(jobs: &[Job], cfg: &RunConfig, rc: &RunnerConfig) -> (Vec<JobOutput>, SweepStats) {
+    run_jobs_profiled(jobs, cfg, rc, None)
+}
+
+/// [`run_jobs`] with optional self-profiling.  With a [`PerfSink`] the
+/// sweep records one [`gperf::PointRecord`] per point (wall time, engine
+/// counters, worker and cache attribution) plus cache traffic and pool
+/// utilization; with `None` it is exactly `run_jobs` — profiling only
+/// *reads* engine counters after each run, so outputs are identical
+/// either way.
+pub fn run_jobs_profiled(
+    jobs: &[Job],
+    cfg: &RunConfig,
+    rc: &RunnerConfig,
+    mut sink: Option<&mut PerfSink>,
+) -> (Vec<JobOutput>, SweepStats) {
     let t0 = Instant::now();
     let cache = rc.cache_dir.as_ref().map(DiskCache::new);
     let mut reporter = Reporter::new(jobs.len(), !rc.quiet);
@@ -92,6 +108,7 @@ pub fn run_jobs(jobs: &[Job], cfg: &RunConfig, rc: &RunnerConfig) -> (Vec<JobOut
     let mut outputs: Vec<Option<JobOutput>> = vec![None; jobs.len()];
     let mut misses: Vec<usize> = Vec::new();
     for (i, j) in jobs.iter().enumerate() {
+        let t_probe = Instant::now();
         let cached = match (&cache, &digests[i]) {
             (Some(c), Some(d)) => c.load(d).and_then(|fields| j.decode(&fields)),
             _ => None,
@@ -99,28 +116,72 @@ pub fn run_jobs(jobs: &[Job], cfg: &RunConfig, rc: &RunnerConfig) -> (Vec<JobOut
         match cached {
             Some(out) => {
                 reporter.cache_hit(&j.key());
+                if let Some(s) = sink.as_deref_mut() {
+                    let bytes = match (&cache, &digests[i]) {
+                        (Some(c), Some(d)) => c.size_of(d).unwrap_or(0),
+                        _ => 0,
+                    };
+                    s.record_cached(j.key(), t_probe.elapsed(), bytes);
+                }
                 outputs[i] = Some(out);
             }
-            None => misses.push(i),
+            None => {
+                if cache.is_some() {
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.record_miss();
+                    }
+                }
+                misses.push(i);
+            }
         }
+    }
+    if let Some(s) = sink.as_deref_mut() {
+        s.phases.add("cache probe", t0.elapsed());
     }
 
     // Phase 2: execute the misses.  The collector callback runs on this
-    // thread, so progress and cache writes need no synchronisation.
+    // thread, so progress, cache writes and sink updates need no
+    // synchronisation.  When profiling, each execution is wrapped in
+    // `gperf::measure_point` on its worker thread, harvesting the
+    // engine counters the run reported into thread-local scratch.
+    let profile = sink.is_some();
+    let workers = pool::resolve_workers(rc.jobs).min(misses.len().max(1));
+    let t_exec = Instant::now();
     let fresh = pool::run_indexed(
         &misses,
         rc.jobs,
-        |&i| jobs[i].run(cfg),
+        |&i| {
+            if profile {
+                let (out, sample) = gperf::measure_point(|| jobs[i].run(cfg));
+                (out, Some(sample))
+            } else {
+                (jobs[i].run(cfg), None)
+            }
+        },
         |done| {
             let i = misses[done.index];
             reporter.finished(&jobs[i].key(), done.wall);
+            let mut stored = None;
             if let (Some(c), Some(d)) = (&cache, &digests[i]) {
-                c.store(d, &jobs[i].key(), &Job::encode(&done.result));
+                stored = c.store(d, &jobs[i].key(), &Job::encode(&done.result.0));
+            }
+            if let Some(s) = sink.as_deref_mut() {
+                if let Some(sample) = done.result.1 {
+                    s.record_executed(jobs[i].key(), done.worker, sample);
+                }
+                if let Some(bytes) = stored {
+                    s.record_store(bytes);
+                }
             }
         },
     );
-    for (&i, out) in misses.iter().zip(fresh) {
+    for (&i, (out, _)) in misses.iter().zip(fresh) {
         outputs[i] = Some(out);
+    }
+    if let Some(s) = sink {
+        let exec_wall = t_exec.elapsed();
+        s.record_pool_run(workers, exec_wall);
+        s.phases.add("execute", exec_wall);
     }
 
     let stats = SweepStats {
@@ -149,6 +210,18 @@ pub fn run_set(
     Ok((sets.pop().expect("one set in, one set out"), stats))
 }
 
+/// [`run_set`] with optional self-profiling (see [`run_jobs_profiled`]).
+pub fn run_set_profiled(
+    set: u32,
+    cfg: &RunConfig,
+    scale: f64,
+    rc: &RunnerConfig,
+    sink: Option<&mut PerfSink>,
+) -> Result<(SetData, SweepStats), FigureError> {
+    let (mut sets, stats) = run_sets_profiled(&[set], cfg, scale, rc, sink)?;
+    Ok((sets.pop().expect("one set in, one set out"), stats))
+}
+
 /// Run several experiment sets as one pooled job list, so work from a
 /// cheap set backfills idle workers while another set's expensive tail
 /// points finish.  Returned `SetData` are in the order of `sets`.
@@ -158,6 +231,18 @@ pub fn run_sets(
     scale: f64,
     rc: &RunnerConfig,
 ) -> Result<(Vec<SetData>, SweepStats), FigureError> {
+    run_sets_profiled(sets, cfg, scale, rc, None)
+}
+
+/// [`run_sets`] with optional self-profiling (see [`run_jobs_profiled`]).
+pub fn run_sets_profiled(
+    sets: &[u32],
+    cfg: &RunConfig,
+    scale: f64,
+    rc: &RunnerConfig,
+    mut sink: Option<&mut PerfSink>,
+) -> Result<(Vec<SetData>, SweepStats), FigureError> {
+    let t0 = Instant::now();
     let mut specs_of_set = Vec::with_capacity(sets.len());
     let mut jobs = Vec::new();
     for &set in sets {
@@ -165,7 +250,11 @@ pub fn run_sets(
         jobs.extend(specs.iter().map(|&s| Job::Figure(s)));
         specs_of_set.push((set, specs));
     }
-    let (outputs, stats) = run_jobs(&jobs, cfg, rc);
+    if let Some(s) = sink.as_deref_mut() {
+        s.phases.add("enumerate", t0.elapsed());
+    }
+    let (outputs, stats) = run_jobs_profiled(&jobs, cfg, rc, sink.as_deref_mut());
+    let t_assemble = Instant::now();
     let mut cursor = outputs.into_iter();
     let data = specs_of_set
         .into_iter()
@@ -178,6 +267,9 @@ pub fn run_sets(
             assemble_set(set, &specs, &results)
         })
         .collect();
+    if let Some(s) = sink {
+        s.phases.add("assemble", t_assemble.elapsed());
+    }
     Ok((data, stats))
 }
 
@@ -192,17 +284,50 @@ pub fn run_points_observed(
     cfg: &RunConfig,
     rc: &RunnerConfig,
 ) -> Vec<ObservedPoint> {
+    run_points_observed_profiled(specs, cfg, rc, None)
+}
+
+/// [`run_points_observed`] with optional self-profiling.  Observed
+/// sweeps bypass the cache, so the sink collects execution records and
+/// pool attribution only (its cache counters stay zero).
+pub fn run_points_observed_profiled(
+    specs: &[PointSpec],
+    cfg: &RunConfig,
+    rc: &RunnerConfig,
+    mut sink: Option<&mut PerfSink>,
+) -> Vec<ObservedPoint> {
     assert!(
         cfg.obs.enabled(),
         "run_points_observed requires cfg.obs to enable tracing or metrics"
     );
     let mut reporter = Reporter::new(specs.len(), !rc.quiet);
-    pool::run_indexed(
+    let profile = sink.is_some();
+    let workers = pool::resolve_workers(rc.jobs).min(specs.len().max(1));
+    let t_exec = Instant::now();
+    let observed = pool::run_indexed(
         specs,
         rc.jobs,
-        |spec| spec.run_observed(cfg),
-        |done| reporter.finished(&specs[done.index].key(), done.wall),
-    )
+        |spec| {
+            if profile {
+                let (out, sample) = gperf::measure_point(|| spec.run_observed(cfg));
+                (out, Some(sample))
+            } else {
+                (spec.run_observed(cfg), None)
+            }
+        },
+        |done| {
+            reporter.finished(&specs[done.index].key(), done.wall);
+            if let (Some(s), Some(sample)) = (sink.as_deref_mut(), done.result.1) {
+                s.record_executed(specs[done.index].key(), done.worker, sample);
+            }
+        },
+    );
+    if let Some(s) = sink {
+        let exec_wall = t_exec.elapsed();
+        s.record_pool_run(workers, exec_wall);
+        s.phases.add("execute", exec_wall);
+    }
+    observed.into_iter().map(|(out, _)| out).collect()
 }
 
 #[cfg(test)]
@@ -327,6 +452,57 @@ mod tests {
             assert_eq!(op.m, plain, "tracing must not perturb {}", spec.key());
             assert!(!op.report.events.is_empty());
             assert!(!op.report.metrics.is_empty());
+        }
+    }
+
+    #[test]
+    fn profiled_sweep_pins_cache_and_pool_accounting() {
+        let cfg = tiny_cfg(21);
+        for jobs in [1usize, 4] {
+            let dir = scratch_cache(&format!("prof{jobs}"));
+            let rc = RunnerConfig {
+                jobs,
+                cache_dir: Some(dir.clone()),
+                quiet: true,
+            };
+
+            // Cold run: every point misses, executes and is stored.
+            let mut cold = gperf::PerfSink::new();
+            let (_, s1) = run_set_profiled(1, &cfg, 0.02, &rc, Some(&mut cold)).unwrap();
+            assert_eq!(cold.cache.misses as usize, s1.total, "jobs={jobs}");
+            assert_eq!(cold.cache.hits, 0);
+            assert!(cold.cache.bytes_written > 0, "fresh results stored");
+            assert_eq!(cold.cache.bytes_read, 0);
+            assert_eq!(cold.points.len(), s1.total);
+            assert_eq!(cold.executed().count(), s1.total);
+            for p in cold.executed() {
+                assert!(p.sim.events > 0, "engine counters for {}", p.key);
+                assert!(p.sim.engine_runs >= 1);
+                assert!(p.sim.popped >= p.sim.events, "pops include every dispatch");
+                assert!(p.wall > Duration::ZERO);
+                assert!(p.worker < jobs, "worker id within the pool");
+            }
+            assert_eq!(cold.pool.jobs.iter().sum::<usize>(), s1.total);
+            assert!(cold.pool.workers >= 1 && cold.pool.workers <= jobs);
+            assert!(cold.pool.busy_total() > Duration::ZERO);
+            let share = cold.pool.busy_share();
+            assert!(share > 0.0 && share <= 1.0, "busy share {share}");
+            let phases: Vec<String> = cold.phases.entries().iter().map(|e| e.0.clone()).collect();
+            for want in ["enumerate", "cache probe", "execute", "assemble"] {
+                assert!(phases.iter().any(|p| p == want), "phase {want} recorded");
+            }
+
+            // Warm run: everything is a hit, nothing executes or stores.
+            let mut warm = gperf::PerfSink::new();
+            let (_, s2) = run_set_profiled(1, &cfg, 0.02, &rc, Some(&mut warm)).unwrap();
+            assert_eq!(s2.executed, 0, "jobs={jobs}: warm run served from cache");
+            assert_eq!(warm.cache.hits as usize, s2.total);
+            assert_eq!(warm.cache.misses, 0);
+            assert!(warm.cache.bytes_read > 0, "hit sizes accounted");
+            assert_eq!(warm.cache.bytes_written, 0);
+            assert_eq!(warm.executed().count(), 0);
+            assert_eq!(warm.totals().cached as usize, s2.total);
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
 

@@ -17,11 +17,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-/// One finished job: its submission index, result, and wall time.
+/// One finished job: its submission index, result, wall time and the
+/// worker that ran it (0 on the inline sequential path).
 pub struct Completion<R> {
     pub index: usize,
     pub result: R,
     pub wall: Duration,
+    pub worker: usize,
 }
 
 /// Resolve a `--jobs`-style request: `0` means "all available cores".
@@ -62,6 +64,7 @@ where
                     index,
                     result,
                     wall: t0.elapsed(),
+                    worker: 0,
                 };
                 on_done(&done);
                 done.result
@@ -121,6 +124,7 @@ where
                             index,
                             result,
                             wall: t0.elapsed(),
+                            worker: w,
                         })
                         .is_err()
                     {
@@ -206,6 +210,19 @@ mod tests {
             |_| {},
         );
         assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn completions_attribute_a_valid_worker() {
+        let jobs: Vec<usize> = (0..50).collect();
+        let mut workers_seen = Vec::new();
+        run_indexed(&jobs, 4, |&j| j, |done| workers_seen.push(done.worker));
+        assert_eq!(workers_seen.len(), 50);
+        assert!(workers_seen.iter().all(|&w| w < 4));
+        // Inline path attributes everything to worker 0.
+        let mut inline_workers = Vec::new();
+        run_indexed(&jobs, 1, |&j| j, |done| inline_workers.push(done.worker));
+        assert!(inline_workers.iter().all(|&w| w == 0));
     }
 
     #[test]

@@ -56,6 +56,13 @@ pub struct Engine<W> {
     live: usize,
     /// Number of events fired so far (for diagnostics / runaway detection).
     pub fired: u64,
+    /// Calendar pops, including stale keys for cancelled events.  The
+    /// gap `popped - fired` is pure heap churn — useful when profiling
+    /// cancel-heavy workloads (timeouts, retries).
+    pub popped: u64,
+    /// Strict clock advances (dispatches where `now` actually moved).
+    /// `fired - advances` events rode an existing timestamp.
+    pub advances: u64,
     /// Root RNG; components should `fork` child streams from it.
     pub rng: SimRng,
 }
@@ -70,6 +77,8 @@ impl<W> Engine<W> {
             free: Vec::new(),
             live: 0,
             fired: 0,
+            popped: 0,
+            advances: 0,
             rng: SimRng::new(seed),
         }
     }
@@ -156,6 +165,7 @@ impl<W> Engine<W> {
                 return false;
             }
             let Reverse(key) = self.heap.pop().expect("peeked");
+            self.popped += 1;
             let slot = &mut self.slots[key.slot as usize];
             if slot.gen != key.gen {
                 // Cancelled (and possibly recycled); skip the stale key.
@@ -168,6 +178,9 @@ impl<W> Engine<W> {
             self.free.push(key.slot);
             self.live -= 1;
             debug_assert!(key.time >= self.now, "time went backwards");
+            if key.time > self.now {
+                self.advances += 1;
+            }
             self.now = key.time;
             self.fired += 1;
             f(world, self);
@@ -369,5 +382,22 @@ mod tests {
         }
         e.run_until(&mut w, SimTime(100));
         assert_eq!(e.fired, 10);
+    }
+
+    #[test]
+    fn popped_counts_stale_keys_and_advances_strict_moves() {
+        let mut e = eng();
+        let mut w = Log::default();
+        // Two live events at t=5 (one advance, one same-time dispatch),
+        // one at t=9, and one cancelled at t=7 (a stale heap key).
+        e.schedule_at(SimTime(5), |_w: &mut Log, _| {});
+        e.schedule_at(SimTime(5), |_w: &mut Log, _| {});
+        let dead = e.schedule_at(SimTime(7), |_w: &mut Log, _| {});
+        e.schedule_at(SimTime(9), |_w: &mut Log, _| {});
+        e.cancel(dead);
+        e.run_until(&mut w, SimTime(100));
+        assert_eq!(e.fired, 3);
+        assert_eq!(e.popped, 4, "stale key for the cancelled event pops too");
+        assert_eq!(e.advances, 2, "t=0->5 and t=5->9; the second t=5 rides");
     }
 }

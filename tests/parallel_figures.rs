@@ -108,6 +108,41 @@ fn tracing_never_changes_figure_csvs() {
     }
 }
 
+/// Self-profiling must not perturb the simulation either: running the
+/// same sweep with a live `PerfSink` threaded through the runner
+/// yields byte-identical figure CSVs, sequential or 8-wide — the
+/// profiler only ever observes wall clocks and counters, never the
+/// simulated state.
+#[test]
+fn profiling_never_changes_figure_csvs() {
+    for set in 1..=5 {
+        let cfg = cfg_for(set);
+        let reference = csvs_of(&figures::run_set(set, &cfg, SCALE, None).unwrap());
+        for jobs in [1, 8] {
+            let rc = RunnerConfig {
+                jobs,
+                cache_dir: None,
+                quiet: true,
+            };
+            let mut sink = gperf::PerfSink::new();
+            let (data, stats) =
+                gridmon_runner::run_set_profiled(set, &cfg, SCALE, &rc, Some(&mut sink)).unwrap();
+            assert_eq!(stats.executed, stats.total, "no cache in play");
+            assert_eq!(
+                sink.totals().executed as usize,
+                stats.total,
+                "set {set}: every point leaves a perf record at jobs={jobs}"
+            );
+            assert!(sink.totals().events > 0, "engine counters reached the sink");
+            assert_eq!(
+                csvs_of(&data),
+                reference,
+                "set {set} diverged under profiling at jobs={jobs}"
+            );
+        }
+    }
+}
+
 #[test]
 fn warm_cache_reproduces_identical_csvs_without_executing() {
     let dir = scratch_cache("warm");
