@@ -114,7 +114,7 @@ fn perf_gate(c: &mut Criterion) {
         assert!(!gperf::profiling(), "no sink may leak into this bench");
         b.iter(|| {
             for i in 0..N {
-                gperf::sim_report(criterion::black_box(i), i, i);
+                gperf::sim_report(criterion::black_box(i), i, i, i);
             }
             criterion::black_box(gperf::profiling())
         })
@@ -124,7 +124,7 @@ fn perf_gate(c: &mut Criterion) {
         b.iter(|| {
             let (_, sample) = gperf::measure_point(|| {
                 for i in 0..N {
-                    gperf::sim_report(criterion::black_box(i), i, i);
+                    gperf::sim_report(criterion::black_box(i), i, i, i);
                 }
             });
             criterion::black_box(sample.sim.engine_runs)

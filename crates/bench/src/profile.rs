@@ -139,6 +139,7 @@ mod tests {
                     sim_us: 60_000_000,
                     events: 4000,
                     popped: 4100,
+                    advances: 0,
                     engine_runs: 1,
                 },
             },

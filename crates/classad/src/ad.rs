@@ -77,10 +77,15 @@ impl ClassAd {
         Ok(())
     }
 
-    /// Look up an attribute (case-insensitive).
+    /// Look up an attribute (case-insensitive).  Parsed expressions store
+    /// names lowercase already, so the hot path does not allocate.
     pub fn get(&self, name: &str) -> Option<&Expr> {
-        let key = name.to_ascii_lowercase();
-        self.index.get(&key).map(|&i| &self.entries[i].2)
+        let idx = if name.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.index.get(name.to_ascii_lowercase().as_str())
+        } else {
+            self.index.get(name)
+        };
+        idx.map(|&i| &self.entries[i].2)
     }
 
     /// Remove an attribute; returns whether it existed.

@@ -26,6 +26,28 @@ impl<'a> EvalCtx<'a> {
             visiting: Vec::new(),
         }
     }
+
+    /// A context with one reference already on the cycle stack — used when
+    /// an attribute's *body* is evaluated directly (e.g. a pre-compiled
+    /// `Requirements`) so circular definitions behave exactly as if the
+    /// evaluation had entered through the attribute reference.
+    pub fn seeded(my: &'a ClassAd, target: Option<&'a ClassAd>, visiting: (bool, String)) -> Self {
+        EvalCtx {
+            my,
+            target,
+            visiting: vec![visiting],
+        }
+    }
+}
+
+/// Lowercase only when needed (attribute names in parsed expressions are
+/// already lowercase, so the hot path doesn't allocate).
+fn lower(name: &str) -> std::borrow::Cow<'_, str> {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        std::borrow::Cow::Owned(name.to_ascii_lowercase())
+    } else {
+        std::borrow::Cow::Borrowed(name)
+    }
 }
 
 /// Evaluate `expr` in the context of `my` (and optionally `target`).
@@ -51,7 +73,7 @@ pub fn eval_in(expr: &Expr, cx: &mut EvalCtx) -> Value {
     }
 }
 
-fn eval_attr(scope: Scope, name: &str, cx: &mut EvalCtx) -> Value {
+pub(crate) fn eval_attr(scope: Scope, name: &str, cx: &mut EvalCtx) -> Value {
     // Resolve which ad the reference lands in.
     let candidates: &[(bool, &ClassAd)] = match scope {
         Scope::My => &[(false, cx.my)],
@@ -64,11 +86,26 @@ fn eval_attr(scope: Scope, name: &str, cx: &mut EvalCtx) -> Value {
             None => &[(false, cx.my)],
         },
     };
+    let key_name = lower(name);
+    let in_visiting = |cx: &EvalCtx, is_target: bool| {
+        cx.visiting
+            .iter()
+            .any(|(t, n)| *t == is_target && *n == *key_name)
+    };
     // Work around the borrow of cx inside the loop: find the expression
     // first.
     let mut found: Option<(bool, Expr)> = None;
     for &(is_target, ad) in candidates {
         if let Some(e) = ad.get(name) {
+            // A literal body cannot recurse, so the cycle bookkeeping
+            // below is unobservable for it: answer without cloning the
+            // expression — unless this very reference is already in
+            // flight, which the bookkeeping would report as a cycle.
+            if let Expr::Lit(v) = e {
+                if !in_visiting(cx, is_target) {
+                    return v.clone();
+                }
+            }
             found = Some((is_target, e.clone()));
             break;
         }
@@ -76,12 +113,11 @@ fn eval_attr(scope: Scope, name: &str, cx: &mut EvalCtx) -> Value {
     let Some((is_target, e)) = found else {
         return Value::Undefined;
     };
-    let key = (is_target, name.to_ascii_lowercase());
-    if cx.visiting.contains(&key) {
+    if in_visiting(cx, is_target) {
         // Circular reference.
         return Value::Undefined;
     }
-    cx.visiting.push(key);
+    cx.visiting.push((is_target, key_name.into_owned()));
     // Inside the referenced ad, unscoped references resolve relative to
     // *that* ad: swap MY/TARGET when we crossed into the target.
     let v = if is_target {
@@ -100,7 +136,7 @@ fn eval_attr(scope: Scope, name: &str, cx: &mut EvalCtx) -> Value {
     v
 }
 
-fn eval_unary(op: UnOp, v: Value) -> Value {
+pub(crate) fn eval_unary(op: UnOp, v: Value) -> Value {
     match op {
         UnOp::Not => match v {
             Value::Bool(b) => Value::Bool(!b),
@@ -126,35 +162,11 @@ fn eval_binary(op: BinOp, a: &Expr, b: &Expr, cx: &mut EvalCtx) -> Value {
         BinOp::And | BinOp::Or => {
             // Non-strict three-valued connectives.
             let va = eval_in(a, cx);
-            let short = if op == BinOp::And {
-                Value::Bool(false)
-            } else {
-                Value::Bool(true)
-            };
-            let la = logic_view(&va);
-            if la == Some(matches!(short, Value::Bool(true))) {
-                return short;
+            if connective_shortcircuits(op, &va) {
+                return va;
             }
             let vb = eval_in(b, cx);
-            let lb = logic_view(&vb);
-            if lb == Some(matches!(short, Value::Bool(true))) {
-                return short;
-            }
-            // Neither operand decides: Error dominates, then Undefined.
-            if matches!(va, Value::Error) || matches!(vb, Value::Error) {
-                return Value::Error;
-            }
-            if !matches!(va, Value::Bool(_)) && !va.is_exceptional() {
-                return Value::Error; // non-boolean operand
-            }
-            if !matches!(vb, Value::Bool(_)) && !vb.is_exceptional() {
-                return Value::Error;
-            }
-            if matches!(va, Value::Undefined) || matches!(vb, Value::Undefined) {
-                return Value::Undefined;
-            }
-            // Both plain booleans, not short-circuited.
-            short_complement(op)
+            connective_tail(op, va, vb)
         }
         BinOp::MetaEq => {
             let va = eval_in(a, cx);
@@ -174,11 +186,37 @@ fn eval_binary(op: BinOp, a: &Expr, b: &Expr, cx: &mut EvalCtx) -> Value {
     }
 }
 
-fn logic_view(v: &Value) -> Option<bool> {
-    match v {
-        Value::Bool(b) => Some(*b),
-        _ => None,
+/// Does the left operand alone decide an `&&`/`||`?  (`false && _`,
+/// `true || _`.)  Shared with the compiled evaluator's branch ops.
+pub(crate) fn connective_shortcircuits(op: BinOp, va: &Value) -> bool {
+    match op {
+        BinOp::And => matches!(va, Value::Bool(false)),
+        BinOp::Or => matches!(va, Value::Bool(true)),
+        _ => unreachable!(),
     }
+}
+
+/// Combine both operands of a non-short-circuited `&&`/`||` — the
+/// three-valued tail shared by the tree-walking and compiled evaluators.
+pub(crate) fn connective_tail(op: BinOp, va: Value, vb: Value) -> Value {
+    if connective_shortcircuits(op, &vb) {
+        return vb;
+    }
+    // Neither operand decides: Error dominates, then Undefined.
+    if matches!(va, Value::Error) || matches!(vb, Value::Error) {
+        return Value::Error;
+    }
+    if !matches!(va, Value::Bool(_)) && !va.is_exceptional() {
+        return Value::Error; // non-boolean operand
+    }
+    if !matches!(vb, Value::Bool(_)) && !vb.is_exceptional() {
+        return Value::Error;
+    }
+    if matches!(va, Value::Undefined) || matches!(vb, Value::Undefined) {
+        return Value::Undefined;
+    }
+    // Both plain booleans, not short-circuited.
+    short_complement(op)
 }
 
 fn short_complement(op: BinOp) -> Value {
@@ -192,7 +230,7 @@ fn short_complement(op: BinOp) -> Value {
     }
 }
 
-fn strict_binary(op: BinOp, a: Value, b: Value) -> Value {
+pub(crate) fn strict_binary(op: BinOp, a: Value, b: Value) -> Value {
     // Strict exceptional propagation: ERROR beats UNDEFINED.
     if matches!(a, Value::Error) || matches!(b, Value::Error) {
         return Value::Error;
@@ -262,9 +300,12 @@ fn cmp(op: BinOp, a: Value, b: Value) -> Value {
     // ClassAds); numbers/booleans compare numerically; mixing is an error.
     let ord = match (&a, &b) {
         (Value::Str(x), Value::Str(y)) => {
-            let x = x.to_ascii_lowercase();
-            let y = y.to_ascii_lowercase();
-            x.cmp(&y)
+            // Byte-wise lowercase comparison without building lowered
+            // copies — identical ordering to comparing the lowercased
+            // strings.
+            x.bytes()
+                .map(|c| c.to_ascii_lowercase())
+                .cmp(y.bytes().map(|c| c.to_ascii_lowercase()))
         }
         _ => {
             let (Some(x), Some(y)) = (a.as_number(), b.as_number()) else {
@@ -290,11 +331,17 @@ fn cmp(op: BinOp, a: Value, b: Value) -> Value {
 
 fn eval_call(name: &str, args: &[Expr], cx: &mut EvalCtx) -> Value {
     let vals: Vec<Value> = args.iter().map(|a| eval_in(a, cx)).collect();
+    call_builtin(name, &vals)
+}
+
+/// Builtin dispatch over already-evaluated arguments — shared by the
+/// tree-walking and compiled evaluators.
+pub(crate) fn call_builtin(name: &str, vals: &[Value]) -> Value {
     // Strict builtins: propagate exceptional arguments.
     if vals.iter().any(|v| matches!(v, Value::Error)) {
         return Value::Error;
     }
-    match (name, vals.as_slice()) {
+    match (name, vals) {
         ("floor", [v]) => num_fn(v, f64::floor),
         ("ceiling", [v]) => num_fn(v, f64::ceil),
         ("round", [v]) => num_fn(v, f64::round),

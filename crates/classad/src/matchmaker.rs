@@ -8,7 +8,8 @@
 //! and the full symmetric form for job placement.
 
 use crate::ad::ClassAd;
-use crate::eval::eval;
+use crate::compile::CompiledExpr;
+use crate::eval::{eval, EvalCtx};
 use crate::expr::Expr;
 use crate::value::Value;
 
@@ -34,6 +35,45 @@ pub fn symmetric_match(a: &ClassAd, b: &ClassAd) -> bool {
 /// evaluate an arbitrary expression against `ad` (no target).
 pub fn matches_constraint(ad: &ClassAd, constraint: &Expr) -> bool {
     matches!(eval(constraint, ad, None), Value::Bool(true))
+}
+
+/// Compile an ad's `Requirements` once for repeated matching (`None` when
+/// the ad has none — which [`requirements_met_compiled`] treats as
+/// permissive, like [`requirements_met`]).
+pub fn compile_requirements(ad: &ClassAd) -> Option<CompiledExpr> {
+    ad.get("requirements").map(CompiledExpr::compile)
+}
+
+/// [`requirements_met`] with the requirements pre-compiled.  The context
+/// is seeded with the `requirements` reference itself so circular
+/// definitions resolve exactly as in the tree-walking form.
+pub fn requirements_met_compiled(
+    ad: &ClassAd,
+    req: Option<&CompiledExpr>,
+    target: &ClassAd,
+) -> bool {
+    match req {
+        None => true,
+        Some(c) => {
+            let mut cx = EvalCtx::seeded(ad, Some(target), (false, "requirements".to_string()));
+            matches!(c.eval_in(&mut cx), Value::Bool(true))
+        }
+    }
+}
+
+/// [`symmetric_match`] with both sides' requirements pre-compiled.
+pub fn symmetric_match_compiled(
+    a: &ClassAd,
+    a_req: Option<&CompiledExpr>,
+    b: &ClassAd,
+    b_req: Option<&CompiledExpr>,
+) -> bool {
+    requirements_met_compiled(a, a_req, b) && requirements_met_compiled(b, b_req, a)
+}
+
+/// [`matches_constraint`] with the constraint pre-compiled.
+pub fn matches_constraint_compiled(ad: &ClassAd, constraint: &CompiledExpr) -> bool {
+    matches!(constraint.eval(ad, None), Value::Bool(true))
 }
 
 /// Evaluate `ad`'s `Rank` against `target` (0.0 when missing/non-numeric).

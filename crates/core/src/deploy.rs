@@ -110,7 +110,12 @@ impl Harness {
         // Profiling hook: one call per completed run, reading counters the
         // engine keeps anyway.  A single predictable branch when no
         // profile is collecting, and never an input to the simulation.
-        gperf::sim_report(self.eng.now().as_micros(), self.eng.fired, self.eng.popped);
+        gperf::sim_report(
+            self.eng.now().as_micros(),
+            self.eng.fired,
+            self.eng.popped,
+            self.eng.advances,
+        );
         let (ws, we) = (self.cfg.window_start(), self.cfg.window_end());
         let monitor: &Monitor = self.net.client_as(self.monitor.unwrap()).expect("monitor");
         let server = self.server_node.unwrap();

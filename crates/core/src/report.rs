@@ -5,8 +5,14 @@ use crate::figures::FigureData;
 /// Do two x-coordinates name the same sweep point?  Exact `==` breaks as
 /// soon as an x is recomputed through floating point (a scaled sweep can
 /// yield `0.30000000000000004` in one series and `0.3` in another), so
-/// points are matched with a relative tolerance.
-fn same_x(a: f64, b: f64) -> bool {
+/// points are matched with a relative tolerance of one part in 10⁹.
+///
+/// This is *the* x-identity predicate for report rendering: both the row
+/// dedup and the per-series lookups in [`text_table`] and [`csv`] must go
+/// through it, or a near-tie x (inside tolerance of a dedup survivor)
+/// would collapse to one row yet miss its lookup and render as a gap.
+/// Note the tolerance is relative, so `0.0` only matches exactly `0.0`.
+pub(crate) fn same_x(a: f64, b: f64) -> bool {
     a == b || (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
 }
 
@@ -195,6 +201,59 @@ mod tests {
         let t = text_table(&f);
         // One data row (header + one row), with both series populated.
         assert_eq!(t.lines().count(), 3, "{t}");
+        let last = t.lines().last().unwrap();
+        assert!(last.contains("1.000") && last.contains("2.000"), "{last}");
+        let c = csv(&f);
+        assert_eq!(c.lines().count(), 2, "{c}");
+        let row = c.lines().nth(1).unwrap();
+        assert!(
+            row.contains("1.000000") && row.contains("2.000000"),
+            "{row}"
+        );
+    }
+
+    #[test]
+    fn same_x_tolerance_boundaries() {
+        // Inside the relative tolerance: matches.
+        assert!(same_x(0.3, 0.1 + 0.2));
+        assert!(same_x(1.0, 1.0 + 0.9e-9));
+        assert!(same_x(1e6, 1e6 * (1.0 + 0.9e-9)));
+        // Outside: distinct sweep points stay distinct.
+        assert!(!same_x(1.0, 1.0 + 2.1e-9));
+        assert!(!same_x(100.0, 101.0));
+        // Relative, not absolute: zero only matches zero exactly…
+        assert!(same_x(0.0, 0.0));
+        assert!(!same_x(0.0, 1e-12));
+        // …and symmetry holds on both sides.
+        assert!(same_x(1.0 + 0.9e-9, 1.0));
+        assert!(!same_x(1.0 + 2.1e-9, 1.0));
+    }
+
+    #[test]
+    fn near_tie_x_collapses_to_one_populated_row() {
+        // Two series compute "the same" x differing in the last ulps; the
+        // dedup keeps one representative and both lookups must hit it.
+        let x1 = 600.0;
+        let x2 = 600.0 * (1.0 + 0.5e-9);
+        assert!(same_x(x1, x2), "test premise: within tolerance");
+        let f = FigureData {
+            id: "Figure N".into(),
+            title: "near tie".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                SeriesData {
+                    label: "a".into(),
+                    points: vec![(x1, 1.0)],
+                },
+                SeriesData {
+                    label: "b".into(),
+                    points: vec![(x2, 2.0)],
+                },
+            ],
+        };
+        let t = text_table(&f);
+        assert_eq!(t.lines().count(), 3, "one header + one data row: {t}");
         let last = t.lines().last().unwrap();
         assert!(last.contains("1.000") && last.contains("2.000"), "{last}");
         let c = csv(&f);

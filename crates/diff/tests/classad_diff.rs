@@ -1,0 +1,180 @@
+//! Compiled ClassAd VM vs the tree-walking reference evaluator.
+//!
+//! The compiled kernel (`CompiledExpr`) flattens an expression into a
+//! postfix op-vec with jump-based short-circuiting; the tree walker is the
+//! oracle.  Every random expression must evaluate to a bit-identical
+//! value in both, with and without a TARGET ad, and the matchmaking
+//! wrappers must agree on every random ad pair.
+
+use classad::reference::{
+    eval_reference, matches_constraint_reference, requirements_met_reference,
+    symmetric_match_reference,
+};
+use classad::{matchmaker, BinOp, ClassAd, CompiledExpr, Expr, Scope, UnOp, Value};
+use gridmon_diff::{value_repr, values_identical};
+use proptest::prelude::*;
+
+/// Arbitrary expressions over a deliberately small attribute alphabet so
+/// references frequently resolve — and frequently collide into cycles.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Expr::int),
+        (-100.0f64..100.0).prop_map(Expr::real),
+        Just(Expr::int(0)), // divisors hit zero often enough to matter
+        "[a-f]".prop_map(|s| Expr::attr(&s)),
+        "[a-f]".prop_map(|s| Expr::scoped_attr(Scope::My, &s)),
+        "[a-f]".prop_map(|s| Expr::scoped_attr(Scope::Target, &s)),
+        "[a-zA-Z0-9 ]{0,6}".prop_map(|s| Expr::string(&s)),
+        Just(Expr::boolean(true)),
+        Just(Expr::boolean(false)),
+        Just(Expr::Lit(Value::Undefined)),
+        Just(Expr::Lit(Value::Error)),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Mod),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+            Just(BinOp::MetaEq),
+            Just(BinOp::MetaNe),
+        ];
+        prop_oneof![
+            (bin, inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Cond(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Not, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            (
+                prop_oneof![
+                    Just("floor"),
+                    Just("ceiling"),
+                    Just("round"),
+                    Just("int"),
+                    Just("real"),
+                    Just("string"),
+                    Just("isundefined"),
+                    Just("iserror"),
+                    Just("size"),
+                    Just("tolower"),
+                ],
+                inner.clone()
+            )
+                .prop_map(|(f, a)| Expr::Call(f.to_string(), vec![a])),
+            (
+                prop_oneof![Just("min"), Just("max"), Just("strcat"), Just("strcmp")],
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(f, a, b)| Expr::Call(f.to_string(), vec![a, b])),
+        ]
+    })
+}
+
+/// Arbitrary ads binding the same small alphabet, so generated expressions
+/// resolve against them (including self- and mutually-recursive bodies).
+fn arb_ad() -> impl Strategy<Value = ClassAd> {
+    proptest::collection::vec(("[a-f]", arb_expr()), 0..6).prop_map(|attrs| {
+        let mut ad = ClassAd::new();
+        for (name, e) in attrs {
+            ad.insert(&name, e);
+        }
+        ad
+    })
+}
+
+fn assert_identical(e: &Expr, my: &ClassAd, target: Option<&ClassAd>) {
+    let compiled = CompiledExpr::compile(e);
+    let slow = eval_reference(e, my, target);
+    let fast = compiled.eval(my, target);
+    assert!(
+        values_identical(&fast, &slow),
+        "compiled {} != reference {} for {e}\n  my:\n{my}  target:\n{}",
+        value_repr(&fast),
+        value_repr(&slow),
+        target.map(|t| t.to_string()).unwrap_or_default(),
+    );
+}
+
+proptest! {
+    /// Core agreement: any expression, any ad, no target.
+    #[test]
+    fn compiled_matches_reference_solo(e in arb_expr(), ad in arb_ad()) {
+        assert_identical(&e, &ad, None);
+    }
+
+    /// With a TARGET ad: scope swaps, cross-ad references and the
+    /// false-cycle bookkeeping must line up too.
+    #[test]
+    fn compiled_matches_reference_with_target(
+        e in arb_expr(),
+        my in arb_ad(),
+        target in arb_ad(),
+    ) {
+        assert_identical(&e, &my, Some(&target));
+    }
+
+    /// Requirements matching: the compiled wrapper seeds its context the
+    /// same way entering through the `requirements` attribute would.
+    #[test]
+    fn requirements_met_agrees(mut ad in arb_ad(), req in arb_expr(), target in arb_ad()) {
+        ad.insert("Requirements", req);
+        let compiled = matchmaker::compile_requirements(&ad);
+        prop_assert_eq!(
+            matchmaker::requirements_met_compiled(&ad, compiled.as_ref(), &target),
+            requirements_met_reference(&ad, &target)
+        );
+        // An ad with no requirements is permissive in both.
+        let open = ClassAd::new();
+        prop_assert!(matchmaker::requirements_met_compiled(&open, None, &target));
+        prop_assert!(requirements_met_reference(&open, &target));
+    }
+
+    /// Symmetric (gang) matching over random ad-store pairs.
+    #[test]
+    fn symmetric_match_agrees(
+        mut a in arb_ad(),
+        ra in arb_expr(),
+        mut b in arb_ad(),
+        rb in arb_expr(),
+    ) {
+        a.insert("Requirements", ra);
+        b.insert("Requirements", rb);
+        let ca = matchmaker::compile_requirements(&a);
+        let cb = matchmaker::compile_requirements(&b);
+        prop_assert_eq!(
+            matchmaker::symmetric_match_compiled(&a, ca.as_ref(), &b, cb.as_ref()),
+            symmetric_match_reference(&a, &b)
+        );
+    }
+
+    /// Constraint scans (the Experiment-4 Hawkeye workload shape).
+    #[test]
+    fn matches_constraint_agrees(c in arb_expr(), ad in arb_ad()) {
+        let compiled = CompiledExpr::compile(&c);
+        prop_assert_eq!(
+            matchmaker::matches_constraint_compiled(&ad, &compiled),
+            matches_constraint_reference(&ad, &c)
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Compacting event calendar vs pure lazy deletion.
+//!
+//! Compaction rebuilds the binary heap without stale keys once cancelled
+//! events dominate.  `QKey` ordering is total, so the dispatch stream —
+//! times, FIFO tie-breaks, `fired`, `advances` — must be identical to the
+//! reference engine; only `popped` (stale churn) may shrink.
+
+use proptest::prelude::*;
+use simcore::{Engine, SimTime};
+
+#[derive(Default)]
+struct World {
+    dispatched: Vec<(u64, u32)>,
+}
+
+/// Replay `(time, cancel?)` scheduling rounds on one engine.
+fn replay(compaction: bool, plan: &[(u64, bool)]) -> (Vec<(u64, u32)>, u64, u64, u64) {
+    let mut eng: Engine<World> = if compaction {
+        Engine::new(42)
+    } else {
+        Engine::new_reference(42)
+    };
+    let mut w = World::default();
+    let mut doomed = Vec::new();
+    for (i, &(t, cancel)) in plan.iter().enumerate() {
+        let i = i as u32;
+        let h = eng.schedule_at(SimTime(t), move |w: &mut World, eng| {
+            w.dispatched.push((eng.now().as_micros(), i));
+        });
+        if cancel {
+            doomed.push(h);
+        }
+        // Cancel in bursts so stale keys pile up the way timeout-heavy
+        // services produce them.
+        if doomed.len() >= 16 {
+            for h in doomed.drain(..) {
+                assert!(eng.cancel(h));
+            }
+        }
+    }
+    for h in doomed {
+        assert!(eng.cancel(h));
+    }
+    eng.run_until(&mut w, SimTime(1_000_000));
+    (w.dispatched, eng.fired, eng.popped, eng.advances)
+}
+
+proptest! {
+    /// Any schedule/cancel pattern dispatches identically under both
+    /// engines; heavy cancellation must reduce pop churn.
+    #[test]
+    fn dispatch_stream_is_identical(
+        plan in proptest::collection::vec((0u64..5000, any::<bool>()), 1..400),
+    ) {
+        let (fast, fast_fired, fast_popped, fast_advances) = replay(true, &plan);
+        let (slow, slow_fired, slow_popped, slow_advances) = replay(false, &plan);
+        prop_assert_eq!(&fast, &slow, "dispatch order diverged");
+        prop_assert_eq!(fast_fired, slow_fired);
+        prop_assert_eq!(fast_advances, slow_advances);
+        prop_assert!(fast_popped <= slow_popped, "compaction must never add pops");
+        // The reference pops every stale key eventually.
+        let cancelled = plan.iter().filter(|&&(_, c)| c).count() as u64;
+        prop_assert_eq!(slow_popped, slow_fired + cancelled);
+    }
+
+    /// Events scheduled *from inside events* (the common self-rescheduling
+    /// service pattern) interleave with compaction correctly.
+    #[test]
+    fn nested_scheduling_agrees(seed_times in proptest::collection::vec(0u64..100, 1..40)) {
+        fn run(compaction: bool, seed_times: &[u64]) -> (Vec<(u64, u32)>, u64) {
+            let mut eng: Engine<World> = Engine::new(7);
+            eng.set_compaction(compaction);
+            let mut w = World::default();
+            for (i, &t) in seed_times.iter().enumerate() {
+                let i = i as u32;
+                eng.schedule_at(SimTime(t), move |w: &mut World, eng| {
+                    w.dispatched.push((eng.now().as_micros(), i));
+                    // Schedule a follow-up and a timeout; cancel the
+                    // timeout immediately (retry-style churn).
+                    eng.schedule_in(simcore::SimDuration(10), move |w: &mut World, eng| {
+                        w.dispatched.push((eng.now().as_micros(), 1000 + i));
+                    });
+                    let doomed = eng.schedule_in(simcore::SimDuration(500), |_w, _e| {});
+                    eng.cancel(doomed);
+                });
+            }
+            eng.run_until(&mut w, SimTime(10_000));
+            (w.dispatched, eng.fired)
+        }
+        let fast = run(true, &seed_times);
+        let slow = run(false, &seed_times);
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,122 @@
+//! Incremental max-min fair-share vs the from-scratch water-filler.
+//!
+//! `FlowNet` re-levels only the connected component a mutation touches;
+//! the oracle (`recompute_reference`) rebuilds the whole rate vector.
+//! After every mutation of a random schedule the two must agree on every
+//! flow's rate, bit for bit.
+
+use proptest::prelude::*;
+use simcore::{SimRng, SimTime};
+use simnet::flow::FlowNet;
+use simnet::topology::{LinkId, Topology};
+
+fn build_topology(link_caps: &[f64], seed_latency_us: u64) -> (Topology, Vec<LinkId>) {
+    let mut t = Topology::new();
+    let _ = t.add_node("host", 1, 1.0);
+    let links = link_caps
+        .iter()
+        .enumerate()
+        .map(|(i, &cap)| {
+            t.add_link(
+                format!("l{i}"),
+                cap,
+                simcore::SimDuration::from_micros(seed_latency_us),
+            )
+        })
+        .collect();
+    (t, links)
+}
+
+/// Assert the incremental rate vector equals a full recompute of a clone.
+fn assert_rates_match(fnet: &FlowNet, topo: &Topology, context: &str) {
+    let mut fast = Vec::new();
+    fnet.for_each_rate(|tok, r| fast.push((tok, r.to_bits())));
+    let mut oracle = fnet.clone();
+    oracle.recompute_reference(topo);
+    let mut slow = Vec::new();
+    oracle.for_each_rate(|tok, r| slow.push((tok, r.to_bits())));
+    assert_eq!(
+        fast, slow,
+        "incremental diverged from reference after {context}"
+    );
+}
+
+proptest! {
+    /// Random link-capacity vectors and start/abort/complete schedules:
+    /// the incremental kernel tracks the oracle through every mutation.
+    #[test]
+    fn random_schedule_agrees(
+        caps in proptest::collection::vec(0.1f64..20.0, 1..8),
+        seed in any::<u64>(),
+        steps in 20usize..120,
+    ) {
+        let caps_bps: Vec<f64> = caps.iter().map(|c| c * 1e6).collect();
+        let (topo, links) = build_topology(&caps_bps, 5);
+        let mut fnet = FlowNet::new();
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime(0);
+        let mut live = Vec::new();
+        for step in 0..steps as u64 {
+            match rng.next_below(4) {
+                0 | 1 => {
+                    // Start: biased toward short, overlapping paths.
+                    let mut path = Vec::new();
+                    for &l in &links {
+                        if rng.chance(0.35) {
+                            path.push(l);
+                        }
+                    }
+                    let bytes = rng.next_below(100_000);
+                    live.push(fnet.start(&topo, now, path, bytes, step));
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let i = rng.next_below(live.len() as u64) as usize;
+                        let k = live.swap_remove(i);
+                        fnet.abort(&topo, k);
+                    }
+                }
+                _ => {
+                    if let Some(next) = fnet.next_completion(now) {
+                        now = next;
+                        fnet.advance(&topo, now);
+                        live.retain(|&k| fnet.rate_of(k).is_some());
+                    }
+                }
+            }
+            assert_rates_match(&fnet, &topo, &format!("step {step}"));
+        }
+        // Drain: completions must keep agreeing until the net is empty.
+        while let Some(next) = fnet.next_completion(now) {
+            now = next;
+            fnet.advance(&topo, now);
+            assert_rates_match(&fnet, &topo, "drain");
+        }
+        prop_assert_eq!(fnet.active(), 0);
+    }
+
+    /// Capacity changes (fault injection) fall back to the full pass and
+    /// must leave the net in a state the oracle reproduces.
+    #[test]
+    fn capacity_change_resyncs(seed in any::<u64>()) {
+        let (topo, links) = build_topology(&[4e6, 8e6, 2e6], 1);
+        let mut fnet = FlowNet::new();
+        let mut rng = SimRng::new(seed);
+        for tok in 0..12u64 {
+            let mut path = Vec::new();
+            for &l in &links {
+                if rng.chance(0.5) {
+                    path.push(l);
+                }
+            }
+            fnet.start(&topo, SimTime(0), path, 10_000 + tok, tok);
+        }
+        fnet.capacity_changed(&topo);
+        assert_rates_match(&fnet, &topo, "capacity_changed");
+        // And incremental mutations on top of the resync still agree.
+        let k = fnet.start(&topo, SimTime(0), vec![links[1]], 5000, 99);
+        assert_rates_match(&fnet, &topo, "start after capacity_changed");
+        fnet.abort(&topo, k);
+        assert_rates_match(&fnet, &topo, "abort after capacity_changed");
+    }
+}

@@ -12,9 +12,9 @@
 //! a notification (the "kill Netscape" job of the paper's example).
 
 use crate::proto::{AdsReply, HawkeyeMsg};
-use classad::{matchmaker, parse_expr, ClassAd, Expr};
+use classad::{matchmaker, parse_expr, ClassAd, CompiledExpr};
 use simnet::{Payload, Plan, Service, SvcCx, SvcKey};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// CPU cost of an indexed resident-database lookup.
 pub const INDEXED_LOOKUP_CPU_US: f64 = 9_000.0;
@@ -27,6 +27,8 @@ pub const INGEST_CPU_US: f64 = 2_500.0;
 
 struct Trigger {
     ad: ClassAd,
+    /// The trigger's `Requirements`, compiled once at registration.
+    req: Option<CompiledExpr>,
     notify: Option<SvcKey>,
     pub fired: u64,
 }
@@ -34,6 +36,14 @@ struct Trigger {
 /// The Manager service.
 pub struct Manager {
     ads: BTreeMap<String, ClassAd>,
+    /// Each stored ad's `Requirements` compiled at ingest, so the
+    /// matchmaking side of trigger evaluation does not re-walk the AST
+    /// per incoming ad.
+    compiled_reqs: BTreeMap<String, Option<CompiledExpr>>,
+    /// Constraint expressions compiled once per distinct source string
+    /// (`None` caches a parse failure).  The Experiment-4 workload sends
+    /// the same constraint thousands of times.
+    constraint_cache: HashMap<String, Option<CompiledExpr>>,
     /// When each machine's ad last arrived.  The resident database never
     /// purges (Condor keeps the last ad of a silent machine), so freshness
     /// — not presence — is how a dead agent shows up.
@@ -55,6 +65,8 @@ impl Manager {
     pub fn new() -> Manager {
         Manager {
             ads: BTreeMap::new(),
+            compiled_reqs: BTreeMap::new(),
+            constraint_cache: HashMap::new(),
             last_ad_at: BTreeMap::new(),
             triggers: Vec::new(),
             queries: 0,
@@ -100,17 +112,23 @@ impl Manager {
     }
 
     fn fire_matching_triggers(&mut self, machine: &str, plan: &mut Plan) {
-        let ad = self.ads.get(machine).cloned();
-        let Some(ad) = ad else { return };
+        let Some(ad) = self.ads.get(machine) else {
+            return;
+        };
+        let ad_req = self.compiled_reqs.get(machine).and_then(Option::as_ref);
         let mut sends = Vec::new();
-        for (i, t) in self.triggers.iter_mut().enumerate() {
-            if matchmaker::symmetric_match(&t.ad, &ad) {
-                t.fired += 1;
-                self.triggers_fired += 1;
+        let mut fired = Vec::new();
+        for (i, t) in self.triggers.iter().enumerate() {
+            if matchmaker::symmetric_match_compiled(&t.ad, t.req.as_ref(), ad, ad_req) {
+                fired.push(i);
                 if let Some(sink) = t.notify {
                     sends.push((sink, machine.to_string(), i));
                 }
             }
+        }
+        for i in fired {
+            self.triggers[i].fired += 1;
+            self.triggers_fired += 1;
         }
         let mut steps = std::mem::take(&mut plan.steps);
         for (sink, machine, idx) in sends {
@@ -137,6 +155,8 @@ impl Service for Manager {
         match *msg {
             HawkeyeMsg::StartdAd { machine, ad } => {
                 self.ads_received += 1;
+                self.compiled_reqs
+                    .insert(machine.clone(), matchmaker::compile_requirements(&ad));
                 self.ads.insert(machine.clone(), ad);
                 self.last_ad_at.insert(machine.clone(), cx.now);
                 // Each incoming ad is evaluated against every trigger.
@@ -167,12 +187,15 @@ impl Service for Manager {
                 cx.obs.incr("hawkeye.queries", 1);
                 // A constraint scan runs the matchmaker over the whole pool.
                 cx.obs.incr("hawkeye.match_evals", self.ads.len() as u64);
-                let parsed: Option<Expr> = parse_expr(&expr).ok();
-                let matches: Vec<ClassAd> = match &parsed {
-                    Some(e) => self
+                let compiled = self
+                    .constraint_cache
+                    .entry(expr.clone())
+                    .or_insert_with(|| parse_expr(&expr).ok().map(|e| CompiledExpr::compile(&e)));
+                let matches: Vec<ClassAd> = match compiled {
+                    Some(c) => self
                         .ads
                         .values()
-                        .filter(|ad| matchmaker::matches_constraint(ad, e))
+                        .filter(|ad| matchmaker::matches_constraint_compiled(ad, c))
                         .cloned()
                         .collect(),
                     None => Vec::new(),
@@ -186,6 +209,7 @@ impl Service for Manager {
             }
             HawkeyeMsg::AddTrigger { trigger } => {
                 self.triggers.push(Trigger {
+                    req: matchmaker::compile_requirements(&trigger),
                     ad: trigger,
                     notify: None,
                     fired: 0,
@@ -209,6 +233,7 @@ impl Manager {
     /// triggers can also arrive via [`HawkeyeMsg::AddTrigger`]).
     pub fn add_trigger(&mut self, trigger: ClassAd, notify: Option<SvcKey>) {
         self.triggers.push(Trigger {
+            req: matchmaker::compile_requirements(&trigger),
             ad: trigger,
             notify,
             fired: 0,

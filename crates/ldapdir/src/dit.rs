@@ -52,6 +52,9 @@ pub struct Dit {
     entries: BTreeMap<Dn, Entry>,
     /// Parent DN -> children DNs.
     children: BTreeMap<Dn, BTreeSet<Dn>>,
+    /// Bumped on every (potential) mutation so callers can cache derived
+    /// results — e.g. materialized search responses — keyed on it.
+    generation: u64,
 }
 
 impl Dit {
@@ -66,11 +69,18 @@ impl Dit {
             suffix,
             entries,
             children: BTreeMap::new(),
+            generation: 0,
         }
     }
 
     pub fn suffix(&self) -> &Dn {
         &self.suffix
+    }
+
+    /// A counter that changes whenever the tree may have changed.  Two
+    /// equal generations guarantee identical search results.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of entries (including the suffix placeholder).
@@ -97,6 +107,7 @@ impl Dit {
         }
         self.children.entry(parent).or_default().insert(dn.clone());
         self.entries.insert(dn, entry);
+        self.generation += 1;
         Ok(())
     }
 
@@ -126,12 +137,13 @@ impl Dit {
 
     /// Replace an existing entry's attributes (same DN), or insert it.
     pub fn upsert(&mut self, entry: Entry) -> Result<(), DitError> {
-        if self.entries.contains_key(&entry.dn) {
-            let dn = entry.dn.clone();
-            self.entries.insert(dn, entry);
-            Ok(())
-        } else {
-            self.add_with_parents(entry)
+        match self.entries.get_mut(&entry.dn) {
+            Some(slot) => {
+                *slot = entry;
+                self.generation += 1;
+                Ok(())
+            }
+            None => self.add_with_parents(entry),
         }
     }
 
@@ -156,6 +168,7 @@ impl Dit {
                 sibs.remove(dn);
             }
         }
+        self.generation += 1;
         Ok(removed)
     }
 
@@ -164,6 +177,8 @@ impl Dit {
     }
 
     pub fn get_mut(&mut self, dn: &Dn) -> Option<&mut Entry> {
+        // The caller holds a mutable handle: assume the entry changes.
+        self.generation += 1;
         self.entries.get_mut(dn)
     }
 
@@ -190,9 +205,42 @@ impl Dit {
                 }
             }
             Scope::Sub => {
-                // BTreeMap ordering doesn't group subtrees (DNs sort
-                // lexicographically by leading RDN), so walk the child
-                // index.
+                // Every stored entry is connected to the suffix through
+                // the child index (`add` requires the parent, removal is
+                // whole-subtree), so a Sub search from the suffix is the
+                // whole map in key order — no walk, no sort, no clones.
+                if *base == self.suffix {
+                    out.extend(self.entries.values().filter(|e| filter.matches(e)));
+                } else {
+                    // BTreeMap ordering doesn't group subtrees (DNs sort
+                    // lexicographically by leading RDN), so walk the
+                    // child index, collecting borrowed entries.
+                    let mut stack = vec![base];
+                    let mut hits: Vec<&Entry> = Vec::new();
+                    while let Some(cur) = stack.pop() {
+                        if let Some(e) = self.entries.get(cur) {
+                            hits.push(e);
+                        }
+                        if let Some(kids) = self.children.get(cur) {
+                            stack.extend(kids.iter());
+                        }
+                    }
+                    hits.sort_by(|a, b| a.dn.cmp(&b.dn));
+                    out.extend(hits.into_iter().filter(|e| filter.matches(e)));
+                }
+            }
+        }
+        out
+    }
+
+    /// The pre-optimization `search` (DN-cloning subtree walk), kept as
+    /// the differential oracle for the fast path above.
+    #[cfg(feature = "reference-kernel")]
+    pub fn search_reference(&self, base: &Dn, scope: Scope, filter: &Filter) -> Vec<&Entry> {
+        let mut out = Vec::new();
+        match scope {
+            Scope::Base | Scope::One => return self.search(base, scope, filter),
+            Scope::Sub => {
                 let mut stack = vec![base.clone()];
                 let mut dns = Vec::new();
                 while let Some(cur) = stack.pop() {

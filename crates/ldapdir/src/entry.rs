@@ -1,7 +1,19 @@
 //! Directory entries: DN plus multi-valued attributes.
 
 use crate::dn::Dn;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+
+/// Lowercase an attribute name only when it needs it.  Filter-derived and
+/// merge-path names are already lowercase, so the common lookup does not
+/// allocate.
+fn lower(attr: &str) -> Cow<'_, str> {
+    if attr.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(attr.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(attr)
+    }
+}
 
 /// An LDAP entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,29 +34,40 @@ impl Entry {
     /// Add a value to an attribute (duplicates allowed, as in slapd with
     /// permissive schema checking).
     pub fn add(&mut self, attr: &str, value: impl Into<String>) -> &mut Self {
-        self.attrs
-            .entry(attr.to_ascii_lowercase())
-            .or_default()
-            .push(value.into());
+        let key = lower(attr);
+        match self.attrs.get_mut(key.as_ref()) {
+            Some(vs) => vs.push(value.into()),
+            None => {
+                self.attrs.insert(key.into_owned(), vec![value.into()]);
+            }
+        }
         self
     }
 
     /// Replace all values of an attribute.
     pub fn put(&mut self, attr: &str, value: impl Into<String>) -> &mut Self {
-        self.attrs
-            .insert(attr.to_ascii_lowercase(), vec![value.into()]);
+        let key = lower(attr);
+        match self.attrs.get_mut(key.as_ref()) {
+            Some(vs) => {
+                vs.clear();
+                vs.push(value.into());
+            }
+            None => {
+                self.attrs.insert(key.into_owned(), vec![value.into()]);
+            }
+        }
         self
     }
 
     /// Remove an attribute entirely.
     pub fn remove(&mut self, attr: &str) -> bool {
-        self.attrs.remove(&attr.to_ascii_lowercase()).is_some()
+        self.attrs.remove(lower(attr).as_ref()).is_some()
     }
 
     /// All values of an attribute.
     pub fn get(&self, attr: &str) -> &[String] {
         self.attrs
-            .get(&attr.to_ascii_lowercase())
+            .get(lower(attr).as_ref())
             .map_or(&[], Vec::as_slice)
     }
 
@@ -54,7 +77,7 @@ impl Entry {
     }
 
     pub fn has_attr(&self, attr: &str) -> bool {
-        self.attrs.contains_key(&attr.to_ascii_lowercase())
+        self.attrs.contains_key(lower(attr).as_ref())
     }
 
     /// Does any value of `attr` equal `value` case-insensitively?
@@ -75,9 +98,23 @@ impl Entry {
     /// Approximate serialized size in bytes (LDIF length), used for the
     /// simulated wire cost of returning this entry.
     pub fn wire_size(&self) -> u64 {
-        let mut n = self.dn.to_string().len() + 5;
+        let mut n = self.dn.display_len() + 5;
         for (a, vs) in self.iter() {
             for v in vs {
+                n += a.len() + v.len() + 3;
+            }
+        }
+        n as u64
+    }
+
+    /// `self.project(attrs).wire_size()` computed without materializing
+    /// the projection — byte-for-byte the same accounting (lowercasing a
+    /// selected name preserves its length, and duplicate selections
+    /// double-count in both forms).
+    pub fn projected_wire_size(&self, attrs: &[String]) -> u64 {
+        let mut n = self.dn.display_len() + 5;
+        for a in attrs {
+            for v in self.get(a) {
                 n += a.len() + v.len() + 3;
             }
         }
@@ -151,6 +188,24 @@ mod tests {
         assert_eq!(p.attr_count(), 1);
         assert_eq!(p.get("objectclass").len(), 2);
         assert!(p.wire_size() < e.wire_size());
+    }
+
+    #[test]
+    fn projected_wire_size_matches_materialized_projection() {
+        let e = entry();
+        for sel in [
+            vec!["OBJECTCLASS".to_string()],
+            vec!["objectclass".to_string(), "mds-cpu-total-count".to_string()],
+            vec!["objectclass".to_string(), "OBJECTCLASS".to_string()],
+            vec!["missing".to_string()],
+            vec![],
+        ] {
+            assert_eq!(
+                e.projected_wire_size(&sel),
+                e.project(&sel).wire_size(),
+                "{sel:?}"
+            );
+        }
     }
 
     #[test]

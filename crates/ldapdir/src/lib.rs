@@ -34,7 +34,7 @@ pub mod filter;
 pub mod ldif;
 
 pub use dit::{Dit, DitError, Scope};
-pub use dn::{Dn, DnError};
+pub use dn::{Dn, DnError, Rdn};
 pub use entry::Entry;
 pub use filter::{Filter, FilterError};
 pub use ldif::{entries_to_ldif, entry_to_ldif, parse_ldif, LdifError};

@@ -74,6 +74,8 @@ pub struct Giis {
     pub queries: u64,
     pub pulls: u64,
     pub registrations_seen: u64,
+    /// Memoized search replies (see [`crate::cache`]).
+    cache: crate::cache::ResultCache,
 }
 
 impl Giis {
@@ -91,6 +93,7 @@ impl Giis {
             queries: 0,
             pulls: 0,
             registrations_seen: 0,
+            cache: crate::cache::ResultCache::new(),
         }
     }
 
@@ -161,28 +164,48 @@ impl Giis {
     }
 
     fn search_plan(&mut self, q: PendingQuery) -> Plan {
-        let hits = self.dit.search(&q.base, q.scope, &q.filter);
-        let total = hits.len();
-        // Attribute selection shrinks what goes on the wire.
-        let project = |e: &Entry| match &q.attrs {
-            None => e.clone(),
-            Some(sel) => e.project(sel),
-        };
-        let bytes: u64 = 64 + hits.iter().map(|e| project(e).wire_size()).sum::<u64>();
-        // For huge aggregate results only a prefix of the entries rides in
-        // the in-simulation payload (the wire size is exact either way);
-        // this keeps 500-GRIS query-all sweeps affordable.
-        let entries: Vec<Entry> = hits
-            .iter()
-            .take(RESULT_ENTRY_CAP)
-            .map(|&e| project(e))
-            .collect();
+        // Memoized until the aggregate directory changes; the simulated
+        // scan cost below is still charged per query.
+        let cached =
+            self.cache
+                .get_or_compute(&self.dit, &q.base, q.scope, &q.filter, &q.attrs, |dit| {
+                    let hits = dit.search(&q.base, q.scope, &q.filter);
+                    // Attribute selection shrinks what goes on the wire.  The
+                    // wire size is accounted without materializing a
+                    // projection per hit — only the capped payload prefix
+                    // below is ever cloned.
+                    let bytes: u64 = 64
+                        + match &q.attrs {
+                            None => hits.iter().map(|e| e.wire_size()).sum::<u64>(),
+                            Some(sel) => {
+                                hits.iter().map(|e| e.projected_wire_size(sel)).sum::<u64>()
+                            }
+                        };
+                    // For huge aggregate results only a prefix of the entries
+                    // rides in the in-simulation payload (the wire size is
+                    // exact either way); this keeps 500-GRIS query-all sweeps
+                    // affordable.
+                    let entries: Vec<Entry> = hits
+                        .iter()
+                        .take(RESULT_ENTRY_CAP)
+                        .map(|&e| match &q.attrs {
+                            None => e.clone(),
+                            Some(sel) => e.project(sel),
+                        })
+                        .collect();
+                    crate::cache::CachedResult {
+                        total: hits.len(),
+                        bytes,
+                        entries: std::rc::Rc::new(entries),
+                    }
+                });
         let cost = SEARCH_CPU_FIXED_US
             + SEARCH_CPU_PER_ENTRY_US * self.dit.scan_size() as f64 * q.filter.cost() as f64;
+        let bytes = cached.bytes;
         Plan::new().cpu(cost).reply(
             MdsSearchResult {
-                entries,
-                total,
+                entries: cached.entries,
+                total: cached.total,
                 bytes,
             },
             bytes,
@@ -279,18 +302,22 @@ impl Service for Giis {
             }
         }
         // Merge pulled subtrees, rebasing each entry's DN by matching its
-        // remote suffix (indexed by suffix for large registries).
+        // remote suffix (indexed by suffix for large registries).  The
+        // pulled entry is moved into the aggregate with its DN rewritten
+        // in place — no per-attribute rebuild.
         let mut merged = 0usize;
-        let by_suffix: std::collections::HashMap<Dn, Dn> = self
+        let pairs: Vec<(Dn, Dn)> = self
             .registered
             .values()
             .map(|r| (r.remote_suffix.clone(), r.graft.clone()))
             .collect();
-        let depths: std::collections::BTreeSet<usize> = self
-            .registered
-            .values()
-            .map(|r| r.remote_suffix.depth())
+        let by_suffix: std::collections::HashMap<&[ldapdir::Rdn], usize> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (s, _))| (s.rdns(), i))
             .collect();
+        let depths: std::collections::BTreeSet<usize> =
+            pairs.iter().map(|(s, _)| s.depth()).collect();
         for o in outcomes {
             let Some((payload, _bytes)) = o.response else {
                 continue; // source unreachable; soft state will purge it
@@ -298,22 +325,22 @@ impl Service for Giis {
             let Ok(result) = payload.downcast::<MdsSearchResult>() else {
                 continue;
             };
-            for e in result.entries {
-                let reg = depths.iter().find_map(|&d| {
-                    e.dn.suffix_of_depth(d)
-                        .and_then(|sfx| by_suffix.get_key_value(&sfx))
-                });
-                let Some((remote_suffix, graft)) = reg else {
+            // Take ownership of the pulled entries: if the source served
+            // from its memo cache the Rc is shared and we clone once
+            // here; otherwise the vec is moved out for free.
+            let entries =
+                std::rc::Rc::try_unwrap(result.entries).unwrap_or_else(|rc| (*rc).clone());
+            for mut e in entries {
+                let reg = depths
+                    .iter()
+                    .find_map(|&d| e.dn.suffix_slice(d).and_then(|sfx| by_suffix.get(sfx)));
+                let Some(&i) = reg else {
                     continue;
                 };
+                let (remote_suffix, graft) = &pairs[i];
                 if let Some(dn) = e.dn.rebase(remote_suffix, graft) {
-                    let mut grafted = Entry::new(dn);
-                    for (a, vs) in e.iter() {
-                        for v in vs {
-                            grafted.add(a, v.clone());
-                        }
-                    }
-                    if self.dit.upsert(grafted).is_ok() {
+                    e.dn = dn;
+                    if self.dit.upsert(e).is_ok() {
                         merged += 1;
                     }
                 }

@@ -52,6 +52,8 @@ pub struct Gris {
     pub queries: u64,
     /// Total provider invocations (the cost caching avoids).
     pub provider_runs: u64,
+    /// Memoized search replies (see [`crate::cache`]).
+    cache: crate::cache::ResultCache,
 }
 
 impl Gris {
@@ -67,6 +69,7 @@ impl Gris {
             me: None,
             queries: 0,
             provider_runs: 0,
+            cache: crate::cache::ResultCache::new(),
         }
     }
 
@@ -152,20 +155,30 @@ impl Service for Gris {
                 plan = plan.unlock(l);
             }
         }
-        // 2. Evaluate the search.
-        let hits = self.dit.search(&base, scope, &filter);
-        let total = hits.len();
-        let entries: Vec<Entry> = match &attrs {
-            None => hits.iter().map(|&e| e.clone()).collect(),
-            Some(sel) => hits.iter().map(|&e| e.project(sel)).collect(),
-        };
-        let bytes: u64 = 64 + entries.iter().map(Entry::wire_size).sum::<u64>();
+        // 2. Evaluate the search (memoized until the directory changes;
+        //    the simulated scan cost below is still charged per query).
+        let cached = self
+            .cache
+            .get_or_compute(&self.dit, &base, scope, &filter, &attrs, |dit| {
+                let hits = dit.search(&base, scope, &filter);
+                let entries: Vec<Entry> = match &attrs {
+                    None => hits.iter().map(|&e| e.clone()).collect(),
+                    Some(sel) => hits.iter().map(|&e| e.project(sel)).collect(),
+                };
+                let bytes: u64 = 64 + entries.iter().map(Entry::wire_size).sum::<u64>();
+                crate::cache::CachedResult {
+                    total: entries.len(),
+                    bytes,
+                    entries: std::rc::Rc::new(entries),
+                }
+            });
         let scan_cost = SEARCH_CPU_FIXED_US
             + SEARCH_CPU_PER_ENTRY_US * self.dit.scan_size() as f64 * filter.cost() as f64;
+        let bytes = cached.bytes;
         plan.cpu(scan_cost).reply(
             MdsSearchResult {
-                entries,
-                total,
+                entries: cached.entries,
+                total: cached.total,
                 bytes,
             },
             bytes,

@@ -51,9 +51,11 @@ impl MdsRequest {
 ///
 /// `total` is the full hit count; for very large aggregate results the
 /// GIIS truncates the `entries` payload (the simulated wire size `bytes`
-/// still reflects every hit).
+/// still reflects every hit).  `entries` is refcounted so a server can
+/// answer repeated identical queries from one materialization instead of
+/// deep-cloning every entry per reply.
 pub struct MdsSearchResult {
-    pub entries: Vec<Entry>,
+    pub entries: std::rc::Rc<Vec<Entry>>,
     pub total: usize,
     pub bytes: u64,
 }

@@ -90,7 +90,7 @@ thread_local! {
 /// Accumulates: a point that runs several harnesses (some extension
 /// studies do) reports the sum of their simulated spans and events.
 #[inline]
-pub fn sim_report(sim_end_us: u64, fired: u64, popped: u64) {
+pub fn sim_report(sim_end_us: u64, fired: u64, popped: u64, advances: u64) {
     if !profiling() {
         return;
     }
@@ -100,6 +100,7 @@ pub fn sim_report(sim_end_us: u64, fired: u64, popped: u64) {
         c.sim_us += sim_end_us;
         c.events += fired;
         c.popped += popped;
+        c.advances += advances;
         s.set(c);
     });
 }
@@ -126,7 +127,7 @@ mod tests {
         // stays zero even after reporting.
         assert!(!profiling() || ACTIVE_SINKS.load(Ordering::Relaxed) > 0);
         let (_, sample) = measure_point(|| {
-            sim_report(1_000_000, 500, 600);
+            sim_report(1_000_000, 500, 600, 400);
         });
         if !profiling() {
             assert_eq!(sample.sim, SimCounters::ZERO);
@@ -138,8 +139,8 @@ mod tests {
         let sink = PerfSink::new();
         assert!(profiling());
         let (value, sample) = measure_point(|| {
-            sim_report(2_000_000, 100, 120);
-            sim_report(1_000_000, 50, 60);
+            sim_report(2_000_000, 100, 120, 90);
+            sim_report(1_000_000, 50, 60, 40);
             7
         });
         assert_eq!(value, 7);
@@ -147,6 +148,7 @@ mod tests {
         assert_eq!(sample.sim.sim_us, 3_000_000);
         assert_eq!(sample.sim.events, 150);
         assert_eq!(sample.sim.popped, 180);
+        assert_eq!(sample.sim.advances, 130);
         drop(sink);
     }
 

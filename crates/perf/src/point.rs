@@ -26,6 +26,9 @@ pub struct SimCounters {
     pub events: u64,
     /// Calendar pops including stale/cancelled keys (`Engine::popped`).
     pub popped: u64,
+    /// Strict clock advances (`Engine::advances`): dispatches where the
+    /// simulated clock actually moved.
+    pub advances: u64,
     /// Harness runs that reported into this point.
     pub engine_runs: u32,
 }
@@ -35,6 +38,7 @@ impl SimCounters {
         sim_us: 0,
         events: 0,
         popped: 0,
+        advances: 0,
         engine_runs: 0,
     };
 }
@@ -235,6 +239,7 @@ impl PerfSink {
                 t.sim_us += p.sim.sim_us;
                 t.events += p.sim.events;
                 t.popped += p.sim.popped;
+                t.advances += p.sim.advances;
             }
         }
         t
@@ -250,6 +255,7 @@ pub struct Totals {
     pub sim_us: u64,
     pub events: u64,
     pub popped: u64,
+    pub advances: u64,
 }
 
 impl Totals {
@@ -276,6 +282,7 @@ mod tests {
                 sim_us: 2_000_000,
                 events,
                 popped: events + 5,
+                advances: events,
                 engine_runs: 1,
             },
         }
@@ -320,6 +327,7 @@ mod tests {
                 sim_us: 1_000_000,
                 events: 50_000,
                 popped: 50_100,
+                advances: 49_000,
                 engine_runs: 1,
             },
         };

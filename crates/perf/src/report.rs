@@ -96,13 +96,14 @@ pub fn perf_json(sink: &PerfSink) -> String {
 
     let t = sink.totals();
     out.push_str(&format!(
-        "  \"totals\": {{\"executed\": {}, \"cached\": {}, \"exec_wall_s\": {}, \"sim_s\": {}, \"events\": {}, \"popped\": {}, \"events_per_sec\": {}}},\n",
+        "  \"totals\": {{\"executed\": {}, \"cached\": {}, \"exec_wall_s\": {}, \"sim_s\": {}, \"events\": {}, \"popped\": {}, \"advances\": {}, \"events_per_sec\": {}}},\n",
         t.executed,
         t.cached,
         json_f64(t.exec_wall.as_secs_f64()),
         json_f64(t.sim_us as f64 / 1e6),
         t.events,
         t.popped,
+        t.advances,
         json_f64(t.events_per_sec())
     ));
 
@@ -112,7 +113,7 @@ pub fn perf_json(sink: &PerfSink) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n    {{\"key\": \"{}\", \"worker\": {}, \"cached\": {}, \"wall_s\": {}, \"sim_s\": {}, \"events\": {}, \"popped\": {}, \"engine_runs\": {}, \"events_per_sec\": {}}}",
+            "\n    {{\"key\": \"{}\", \"worker\": {}, \"cached\": {}, \"wall_s\": {}, \"sim_s\": {}, \"events\": {}, \"popped\": {}, \"advances\": {}, \"engine_runs\": {}, \"events_per_sec\": {}}}",
             json_escape(&p.key),
             p.worker,
             p.cached,
@@ -120,6 +121,7 @@ pub fn perf_json(sink: &PerfSink) -> String {
             json_f64(p.sim_s()),
             p.sim.events,
             p.sim.popped,
+            p.sim.advances,
             p.sim.engine_runs,
             json_f64(p.events_per_sec())
         ));
@@ -149,6 +151,7 @@ mod tests {
                     sim_us: 60_000_000,
                     events: 1234,
                     popped: 1250,
+                    advances: 0,
                     engine_runs: 1,
                 },
             },

@@ -63,6 +63,13 @@ pub struct Engine<W> {
     /// Strict clock advances (dispatches where `now` actually moved).
     /// `fired - advances` events rode an existing timestamp.
     pub advances: u64,
+    /// Heap keys whose event was cancelled but that still sit in the
+    /// calendar (lazy deletion).  Fuel for `maybe_compact`.
+    stale: usize,
+    /// Compact the calendar when stale keys dominate (see
+    /// [`Engine::set_compaction`]).  On by default; the differential
+    /// suite turns it off to get the pure lazy-deletion reference.
+    compaction: bool,
     /// Root RNG; components should `fork` child streams from it.
     pub rng: SimRng,
 }
@@ -79,8 +86,46 @@ impl<W> Engine<W> {
             fired: 0,
             popped: 0,
             advances: 0,
+            stale: 0,
+            compaction: true,
             rng: SimRng::new(seed),
         }
+    }
+
+    /// Enable or disable calendar compaction.  Dispatch order, times and
+    /// the `fired`/`advances` counters are identical either way; only the
+    /// amount of stale-key churn (`popped - fired`) differs.  The
+    /// differential suite runs with compaction off as the reference.
+    pub fn set_compaction(&mut self, on: bool) {
+        self.compaction = on;
+    }
+
+    /// Number of cancelled-but-unpopped keys still in the calendar.
+    pub fn stale_keys(&self) -> usize {
+        self.stale
+    }
+
+    /// Rebuild the calendar without stale keys once they dominate: each
+    /// cancelled event otherwise costs an extra `O(log n)` pop later, and
+    /// timeout-heavy workloads (retries, watchdogs) cancel nearly every
+    /// event they schedule.  `QKey` ordering is total (time, seq), so
+    /// re-heapifying the live keys preserves dispatch order exactly.
+    fn maybe_compact(&mut self) {
+        if !self.compaction || self.stale <= 64 || self.stale < self.heap.len() / 2 {
+            return;
+        }
+        let keys = std::mem::take(&mut self.heap).into_vec();
+        let live: Vec<Reverse<QKey>> = keys
+            .into_iter()
+            .filter(|Reverse(k)| {
+                self.slots
+                    .get(k.slot as usize)
+                    .is_some_and(|s| s.gen == k.gen)
+            })
+            .collect();
+        debug_assert_eq!(live.len(), self.live);
+        self.heap = BinaryHeap::from(live);
+        self.stale = 0;
     }
 
     /// Current simulated time.
@@ -145,6 +190,8 @@ impl<W> Engine<W> {
                 slot.gen = slot.gen.wrapping_add(1);
                 self.free.push(h.slot);
                 self.live -= 1;
+                self.stale += 1;
+                self.maybe_compact();
                 return true;
             }
         }
@@ -169,6 +216,7 @@ impl<W> Engine<W> {
             let slot = &mut self.slots[key.slot as usize];
             if slot.gen != key.gen {
                 // Cancelled (and possibly recycled); skip the stale key.
+                self.stale = self.stale.saturating_sub(1);
                 continue;
             }
             let Some(f) = slot.f.take() else {
@@ -226,6 +274,18 @@ impl<W> Engine<W> {
     /// events make this nonterminating).
     pub fn run_to_completion(&mut self, world: &mut W) {
         while self.step(world, SimTime::MAX) {}
+    }
+}
+
+/// Differential-oracle surface for the gridmon-diff suite: the reference
+/// engine is the same machine with compaction off (pure lazy deletion, as
+/// the seed implementation behaved).
+#[cfg(feature = "reference-kernel")]
+impl<W> Engine<W> {
+    pub fn new_reference(seed: u64) -> Self {
+        let mut e = Self::new(seed);
+        e.set_compaction(false);
+        e
     }
 }
 
@@ -382,6 +442,86 @@ mod tests {
         }
         e.run_until(&mut w, SimTime(100));
         assert_eq!(e.fired, 10);
+    }
+
+    #[test]
+    fn compaction_cuts_stale_pops_without_changing_dispatch() {
+        // Schedule-and-cancel churn (a timeout per request, almost always
+        // cancelled) with a sprinkle of live events; compare the dispatch
+        // stream with compaction on vs the lazy-deletion reference.
+        fn run(compaction: bool) -> (Vec<(u64, u64)>, u64, u64, u64) {
+            let mut e: Engine<Log> = Engine::new(7);
+            e.set_compaction(compaction);
+            let mut w = Log::default();
+            for round in 0..50u64 {
+                let base = round * 100;
+                let mut dead = Vec::new();
+                for i in 0..40 {
+                    dead.push(e.schedule_at(SimTime(base + 90 + i), |_w: &mut Log, _| {}));
+                }
+                e.schedule_at(SimTime(base + 10), |w: &mut Log, eng| {
+                    w.entries.push((eng.now().as_micros(), "live"))
+                });
+                for h in dead {
+                    assert!(e.cancel(h));
+                }
+            }
+            let mut seen = Vec::new();
+            e.run_until_with(&mut w, SimTime(10_000), &mut |_w, now, fired| {
+                seen.push((now.as_micros(), fired));
+            });
+            (seen, e.fired, e.popped, e.advances)
+        }
+        let (fast, fast_fired, fast_popped, fast_adv) = run(true);
+        let (slow, slow_fired, slow_popped, slow_adv) = run(false);
+        assert_eq!(fast, slow, "dispatch stream must not change");
+        assert_eq!(fast_fired, slow_fired);
+        assert_eq!(fast_adv, slow_adv);
+        assert_eq!(
+            slow_popped,
+            slow_fired + 50 * 40,
+            "reference pops every stale key"
+        );
+        assert!(
+            fast_popped < slow_popped,
+            "compaction must remove stale churn ({fast_popped} vs {slow_popped})"
+        );
+    }
+
+    #[test]
+    fn stale_counter_tracks_cancels_and_compaction() {
+        let mut e = eng();
+        e.set_compaction(false);
+        let mut hs = Vec::new();
+        for i in 0..10 {
+            hs.push(e.schedule_at(SimTime(10 + i), |_w: &mut Log, _| {}));
+        }
+        for h in &hs[..4] {
+            e.cancel(*h);
+        }
+        assert_eq!(e.stale_keys(), 4);
+        assert_eq!(e.pending(), 6);
+        let mut w = Log::default();
+        e.run_until(&mut w, SimTime(100));
+        assert_eq!(e.stale_keys(), 0, "stale keys drained by popping");
+        // With compaction on, heavy cancellation empties the stale count
+        // without popping.
+        let mut e = eng();
+        let hs: Vec<_> = (0..200)
+            .map(|i| e.schedule_at(SimTime(10 + i), |_w: &mut Log, _| {}))
+            .collect();
+        for h in hs {
+            e.cancel(h);
+        }
+        assert!(
+            e.stale_keys() <= 64,
+            "compaction keeps the stale tail below threshold (got {})",
+            e.stale_keys()
+        );
+        assert_eq!(e.pending(), 0);
+        e.run_until(&mut w, SimTime(1000));
+        assert!(e.popped < 200, "most stale keys never reached the heap top");
+        assert_eq!(e.stale_keys(), 0);
     }
 
     #[test]

@@ -20,12 +20,14 @@ impl SlabKey {
     };
 }
 
+#[derive(Clone)]
 struct Slot<T> {
     gen: u32,
     value: Option<T>,
 }
 
 /// A generational slab.
+#[derive(Clone)]
 pub struct Slab<T> {
     slots: Vec<Slot<T>>,
     free: Vec<u32>,

@@ -22,7 +22,7 @@ pub type FlowToken = u64;
 /// Key identifying a flow.
 pub type FlowKey = SlabKey;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Flow {
     path: Vec<LinkId>,
     /// Remaining payload in bits.
@@ -33,10 +33,22 @@ struct Flow {
 }
 
 /// The set of active flows plus the fair-share computation.
+///
+/// The rate vector is maintained *incrementally*: a mutation re-levels only
+/// the connected component of flows that share links with the mutated flow
+/// (often just the flow itself), producing bit-identical rates to a
+/// from-scratch water-filling.  `Clone` exists so the differential test
+/// suite can snapshot a net and replay the reference kernel on the copy.
+#[derive(Clone)]
 pub struct FlowNet {
     flows: Slab<Flow>,
+    /// Flows currently crossing each link, indexed by `LinkId`.  This is
+    /// what lets a mutation find its affected component without scanning
+    /// every flow.
+    link_flows: Vec<Vec<FlowKey>>,
     last: SimTime,
-    /// Rate vector stale?  Set on add/remove; cleared by `recompute`.
+    /// Rate vector stale?  Only transiently true inside a mutation; every
+    /// public method restores exactness before returning.
     dirty: bool,
     /// Total bytes completed (for stats).
     pub bits_delivered: f64,
@@ -55,9 +67,29 @@ impl FlowNet {
     pub fn new() -> Self {
         FlowNet {
             flows: Slab::new(),
+            link_flows: Vec::new(),
             last: SimTime::ZERO,
             dirty: false,
             bits_delivered: 0.0,
+        }
+    }
+
+    fn register_links(link_flows: &mut Vec<Vec<FlowKey>>, key: FlowKey, path: &[LinkId]) {
+        for l in path {
+            let li = l.0 as usize;
+            if li >= link_flows.len() {
+                link_flows.resize_with(li + 1, Vec::new);
+            }
+            link_flows[li].push(key);
+        }
+    }
+
+    fn unregister_links(link_flows: &mut [Vec<FlowKey>], key: FlowKey, path: &[LinkId]) {
+        for l in path {
+            let v = &mut link_flows[l.0 as usize];
+            if let Some(pos) = v.iter().position(|&k| k == key) {
+                v.swap_remove(pos);
+            }
         }
     }
 
@@ -88,14 +120,18 @@ impl FlowNet {
             }
         }
         let mut tokens = Vec::with_capacity(done.len());
+        let mut seeds: Vec<LinkId> = Vec::new();
         for k in done {
             if let Some(f) = self.flows.remove(k) {
+                Self::unregister_links(&mut self.link_flows, k, &f.path);
+                seeds.extend_from_slice(&f.path);
                 tokens.push(f.token);
             }
-            self.dirty = true;
         }
-        if self.dirty {
-            self.recompute(topo);
+        if !seeds.is_empty() {
+            // Only flows sharing links with the departed ones can change
+            // rate; empty-path completions leave the vector untouched.
+            self.relevel_component(topo, &seeds);
         }
         tokens
     }
@@ -113,22 +149,65 @@ impl FlowNet {
         debug_assert_eq!(self.last, now, "advance() before start()");
         let bits = (bytes.max(1) * 8) as f64;
         self.bits_delivered += bits; // count on start; completion is certain
+
+        // Same-host transfer: fixed local rate, nobody else affected.
+        if path.is_empty() {
+            return self.flows.insert(Flow {
+                path,
+                remaining: bits,
+                rate: LOCAL_RATE_BITS_PER_US,
+                token,
+            });
+        }
+
+        // Alone on every link of a simple path: the water-filler would put
+        // this flow in a component by itself and assign the minimum link
+        // share.  (A path that revisits a link self-contends, so it takes
+        // the general route.)
+        let disjoint = path
+            .iter()
+            .all(|l| self.link_flows.get(l.0 as usize).is_none_or(Vec::is_empty))
+            && !path.iter().enumerate().any(|(i, l)| path[..i].contains(l));
+        if disjoint {
+            let mut share = f64::INFINITY;
+            for l in &path {
+                let s = topo.link(*l).capacity_bps / 1e6;
+                if s < share {
+                    share = s;
+                }
+            }
+            let key = self.flows.insert(Flow {
+                path,
+                remaining: bits,
+                rate: share.max(0.0).max(1e-9),
+                token,
+            });
+            let f = self.flows.get(key).unwrap();
+            Self::register_links(&mut self.link_flows, key, &f.path);
+            return key;
+        }
+
+        // Shares a link with live flows: re-level just that component.
         let key = self.flows.insert(Flow {
             path,
             remaining: bits,
             rate: 0.0,
             token,
         });
-        self.dirty = true;
-        self.recompute(topo);
+        let f = self.flows.get(key).unwrap();
+        let seeds = f.path.clone();
+        Self::register_links(&mut self.link_flows, key, &f.path);
+        self.relevel_component(topo, &seeds);
         key
     }
 
     /// Abort a flow (e.g. a failed request).  Returns its token.
     pub fn abort(&mut self, topo: &Topology, key: FlowKey) -> Option<FlowToken> {
         let f = self.flows.remove(key)?;
-        self.dirty = true;
-        self.recompute(topo);
+        Self::unregister_links(&mut self.link_flows, key, &f.path);
+        if !f.path.is_empty() {
+            self.relevel_component(topo, &f.path);
+        }
         Some(f.token)
     }
 
@@ -169,6 +248,107 @@ impl FlowNet {
     pub fn for_each_rate(&self, mut f: impl FnMut(FlowToken, f64)) {
         for (_, flow) in self.flows.iter() {
             f(flow.token, flow.rate);
+        }
+    }
+
+    /// Re-level the connected component of flows reachable from `seeds`
+    /// (links connected through shared flows).  Runs the same restricted
+    /// water-filling arithmetic as [`FlowNet::recompute`] — bottleneck
+    /// links scanned in ascending index order with a strictly-smaller
+    /// comparison, flows fixed in slab-key order — so the resulting rates
+    /// are bit-identical to a from-scratch pass.  Flows outside the
+    /// component keep their (already exact) rates.
+    fn relevel_component(&mut self, topo: &Topology, seeds: &[LinkId]) {
+        let n_links = topo.link_count();
+        let mut in_comp_link = vec![false; n_links];
+        let mut stack: Vec<usize> = Vec::new();
+        for l in seeds {
+            let li = l.0 as usize;
+            if !in_comp_link[li] {
+                in_comp_link[li] = true;
+                stack.push(li);
+            }
+        }
+        let mut comp_flows: Vec<FlowKey> = Vec::new();
+        let mut seen_flow: std::collections::HashSet<FlowKey> = std::collections::HashSet::new();
+        while let Some(li) = stack.pop() {
+            let crossing_here = self.link_flows.get(li).map(Vec::as_slice).unwrap_or(&[]);
+            for &k in crossing_here {
+                if seen_flow.insert(k) {
+                    comp_flows.push(k);
+                }
+            }
+        }
+        // Pull in the full link set of every component flow (a flow found
+        // via one link drags its other links — and their flows — in).
+        let mut i = 0;
+        while i < comp_flows.len() {
+            let k = comp_flows[i];
+            i += 1;
+            let path = &self.flows.get(k).unwrap().path;
+            let mut new_links: Vec<usize> = Vec::new();
+            for l in path {
+                let lj = l.0 as usize;
+                if !in_comp_link[lj] {
+                    in_comp_link[lj] = true;
+                    new_links.push(lj);
+                }
+            }
+            for lj in new_links {
+                let crossing_here = self.link_flows.get(lj).map(Vec::as_slice).unwrap_or(&[]);
+                for &k2 in crossing_here {
+                    if seen_flow.insert(k2) {
+                        comp_flows.push(k2);
+                    }
+                }
+            }
+        }
+        if comp_flows.is_empty() {
+            return;
+        }
+        comp_flows.sort_unstable(); // slab-key order, as recompute() fixes them
+
+        let comp_links: Vec<usize> = (0..n_links).filter(|&l| in_comp_link[l]).collect();
+        let mut residual: Vec<f64> = vec![0.0; n_links];
+        let mut crossing: Vec<u32> = vec![0; n_links];
+        for &li in &comp_links {
+            residual[li] = topo.link(LinkId(li as u32)).capacity_bps / 1e6;
+        }
+        for &k in &comp_flows {
+            for l in &self.flows.get(k).unwrap().path {
+                crossing[l.0 as usize] += 1;
+            }
+        }
+
+        let mut unfixed = comp_flows;
+        while !unfixed.is_empty() {
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for &l in &comp_links {
+                if crossing[l] > 0 {
+                    let share = residual[l] / crossing[l] as f64;
+                    if bottleneck.is_none_or(|(_, s)| share < s) {
+                        bottleneck = Some((l, share));
+                    }
+                }
+            }
+            let Some((bl, share)) = bottleneck else { break };
+            let share = share.max(0.0);
+            let mut still_unfixed = Vec::with_capacity(unfixed.len());
+            for &k in &unfixed {
+                let f = self.flows.get(k).unwrap();
+                if f.path.iter().any(|l| l.0 as usize == bl) {
+                    for l in &f.path {
+                        let li = l.0 as usize;
+                        crossing[li] -= 1;
+                        residual[li] = (residual[li] - share).max(0.0);
+                    }
+                    self.flows.get_mut(k).unwrap().rate = share.max(1e-9);
+                } else {
+                    still_unfixed.push(k);
+                }
+            }
+            debug_assert!(still_unfixed.len() < unfixed.len(), "water-filling stuck");
+            unfixed = still_unfixed;
         }
     }
 
@@ -230,6 +410,26 @@ impl FlowNet {
             debug_assert!(still_unfixed.len() < unfixed.len(), "water-filling stuck");
             unfixed = still_unfixed;
         }
+    }
+}
+
+/// Differential-oracle surface: the from-scratch water-filler is the
+/// reference the incremental kernel is checked against.  It stays compiled
+/// in unconditionally (capacity changes use it); the feature only names it
+/// for the gridmon-diff suite.
+#[cfg(feature = "reference-kernel")]
+impl FlowNet {
+    /// Overwrite every rate by running the full water-filling pass.
+    pub fn recompute_reference(&mut self, topo: &Topology) {
+        self.dirty = true;
+        self.recompute(topo);
+    }
+
+    /// Snapshot `(token, rate)` pairs in key order, for oracle comparison.
+    pub fn rates_reference(&self) -> Vec<(FlowToken, f64)> {
+        let mut out = Vec::with_capacity(self.flows.len());
+        self.for_each_rate(|t, r| out.push((t, r)));
+        out
     }
 }
 
@@ -377,5 +577,119 @@ mod tests {
             completed += fnet.advance(&t, now).len();
         }
         assert_eq!(completed, 40);
+    }
+
+    #[test]
+    fn zero_byte_flow_still_completes() {
+        // A zero-length payload is clamped to one byte (8 bits) so the
+        // flow always makes progress and completes.
+        let (t, l1, _) = topo_two_links();
+        let mut fnet = FlowNet::new();
+        let k = fnet.start(&t, SimTime(0), vec![l1], 0, 7);
+        assert_eq!(fnet.rate_of(k), Some(8.0));
+        let next = fnet.next_completion(SimTime(0)).expect("completes");
+        assert!(next > SimTime(0));
+        assert_eq!(fnet.advance(&t, next), vec![7]);
+        // Same for a zero-byte local (empty-path) flow.
+        fnet.start(&t, next, vec![], 0, 8);
+        let next2 = fnet.next_completion(next).expect("completes");
+        assert_eq!(fnet.advance(&t, next2), vec![8]);
+    }
+
+    #[test]
+    fn empty_path_flow_unaffected_by_recomputes() {
+        // A local flow's rate must survive recomputations triggered by
+        // link-flow churn happening at the same instant.
+        let (t, l1, _) = topo_two_links();
+        let mut fnet = FlowNet::new();
+        let klocal = fnet.start(&t, SimTime(0), vec![], 1_000_000, 1);
+        let rate0 = fnet.rate_of(klocal).unwrap();
+        let ka = fnet.start(&t, SimTime(0), vec![l1], 1000, 2);
+        let _kb = fnet.start(&t, SimTime(0), vec![l1], 1000, 3);
+        assert_eq!(fnet.rate_of(klocal), Some(rate0));
+        fnet.abort(&t, ka);
+        fnet.capacity_changed(&t);
+        assert_eq!(fnet.rate_of(klocal), Some(rate0));
+        let done = fnet.advance(&t, fnet.next_completion(SimTime(0)).unwrap());
+        assert_eq!(done, vec![1]);
+    }
+
+    #[test]
+    fn next_completion_none_after_last_flow() {
+        let (t, l1, _) = topo_two_links();
+        let mut fnet = FlowNet::new();
+        fnet.start(&t, SimTime(0), vec![l1], 1000, 1);
+        let end = fnet.next_completion(SimTime(0)).unwrap();
+        assert_eq!(fnet.advance(&t, end), vec![1]);
+        assert_eq!(fnet.active(), 0);
+        assert_eq!(fnet.next_completion(end), None);
+        // Still None after further idle advances.
+        assert!(fnet.advance(&t, SimTime(end.as_micros() + 500)).is_empty());
+        assert_eq!(fnet.next_completion(SimTime(end.as_micros() + 500)), None);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute_bitexact() {
+        // Drive a random start/abort/advance schedule and after every
+        // mutation compare the incremental rate vector against a
+        // from-scratch water-filling of the same flow set, bit for bit.
+        let mut t = Topology::new();
+        let _ = t.add_node("x", 1, 1.0);
+        let links: Vec<LinkId> = (0..6)
+            .map(|i| t.add_link(format!("l{i}"), (i as f64 + 1.0) * 0.7e6, SimDuration::ZERO))
+            .collect();
+        let mut fnet = FlowNet::new();
+        let mut rng = simcore::SimRng::new(12345);
+        let mut now = SimTime(0);
+        let mut live: Vec<FlowKey> = Vec::new();
+
+        let check = |fnet: &FlowNet, topo: &Topology| {
+            let mut fast: Vec<(FlowToken, u64)> = Vec::new();
+            fnet.for_each_rate(|tok, r| fast.push((tok, r.to_bits())));
+            let mut oracle = fnet.clone();
+            oracle.dirty = true;
+            oracle.recompute(topo);
+            let mut slow: Vec<(FlowToken, u64)> = Vec::new();
+            oracle.for_each_rate(|tok, r| slow.push((tok, r.to_bits())));
+            assert_eq!(fast, slow, "incremental diverged from full recompute");
+        };
+
+        for step in 0..200u64 {
+            match rng.next_below(3) {
+                0 => {
+                    // Start a flow: sometimes local, sometimes multi-link.
+                    let mut path = Vec::new();
+                    for &l in &links {
+                        if rng.chance(0.3) {
+                            path.push(l);
+                        }
+                    }
+                    let bytes = rng.next_below(50_000);
+                    live.push(fnet.start(&t, now, path, bytes, step));
+                }
+                1 => {
+                    if !live.is_empty() {
+                        let i = rng.next_below(live.len() as u64) as usize;
+                        let k = live.swap_remove(i);
+                        fnet.abort(&t, k);
+                    }
+                }
+                _ => {
+                    if let Some(next) = fnet.next_completion(now) {
+                        now = next;
+                        fnet.advance(&t, now);
+                        live.retain(|&k| fnet.rate_of(k).is_some());
+                    }
+                }
+            }
+            check(&fnet, &t);
+        }
+        // Drain to completion, checking along the way.
+        while let Some(next) = fnet.next_completion(now) {
+            now = next;
+            fnet.advance(&t, now);
+            check(&fnet, &t);
+        }
+        assert_eq!(fnet.active(), 0);
     }
 }

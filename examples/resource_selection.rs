@@ -66,7 +66,7 @@ impl Client for Broker {
         );
         // Rank by the advertised metric (higher = better here).
         let mut best: Option<(&str, f64)> = None;
-        for e in &result.entries {
+        for e in result.entries.iter() {
             let host = e.first("mds-host-hn").unwrap_or("?");
             let metric: f64 = e
                 .first("mds-cpu-metric")
