@@ -3,9 +3,10 @@
 //! ```text
 //! figures [--profile paper|quick|bench] [--seed N] [--out DIR]
 //!         [--jobs N] [--no-cache] [--only figN] [--faults PLAN]
-//!         [--trace SUBSTR] [--metrics] [--perf] [--list] [TARGET...]
+//!         [--scenario FILE] [--trace SUBSTR] [--metrics] [--perf]
+//!         [--list] [TARGET...]
 //!
-//! TARGET:  table1 | set1..set5 | fig5..fig24 | ext | all   (default: all)
+//! TARGET:  table1 | set1..set6 | fig5..fig28 | ext | all   (default: all)
 //!
 //! --jobs N    run sweep points on N worker threads (0 = all cores;
 //!             default 0).  Output is byte-identical for every N.
@@ -21,6 +22,16 @@
 //!             scenario).  The number of faulted components is the
 //!             sweep's x value.  Only set 5 injects faults; other sets
 //!             ignore the flag.
+//! --scenario F run a user-authored scenario spec (the declarative
+//!             text format of `gridmon-scenario`, see
+//!             examples/scenarios/) through the same runner, cache and
+//!             pool as the built-in sets, and write
+//!             `DIR/scenario-<name>.csv` with all four metrics per
+//!             sweep point.  Repeatable; output is byte-identical for
+//!             every --jobs value.  If the spec declares a `[faults]`
+//!             section it runs under the --faults plan (default
+//!             `auto@0.25:0.6`, where `auto` means the kind the spec
+//!             declares); specs without one always run pristine.
 //! --trace S   after the sweep, re-run every point of the selected sets
 //!             whose id (`setN/<series>/x=<x>`) contains the substring S
 //!             with event tracing on, and write per-point Chrome-trace
@@ -77,6 +88,7 @@ fn main() {
     let mut want_perf = false;
     let mut want_list = false;
     let mut faults: Option<FaultSpec> = None;
+    let mut scenario_files: Vec<PathBuf> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -118,6 +130,12 @@ fn main() {
                 let plan = args.next().unwrap_or_else(|| die("--faults needs a plan"));
                 faults = Some(parse_faults(&plan));
             }
+            "--scenario" => {
+                scenario_files.push(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--scenario needs a file")),
+                ));
+            }
             "--only" => {
                 let f = args.next().unwrap_or_else(|| die("--only needs figN"));
                 only_figs.insert(parse_fig(&f));
@@ -125,15 +143,18 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures [--profile paper|quick|bench] [--seed N] [--out DIR] \
-                     [--jobs N] [--no-cache] [--only figN] [--faults PLAN] [--trace SUBSTR] \
-                     [--metrics] [--perf] [--list] [table1|setN|figN|ext|all]..."
+                     [--jobs N] [--no-cache] [--only figN] [--faults PLAN] [--scenario FILE] \
+                     [--trace SUBSTR] [--metrics] [--perf] [--list] \
+                     [table1|setN|figN|ext|all]..."
                 );
                 return;
             }
             t => targets.push(t.to_string()),
         }
     }
-    if targets.is_empty() {
+    // `figures --scenario FILE` alone runs just the scenario(s); the
+    // built-in suite only defaults in when nothing at all was selected.
+    if targets.is_empty() && scenario_files.is_empty() {
         targets.push("all".into());
     }
 
@@ -145,7 +166,7 @@ fn main() {
         match t.as_str() {
             "all" => {
                 want_table1 = true;
-                sets.extend([1, 2, 3, 4, 5]);
+                sets.extend([1, 2, 3, 4, 5, 6]);
             }
             "table1" => want_table1 = true,
             "ext" => want_ext = true,
@@ -153,9 +174,10 @@ fn main() {
                 let n: u32 = s[3..]
                     .parse()
                     .unwrap_or_else(|_| die(&format!("bad target {s}")));
-                if !(1..=5).contains(&n) {
+                if !(1..=6).contains(&n) {
                     die(&format!(
-                        "no experiment set {n}: sets 1-4 are the paper's, 5 is resilience"
+                        "no experiment set {n}: sets 1-4 are the paper's, \
+                         5 is resilience, 6 is federation"
                     ));
                 }
                 sets.insert(n);
@@ -184,8 +206,28 @@ fn main() {
         }
     };
 
+    // Parse user-authored scenarios up front so a typo in the file dies
+    // before any sweep has burned CPU (and so `--list` can show them).
+    let scenarios: Vec<(String, gscenario::ScenarioSpec)> = scenario_files
+        .iter()
+        .map(|path| {
+            let origin = path.display().to_string();
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{origin}: {e}")));
+            let spec = gscenario::parse(&text).unwrap_or_else(|e| die(&format!("{origin}: {e}")));
+            spec.validate()
+                .unwrap_or_else(|e| die(&format!("{origin}: {e}")));
+            (origin, spec)
+        })
+        .collect();
+
     if want_list {
         list_catalogue(&sets, &only_figs, want_table1, want_ext, profile);
+        for (_, spec) in &scenarios {
+            for &x in &spec.x_values {
+                println!("  scenario/{}/x={x}", spec.name);
+            }
+        }
         return;
     }
 
@@ -235,6 +277,10 @@ fn main() {
             std::fs::write(&path, csv(&fig)).expect("write csv");
             eprintln!("wrote {}", path.display());
         }
+    }
+
+    if !scenarios.is_empty() {
+        run_scenarios(&scenarios, profile, seed, &out_dir, &rc, spec_for(5));
     }
 
     if want_ext {
@@ -297,6 +343,86 @@ fn list_catalogue(
         for spec in enumerate_set(set, profile.scale()).unwrap_or_else(|e| die(&e.to_string())) {
             let _ = writeln!(out, "  {}", spec.key());
         }
+    }
+}
+
+/// Run every user-authored scenario through the same runner/cache/pool
+/// stack as the built-in sets and write `DIR/scenario-<name>.csv` with
+/// all the measured metrics per sweep point.  Points come back in
+/// `x_values` order whatever `--jobs` is, so the CSV is byte-identical
+/// for every worker count.
+fn run_scenarios(
+    scenarios: &[(String, gscenario::ScenarioSpec)],
+    profile: Profile,
+    seed: u64,
+    out_dir: &std::path::Path,
+    rc: &RunnerConfig,
+    fault_spec: FaultSpec,
+) {
+    for (origin, spec) in scenarios {
+        eprintln!(
+            "== running scenario \"{}\" from {origin} ({} points) ==",
+            spec.name,
+            spec.x_values.len()
+        );
+        let mut cfg = profile.run_config(seed);
+        // The runtime fault plan only matters to specs that declare a
+        // [faults] section (`auto` resolves to the declared kind);
+        // keeping it out of the others' configs keeps their cache
+        // digests stable whatever --faults says.
+        if spec.faults.is_some() {
+            cfg.faults = fault_spec;
+        }
+        let (data, stats) = gridmon_runner::run_scenario(spec, &cfg, rc)
+            .unwrap_or_else(|e| die(&format!("{origin}: {e}")));
+        eprintln!(
+            "== scenario \"{}\" done in {:.1?} ({} points: {} executed, {} cached) ==",
+            spec.name, stats.wall, stats.total, stats.executed, stats.cache_hits
+        );
+
+        let mut table = format!(
+            "Scenario: {} (fingerprint {})\n",
+            spec.name,
+            spec.fingerprint()
+        );
+        table.push_str(&format!(
+            "{:>8} {:>12} {:>12} {:>8} {:>8} {:>8} {:>12} {:>12}\n",
+            "x", "throughput", "resp (s)", "load1", "cpu %", "avail", "stale (s)", "recov (s)"
+        ));
+        let mut csv = String::from(
+            "x,throughput,response_s,load1,cpu_pct,availability,staleness_s,recovery_s,\
+             completions,refused\n",
+        );
+        for m in &data {
+            table.push_str(&format!(
+                "{:>8.0} {:>12.2} {:>12.3} {:>8.2} {:>8.1} {:>8.3} {:>12.3} {:>12.3}\n",
+                m.x,
+                m.throughput,
+                m.response_time,
+                m.load1,
+                m.cpu_load,
+                m.availability,
+                m.staleness_s,
+                m.recovery_s
+            ));
+            csv.push_str(&format!(
+                "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{},{}\n",
+                m.x,
+                m.throughput,
+                m.response_time,
+                m.load1,
+                m.cpu_load,
+                m.availability,
+                m.staleness_s,
+                m.recovery_s,
+                m.completions,
+                m.refused
+            ));
+        }
+        println!("{table}");
+        let path = out_dir.join(format!("scenario-{}.csv", slug(&spec.name)));
+        std::fs::write(&path, csv).expect("write scenario csv");
+        eprintln!("wrote {}", path.display());
     }
 }
 
@@ -451,7 +577,8 @@ fn parse_fig(arg: &str) -> u32 {
         .unwrap_or_else(|_| die(&format!("bad figure {arg:?} (expected figN)")));
     if set_of_figure(n).is_none() {
         die(&format!(
-            "no figure {n}: figures 5-20 are the paper's, 21-24 are resilience"
+            "no figure {n}: figures 5-20 are the paper's, 21-24 are resilience, \
+             25-28 are federation"
         ));
     }
     n

@@ -26,7 +26,7 @@ use std::path::Path;
 pub const BENCH_SCHEMA: &str = "gridmon-bench-v1";
 
 /// The sets the full matrix covers.
-pub const BENCH_SETS: [u32; 5] = [1, 2, 3, 4, 5];
+pub const BENCH_SETS: [u32; 6] = [1, 2, 3, 4, 5, 6];
 
 /// One benchmark matrix entry.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,52 +1,26 @@
-//! The paper's four experiment sets (sections 3.3–3.6).
+//! The paper's experiment sets (sections 3.3–3.6) plus the federation
+//! extension, as thin wrappers over the scenario layer.
 //!
 //! Every experiment point deploys the system under test on the simulated
 //! Lucky testbed, drives it with closed-loop users (1-second wait), runs
 //! a warm-up plus the measurement window, and reports throughput,
 //! response time, server-host `load1` and CPU load — the four metrics of
 //! every figure in the paper.
+//!
+//! The deployment wiring itself lives in declarative form: each
+//! `setN::build` compiles the matching [`crate::scenario::catalogue`]
+//! spec through [`crate::scenario::compile`].  The modules here keep the
+//! series enums, labels, swept x-values and per-set constants — the
+//! stable identity of each figure — while the catalogue holds the
+//! topology.
 
-use crate::deploy::{
-    deploy_advertiser_fleet, deploy_agent, deploy_consumer_servlet, deploy_giis, deploy_gris,
-    deploy_manager, deploy_producer_servlet, deploy_registry, giis_suffix, gris_suffix, Harness,
-    ObservedPoint,
-};
+use crate::deploy::{Harness, ObservedPoint};
 use crate::runcfg::{Measurement, RunConfig};
-use hawkeye::HawkeyeMsg;
-use ldapdir::{Filter, Scope};
-use mds::MdsRequest;
-use rgma::RgmaMsg;
-use simnet::{NodeId, SvcKey};
-use workload::{QueryFactory, UserConfig};
+use crate::scenario::{catalogue, compile};
 
-/// Place `users` on the UC cluster (≤50 per machine, as in the paper).
-fn uc_placement(h: &Harness, users: u32) -> Vec<NodeId> {
-    let hosts = h.uc.clone();
-    (0..users as usize)
-        .map(|i| hosts[i % hosts.len()])
-        .collect()
-}
-
-fn user_config(h: &Harness, client_cpu_us: f64) -> UserConfig {
-    UserConfig {
-        think: h.cfg.params.think,
-        retry_base: h.cfg.params.retry_base,
-        retry_cap: h.cfg.params.retry_cap,
-        series: "user".to_string(),
-        client_cpu_us,
-        timeout: None,
-    }
-}
-
-fn spawn(
-    h: &mut Harness,
-    placement: &[NodeId],
-    target: SvcKey,
-    client_cpu_us: f64,
-    factory: impl FnMut() -> QueryFactory,
-) {
-    let cfg = user_config(h, client_cpu_us);
-    workload::spawn_users(&mut h.net, &mut h.eng, placement, target, &cfg, factory);
+fn built(spec: &gscenario::ScenarioSpec, x: u32, cfg: &RunConfig) -> Harness {
+    compile(spec, x, cfg)
+        .unwrap_or_else(|e| panic!("built-in scenario {:?} must compile: {e}", spec.name))
 }
 
 // ======================================================================
@@ -101,98 +75,7 @@ pub mod set1 {
 
     /// Deploy and wire one point's world without running it.
     pub fn build(series: Set1Series, users: u32, cfg: &RunConfig) -> Harness {
-        let mut h = Harness::new(*cfg);
-        match series {
-            Set1Series::GrisCache | Set1Series::GrisNoCache => {
-                let server = h.lucky("lucky7");
-                let cache = series == Set1Series::GrisCache;
-                let gris = deploy_gris(&mut h, server, 10, cache, /*gsi=*/ true);
-                h.watch(server);
-                let placement = uc_placement(&h, users);
-                let cpu = h.cfg.params.mds_client_cpu_us;
-                spawn(&mut h, &placement, gris, cpu, || {
-                    Box::new(|_rng| {
-                        let req = MdsRequest::search_all(gris_suffix(0));
-                        let bytes = req.wire_size();
-                        (Box::new(req) as simnet::Payload, bytes)
-                    })
-                });
-            }
-            Set1Series::HawkeyeAgent => {
-                let mgr_node = h.lucky("lucky3");
-                let agent_node = h.lucky("lucky4");
-                let mgr = deploy_manager(&mut h, mgr_node);
-                let agent = deploy_agent(&mut h, agent_node, 11, mgr);
-                h.watch(agent_node);
-                let placement = uc_placement(&h, users);
-                let cpu = h.cfg.params.condor_client_cpu_us;
-                spawn(&mut h, &placement, agent, cpu, || {
-                    Box::new(|_rng| {
-                        let m = HawkeyeMsg::AgentStatus;
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-            }
-            Set1Series::ProducerServletUC => {
-                let ps_node = h.lucky("lucky3");
-                let reg_node = h.lucky("lucky1");
-                let reg = deploy_registry(&mut h, reg_node);
-                let ps = deploy_producer_servlet(&mut h, ps_node, 10, reg);
-                let _ = ps;
-                let uc0 = h.uc[0];
-                let cs = deploy_consumer_servlet(&mut h, uc0, reg);
-                h.watch(ps_node);
-                let placement = uc_placement(&h, users);
-                let cpu = h.cfg.params.rgma_client_cpu_us;
-                spawn(&mut h, &placement, cs, cpu, || {
-                    Box::new(|_rng| {
-                        let m = RgmaMsg::ConsumerQuery {
-                            sql: "SELECT * FROM cpuload".into(),
-                        };
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-            }
-            Set1Series::ProducerServletLucky => {
-                let ps_node = h.lucky("lucky3");
-                let reg_node = h.lucky("lucky1");
-                let reg = deploy_registry(&mut h, reg_node);
-                let _ps = deploy_producer_servlet(&mut h, ps_node, 10, reg);
-                // One ConsumerServlet per client node (lucky minus the
-                // servlet hosts), users placed beside their servlet.
-                let client_nodes: Vec<NodeId> = h
-                    .lucky
-                    .iter()
-                    .copied()
-                    .filter(|&n| n != ps_node && n != reg_node)
-                    .collect();
-                let servlets: Vec<SvcKey> = client_nodes
-                    .iter()
-                    .map(|&n| deploy_consumer_servlet(&mut h, n, reg))
-                    .collect();
-                h.watch(ps_node);
-                let placement: Vec<(NodeId, SvcKey)> = (0..users as usize)
-                    .map(|i| {
-                        let j = i % client_nodes.len();
-                        (client_nodes[j], servlets[j])
-                    })
-                    .collect();
-                let cpu = h.cfg.params.rgma_client_cpu_us;
-                let ucfg = user_config(&h, cpu);
-                workload::spawn_users_to(&mut h.net, &mut h.eng, &placement, &ucfg, || {
-                    Box::new(|_rng| {
-                        let m = RgmaMsg::ConsumerQuery {
-                            sql: "SELECT * FROM cpuload".into(),
-                        };
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-            }
-        }
-        h
+        built(&catalogue::set1(series), users, cfg)
     }
 
     /// Run one point of Experiment Set 1.
@@ -253,101 +136,7 @@ pub mod set2 {
 
     /// Deploy and wire one point's world without running it.
     pub fn build(series: Set2Series, users: u32, cfg: &RunConfig) -> Harness {
-        let mut h = Harness::new(*cfg);
-        match series {
-            Set2Series::Giis => {
-                // GIIS on lucky0; a GRIS with 10 providers on each of
-                // lucky3..lucky7; cachettl very large (always cached).
-                let giis_node = h.lucky("lucky0");
-                let gris_nodes: Vec<NodeId> = ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]
-                    .iter()
-                    .map(|n| h.lucky(n))
-                    .collect();
-                let (giis, _grafts) = deploy_giis(&mut h, giis_node, &gris_nodes, 5, None);
-                h.watch(giis_node);
-                let placement = uc_placement(&h, users);
-                let cpu = h.cfg.params.mds_client_cpu_us;
-                spawn(&mut h, &placement, giis, cpu, || {
-                    Box::new(|_rng| {
-                        let req = MdsRequest::Search {
-                            base: giis_suffix(),
-                            scope: Scope::Sub,
-                            filter: Filter::parse("(mds-device-group-name=cpu)").unwrap(),
-                            attrs: None,
-                        };
-                        let bytes = req.wire_size();
-                        (Box::new(req) as simnet::Payload, bytes)
-                    })
-                });
-            }
-            Set2Series::HawkeyeManager => {
-                // Manager on lucky3; 6 Agents (one per other lucky node),
-                // 11 default modules each.
-                let mgr_node = h.lucky("lucky3");
-                let mgr = deploy_manager(&mut h, mgr_node);
-                let agent_hosts: Vec<String> =
-                    ["lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7"]
-                        .iter()
-                        .map(|n| n.to_string())
-                        .collect();
-                for name in &agent_hosts {
-                    let node = h.lucky(name);
-                    deploy_agent(&mut h, node, 11, mgr);
-                }
-                h.watch(mgr_node);
-                let placement = uc_placement(&h, users);
-                let cpu = h.cfg.params.condor_client_cpu_us;
-                spawn(&mut h, &placement, mgr, cpu, move || {
-                    let hosts = agent_hosts.clone();
-                    Box::new(move |rng| {
-                        let host = hosts[rng.next_below(hosts.len() as u64) as usize].clone();
-                        let m = HawkeyeMsg::Status {
-                            machine: Some(host),
-                        };
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-            }
-            Set2Series::RegistryLucky | Set2Series::RegistryUC => {
-                // Registry on lucky1; a ProducerServlet with 10 producers
-                // on each of five other lucky nodes.
-                let reg_node = h.lucky("lucky1");
-                let reg = deploy_registry(&mut h, reg_node);
-                let tables: Vec<String> = rgma::producer::default_producers("anl", 10)
-                    .into_iter()
-                    .map(|p| p.table)
-                    .collect();
-                for name in ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"] {
-                    let node = h.lucky(name);
-                    deploy_producer_servlet(&mut h, node, 10, reg);
-                }
-                h.watch(reg_node);
-                let placement = if series == Set2Series::RegistryUC {
-                    uc_placement(&h, users)
-                } else {
-                    // Users on the lucky nodes themselves (120 per node).
-                    let hosts: Vec<NodeId> = ["lucky0", "lucky3", "lucky4", "lucky5", "lucky6"]
-                        .iter()
-                        .map(|n| h.lucky(n))
-                        .collect();
-                    (0..users as usize)
-                        .map(|i| hosts[i % hosts.len()])
-                        .collect()
-                };
-                let cpu = h.cfg.params.rgma_client_cpu_us;
-                spawn(&mut h, &placement, reg, cpu, move || {
-                    let tables = tables.clone();
-                    Box::new(move |rng| {
-                        let t = tables[rng.next_below(tables.len() as u64) as usize].clone();
-                        let m = RgmaMsg::RegistryLookup { table: t };
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-            }
-        }
-        h
+        built(&catalogue::set2(series), users, cfg)
     }
 
     /// Run one point of Experiment Set 2.
@@ -408,69 +197,7 @@ pub mod set3 {
 
     /// Deploy and wire one point's world without running it.
     pub fn build(series: Set3Series, collectors: u32, cfg: &RunConfig) -> Harness {
-        let mut h = Harness::new(*cfg);
-        match series {
-            Set3Series::GrisCache | Set3Series::GrisNoCache => {
-                let server = h.lucky("lucky7");
-                let cache = series == Set3Series::GrisCache;
-                // Anonymous binds: the paper's Set-3 cached responses are
-                // sub-second, which rules out the 4 s GSI bind of Set 1.
-                let gris = deploy_gris(
-                    &mut h,
-                    server,
-                    collectors as usize,
-                    cache,
-                    /*gsi=*/ false,
-                );
-                h.watch(server);
-                let placement = uc_placement(&h, USERS);
-                let cpu = h.cfg.params.mds_client_cpu_us;
-                spawn(&mut h, &placement, gris, cpu, || {
-                    Box::new(|_rng| {
-                        let req = MdsRequest::search_all(gris_suffix(0));
-                        let bytes = req.wire_size();
-                        (Box::new(req) as simnet::Payload, bytes)
-                    })
-                });
-            }
-            Set3Series::HawkeyeAgent => {
-                let mgr_node = h.lucky("lucky3");
-                let agent_node = h.lucky("lucky4");
-                let mgr = deploy_manager(&mut h, mgr_node);
-                let agent = deploy_agent(&mut h, agent_node, collectors as usize, mgr);
-                h.watch(agent_node);
-                let placement = uc_placement(&h, USERS);
-                let cpu = h.cfg.params.condor_client_cpu_us;
-                spawn(&mut h, &placement, agent, cpu, || {
-                    Box::new(|_rng| {
-                        let m = HawkeyeMsg::AgentFull;
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-            }
-            Set3Series::ProducerServlet => {
-                // Queried directly (the paper: "We queried the
-                // ProducerServlet directly").
-                let ps_node = h.lucky("lucky3");
-                let reg_node = h.lucky("lucky1");
-                let reg = deploy_registry(&mut h, reg_node);
-                let ps = deploy_producer_servlet(&mut h, ps_node, collectors as usize, reg);
-                h.watch(ps_node);
-                let placement = uc_placement(&h, USERS);
-                let cpu = h.cfg.params.rgma_client_cpu_us;
-                spawn(&mut h, &placement, ps, cpu, || {
-                    Box::new(|_rng| {
-                        let m = RgmaMsg::ProducerQuery {
-                            sql: "*ALL*".into(),
-                        };
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-            }
-        }
-        h
+        built(&catalogue::set3(series), collectors, cfg)
     }
 
     /// Run one point of Experiment Set 3.
@@ -539,74 +266,7 @@ pub mod set4 {
 
     /// Deploy and wire one point's world without running it.
     pub fn build(series: Set4Series, servers: u32, cfg: &RunConfig) -> Harness {
-        let mut h = Harness::new(*cfg);
-        match series {
-            Set4Series::GiisQueryAll | Set4Series::GiisQueryPart => {
-                // GIIS on lucky0; GRIS instances spread over the other
-                // lucky nodes; default cachettl (30 s) — the GIIS serves
-                // from cache and re-pulls expired subtrees.
-                let giis_node = h.lucky("lucky0");
-                let gris_nodes: Vec<NodeId> =
-                    ["lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]
-                        .iter()
-                        .map(|n| h.lucky(n))
-                        .collect();
-                let ttl = h.cfg.params.giis_exp4_cachettl;
-                let (giis, grafts) =
-                    deploy_giis(&mut h, giis_node, &gris_nodes, servers as usize, Some(ttl));
-                h.watch(giis_node);
-                let placement = uc_placement(&h, USERS);
-                let cpu = h.cfg.params.mds_client_cpu_us;
-                let all = series == Set4Series::GiisQueryAll;
-                let _ = grafts; // grafts remain available for subtree workloads
-                spawn(&mut h, &placement, giis, cpu, move || {
-                    Box::new(move |_rng| {
-                        let req = if all {
-                            // "queried for all of the data available from
-                            // each of the registered GRIS".
-                            MdsRequest::search_all(giis_suffix())
-                        } else {
-                            // "asked for only a portion of the data from
-                            // each registered GRIS": the cpu device group
-                            // of every source, device names only.
-                            MdsRequest::Search {
-                                base: giis_suffix(),
-                                scope: Scope::Sub,
-                                filter: Filter::parse("(mds-device-group-name=cpu)").unwrap(),
-                                attrs: Some(vec![
-                                    "mds-device-group-name".into(),
-                                    "objectclass".into(),
-                                ]),
-                            }
-                        };
-                        let bytes = req.wire_size();
-                        (Box::new(req) as simnet::Payload, bytes)
-                    })
-                });
-            }
-            Set4Series::HawkeyeManager => {
-                let mgr_node = h.lucky("lucky3");
-                let mgr = deploy_manager(&mut h, mgr_node);
-                // The advertiser fleet lives on lucky4 (the paper used
-                // `hawkeye_advertise` from testbed hosts).
-                let fleet_node = h.lucky("lucky4");
-                deploy_advertiser_fleet(&mut h, fleet_node, servers as usize, mgr);
-                h.watch(mgr_node);
-                let placement = uc_placement(&h, USERS);
-                let cpu = h.cfg.params.condor_client_cpu_us;
-                spawn(&mut h, &placement, mgr, cpu, || {
-                    Box::new(|_rng| {
-                        // Worst case: a constraint no machine satisfies.
-                        let m = HawkeyeMsg::Constraint {
-                            expr: "NoSuchAttribute =?= 424242".into(),
-                        };
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-            }
-        }
-        h
+        built(&catalogue::set4(series), servers, cfg)
     }
 
     /// Run one point of Experiment Set 4.
@@ -626,13 +286,7 @@ pub mod set4 {
 // ======================================================================
 pub mod set5 {
     use super::*;
-    use gfaults::{FaultAction, FaultPlan, FaultSpec, Scenario, PARTITION_BPS};
-    use hawkeye::Manager;
-    use mds::Giis;
-    use rgma::ProducerServlet;
-    use simcore::{SimDuration, SimTime};
-    use simnet::{Client, ClientCx};
-    use testbed::TestbedConfig;
+    use gfaults::{FaultSpec, Scenario};
 
     /// The three series of Figs 21–24: each system hit where its
     /// soft-state design is most exposed.
@@ -659,13 +313,6 @@ pub mod set5 {
     /// Client-side query timeout: an abandoned query counts against
     /// availability and is retried with capped exponential backoff.
     pub const CLIENT_TIMEOUT_S: u64 = 10;
-
-    /// How often the resilience probe samples staleness/recovery.
-    const PROBE_PERIOD_S: u64 = 2;
-
-    /// An agent ad older than this no longer matches (3 advertise
-    /// periods, Condor's classic 3×-heartbeat rule of thumb).
-    const HAWKEYE_FRESH_HORIZON_S: u64 = 90;
 
     impl Set5Series {
         pub const ALL: [Set5Series; 3] = [
@@ -709,211 +356,6 @@ pub mod set5 {
         }
     }
 
-    /// The satellite components a series faults, in deployment order.
-    struct Targets {
-        svcs: Vec<SvcKey>,
-        hosts: Vec<String>,
-        /// Timers to re-prime on restart (each service's deployment kick,
-        /// so recovery rides its own re-registration machinery).
-        prime: Vec<(SimDuration, u64)>,
-    }
-
-    /// Translate (scenario, n targets) into a concrete schedule.
-    fn build_plan(
-        h: &Harness,
-        scenario: Scenario,
-        t: &Targets,
-        n: usize,
-        start_at: SimTime,
-        heal_at: SimTime,
-    ) -> FaultPlan {
-        let mut plan = FaultPlan::new();
-        let n = n.min(t.svcs.len());
-        match scenario {
-            Scenario::None | Scenario::Auto => {}
-            Scenario::Churn => {
-                for &svc in &t.svcs[..n] {
-                    plan.push(start_at, FaultAction::Crash { svc });
-                    plan.push(
-                        heal_at,
-                        FaultAction::Restart {
-                            svc,
-                            prime: t.prime.clone(),
-                        },
-                    );
-                }
-            }
-            Scenario::Partition => {
-                let lan = TestbedConfig::default().lan_bps;
-                for host in &t.hosts[..n] {
-                    for dir in ["up", "down"] {
-                        let link = h
-                            .net
-                            .topo
-                            .find_link(&format!("{host}-{dir}"))
-                            .expect("access link");
-                        plan.push(
-                            start_at,
-                            FaultAction::SetLinkCapacity {
-                                link,
-                                bps: PARTITION_BPS,
-                            },
-                        );
-                        plan.push(heal_at, FaultAction::SetLinkCapacity { link, bps: lan });
-                    }
-                }
-            }
-            Scenario::Freeze => {
-                for &svc in &t.svcs[..n] {
-                    plan.push(
-                        start_at,
-                        FaultAction::Freeze {
-                            svc,
-                            until: heal_at,
-                        },
-                    );
-                }
-            }
-            Scenario::ConnBurst => {
-                for &svc in &t.svcs[..n] {
-                    plan.push(
-                        start_at,
-                        FaultAction::DropConns {
-                            svc,
-                            until: heal_at,
-                        },
-                    );
-                }
-            }
-        }
-        plan
-    }
-
-    /// What the resilience probe watches, per series.
-    enum ProbeTarget {
-        Giis {
-            giis: SvcKey,
-            /// Data older than this means a subtree missed its re-pull.
-            fresh_horizon: SimDuration,
-        },
-        Rgma {
-            /// All producer servlets (staleness = mean publication age).
-            all: Vec<SvcKey>,
-            /// The crashed subset (recovery = all have republished).
-            crashed: Vec<SvcKey>,
-        },
-        Hawkeye {
-            mgr: SvcKey,
-            total: usize,
-        },
-    }
-
-    /// A passive deterministic observer: samples system staleness into a
-    /// gauge every [`PROBE_PERIOD_S`] seconds (window samples only) and
-    /// records the first instant the system looks healthy again after the
-    /// heal.  It only reads simulation state and writes stats, so it
-    /// cannot perturb the run's trajectory.
-    struct Probe {
-        target: ProbeTarget,
-        ws: SimTime,
-        we: SimTime,
-        heal_at: SimTime,
-        faulted: bool,
-        recovered: bool,
-    }
-
-    impl Probe {
-        fn staleness(&self, net: &simnet::Net, now: SimTime) -> Option<f64> {
-            match &self.target {
-                ProbeTarget::Giis { giis, .. } => net
-                    .service_as::<Giis>(*giis)
-                    .and_then(|g| g.max_data_age(now))
-                    .map(|d| d.as_secs_f64()),
-                ProbeTarget::Rgma { all, .. } => {
-                    let ages: Vec<f64> = all
-                        .iter()
-                        .filter_map(|&k| net.service_as::<ProducerServlet>(k))
-                        .filter_map(|ps| ps.last_publish_at)
-                        .map(|t| now.saturating_since(t).as_secs_f64())
-                        .collect();
-                    if ages.is_empty() {
-                        None
-                    } else {
-                        Some(ages.iter().sum::<f64>() / ages.len() as f64)
-                    }
-                }
-                ProbeTarget::Hawkeye { mgr, .. } => net
-                    .service_as::<Manager>(*mgr)
-                    .and_then(|m| m.mean_ad_age(now)),
-            }
-        }
-
-        fn healthy(&self, net: &simnet::Net, now: SimTime) -> bool {
-            match &self.target {
-                ProbeTarget::Giis {
-                    giis,
-                    fresh_horizon,
-                } => net
-                    .service_as::<Giis>(*giis)
-                    .and_then(|g| g.max_data_age(now))
-                    .is_some_and(|age| age <= *fresh_horizon),
-                ProbeTarget::Rgma { crashed, .. } => crashed.iter().all(|&k| {
-                    !net.service_down(k)
-                        && net
-                            .service_as::<ProducerServlet>(k)
-                            .and_then(|ps| ps.last_publish_at)
-                            .is_some_and(|t| t >= self.heal_at)
-                }),
-                ProbeTarget::Hawkeye { mgr, total } => {
-                    net.service_as::<Manager>(*mgr).is_some_and(|m| {
-                        m.fresh_count(now, SimDuration::from_secs(HAWKEYE_FRESH_HORIZON_S))
-                            == *total
-                    })
-                }
-            }
-        }
-    }
-
-    impl Client for Probe {
-        fn on_start(&mut self, cx: &mut ClientCx) {
-            cx.wake_in(SimDuration::from_secs(PROBE_PERIOD_S), 0);
-        }
-
-        fn on_wake(&mut self, _tag: u64, cx: &mut ClientCx) {
-            let now = cx.now();
-            let period = SimDuration::from_secs(PROBE_PERIOD_S);
-            if now >= self.ws && now < self.we {
-                if let Some(age) = self.staleness(cx.net, now) {
-                    cx.net.stats.gauge("probe.staleness_s", age);
-                }
-            }
-            if self.faulted && !self.recovered && now >= self.heal_at {
-                if self.healthy(cx.net, now) {
-                    self.recovered = true;
-                    let r = now.saturating_since(self.heal_at).as_secs_f64();
-                    cx.net.stats.gauge("probe.recovery_s", r);
-                    cx.net.stats.incr("probe.recovered");
-                } else if now + period >= self.we && self.heal_at < self.we {
-                    // Last in-window sample and still unhealthy: censor
-                    // recovery at window end so the mean stays defined.
-                    self.recovered = true;
-                    let r = self.we.saturating_since(self.heal_at).as_secs_f64();
-                    cx.net.stats.gauge("probe.recovery_s", r);
-                    cx.net.stats.incr("probe.censored");
-                }
-            }
-            cx.wake_in(period, 0);
-        }
-    }
-
-    /// Like [`user_config`], with the Set-5 client timeout enabled.
-    fn user_config_t(h: &Harness, client_cpu_us: f64) -> UserConfig {
-        UserConfig {
-            timeout: Some(SimDuration::from_secs(CLIENT_TIMEOUT_S)),
-            ..user_config(h, client_cpu_us)
-        }
-    }
-
     /// Deploy and wire one point's world — deployment, fault schedule and
     /// resilience probe — without running it.
     ///
@@ -924,148 +366,7 @@ pub mod set5 {
     /// does this when `--faults` is not given).  `faults` (the x value)
     /// overrides `cfg.faults.targets`.
     pub fn build(series: Set5Series, faults: u32, cfg: &RunConfig) -> Harness {
-        let mut h = Harness::new(*cfg);
-        let spec = cfg.faults;
-        let scenario = match spec.scenario {
-            Scenario::Auto => series.default_scenario(),
-            s => s,
-        };
-        let ws = cfg.window_start();
-        let we = cfg.window_end();
-        let start_at = ws + cfg.window.mul_f64(spec.start_frac);
-        let heal_at = ws + cfg.window.mul_f64(spec.heal_frac);
-        let (targets, probe_target) = match series {
-            Set5Series::MdsGiis => {
-                let giis_node = h.lucky("lucky0");
-                let gris_hosts = ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
-                let gris_nodes: Vec<NodeId> = gris_hosts.iter().map(|n| h.lucky(n)).collect();
-                // Finite cache TTL (as in Set 4): staleness is the age of
-                // each subtree's last successful re-pull.
-                let ttl = h.cfg.params.giis_exp4_cachettl;
-                let (giis, _grafts) = deploy_giis(&mut h, giis_node, &gris_nodes, 5, Some(ttl));
-                h.watch(giis_node);
-                let placement = uc_placement(&h, USERS);
-                let cpu = h.cfg.params.mds_client_cpu_us;
-                let ucfg = user_config_t(&h, cpu);
-                workload::spawn_users(&mut h.net, &mut h.eng, &placement, giis, &ucfg, || {
-                    Box::new(|_rng| {
-                        let req = MdsRequest::Search {
-                            base: giis_suffix(),
-                            scope: Scope::Sub,
-                            filter: Filter::parse("(mds-device-group-name=cpu)").unwrap(),
-                            attrs: None,
-                        };
-                        let bytes = req.wire_size();
-                        (Box::new(req) as simnet::Payload, bytes)
-                    })
-                });
-                let svcs = services_named(&h, "gris");
-                let targets = Targets {
-                    svcs,
-                    hosts: gris_hosts.iter().map(|s| s.to_string()).collect(),
-                    prime: vec![(SimDuration::from_millis(50), 0)],
-                };
-                let probe_target = ProbeTarget::Giis {
-                    giis,
-                    fresh_horizon: ttl + SimDuration::from_secs(5),
-                };
-                (targets, probe_target)
-            }
-            Set5Series::RgmaRegistry => {
-                let reg_node = h.lucky("lucky1");
-                let cs_node = h.lucky("lucky0");
-                let ps_hosts = ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
-                let reg = deploy_registry(&mut h, reg_node);
-                let mut svcs = Vec::new();
-                for name in ps_hosts {
-                    let node = h.lucky(name);
-                    svcs.push(deploy_producer_servlet(&mut h, node, 10, reg));
-                }
-                let cs = deploy_consumer_servlet(&mut h, cs_node, reg);
-                h.watch(reg_node);
-                let placement = uc_placement(&h, USERS);
-                let cpu = h.cfg.params.rgma_client_cpu_us;
-                let ucfg = user_config_t(&h, cpu);
-                workload::spawn_users(&mut h.net, &mut h.eng, &placement, cs, &ucfg, || {
-                    Box::new(|_rng| {
-                        let m = RgmaMsg::ConsumerQuery {
-                            sql: "SELECT * FROM cpuload".into(),
-                        };
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-                let crashed: Vec<SvcKey> =
-                    svcs.iter().copied().take(faults.min(5) as usize).collect();
-                let targets = Targets {
-                    svcs: svcs.clone(),
-                    hosts: ps_hosts.iter().map(|s| s.to_string()).collect(),
-                    prime: vec![(SimDuration::from_millis(200), 0)],
-                };
-                let probe_target = ProbeTarget::Rgma { all: svcs, crashed };
-                (targets, probe_target)
-            }
-            Set5Series::HawkeyeManager => {
-                let mgr_node = h.lucky("lucky3");
-                let mgr = deploy_manager(&mut h, mgr_node);
-                let agent_hosts: Vec<String> =
-                    ["lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7"]
-                        .iter()
-                        .map(|n| n.to_string())
-                        .collect();
-                let mut svcs = Vec::new();
-                for name in &agent_hosts {
-                    let node = h.lucky(name);
-                    svcs.push(deploy_agent(&mut h, node, 11, mgr));
-                }
-                h.watch(mgr_node);
-                let placement = uc_placement(&h, USERS);
-                let cpu = h.cfg.params.condor_client_cpu_us;
-                let ucfg = user_config_t(&h, cpu);
-                let hosts = agent_hosts.clone();
-                workload::spawn_users(&mut h.net, &mut h.eng, &placement, mgr, &ucfg, move || {
-                    let hosts = hosts.clone();
-                    Box::new(move |rng| {
-                        let host = hosts[rng.next_below(hosts.len() as u64) as usize].clone();
-                        let m = HawkeyeMsg::Status {
-                            machine: Some(host),
-                        };
-                        let bytes = m.wire_size();
-                        (Box::new(m) as simnet::Payload, bytes)
-                    })
-                });
-                let total = svcs.len();
-                let targets = Targets {
-                    svcs,
-                    hosts: agent_hosts,
-                    prime: vec![(SimDuration::from_millis(500), 0)],
-                };
-                (targets, ProbeTarget::Hawkeye { mgr, total })
-            }
-        };
-        let plan = build_plan(&h, scenario, &targets, faults as usize, start_at, heal_at);
-        let faulted = !plan.is_empty();
-        h.net.add_client(Box::new(Probe {
-            target: probe_target,
-            ws,
-            we,
-            heal_at,
-            faulted,
-            recovered: false,
-        }));
-        h.install_faults(plan);
-        h
-    }
-
-    /// Every deployed service with the given `name()`, in deployment
-    /// order (slab order is deterministic).
-    fn services_named(h: &Harness, name: &str) -> Vec<SvcKey> {
-        h.net
-            .services
-            .iter()
-            .filter(|&(k, _)| h.net.service(k).is_some_and(|s| s.name() == name))
-            .map(|(k, _)| k)
-            .collect()
+        built(&catalogue::set5(series), faults, cfg)
     }
 
     /// Run one point of Experiment Set 5.
@@ -1080,11 +381,73 @@ pub mod set5 {
     }
 }
 
+// ======================================================================
+// Experiment Set 6 — hierarchical-GIIS federation
+// ======================================================================
+pub mod set6 {
+    use super::*;
+
+    /// The three series of Figs 25–28: the same `x` GRISes flat under one
+    /// GIIS vs sharded over 3 or 6 mid-level branch GIISes under a
+    /// 2-level index — the multi-layer architecture the paper's Section 4
+    /// proposes for scaling the aggregate server.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Set6Series {
+        /// Flat baseline: one GIIS over all `x` GRISes (Set 4's world).
+        FlatGiis,
+        /// 2-level federation, `x` GRISes sharded over 3 branch GIISes.
+        Federated3,
+        /// 2-level federation, `x` GRISes sharded over 6 branch GIISes.
+        Federated6,
+    }
+
+    /// Concurrent closed-loop users per point (as in Sets 3/4).
+    pub const USERS: u32 = 10;
+
+    impl Set6Series {
+        pub const ALL: [Set6Series; 3] = [
+            Set6Series::FlatGiis,
+            Set6Series::Federated3,
+            Set6Series::Federated6,
+        ];
+
+        pub fn label(self) -> &'static str {
+            match self {
+                Set6Series::FlatGiis => "MDS GIIS (flat)",
+                Set6Series::Federated3 => "MDS GIIS (3 branches)",
+                Set6Series::Federated6 => "MDS GIIS (6 branches)",
+            }
+        }
+
+        /// Total GRIS counts per point (Set 4's query-all sweep).
+        pub fn server_counts(self) -> &'static [u32] {
+            &[10, 50, 100, 150, 200]
+        }
+    }
+
+    /// Deploy and wire one point's world without running it.
+    pub fn build(series: Set6Series, servers: u32, cfg: &RunConfig) -> Harness {
+        built(&catalogue::set6(series), servers, cfg)
+    }
+
+    /// Run one point of Experiment Set 6.
+    pub fn run_point(series: Set6Series, servers: u32, cfg: &RunConfig) -> Measurement {
+        build(series, servers, cfg).run_and_measure(f64::from(servers))
+    }
+
+    /// Run one point with the observability report harvested
+    /// (requires `cfg.obs` to enable tracing and/or metrics).
+    pub fn run_point_observed(series: Set6Series, servers: u32, cfg: &RunConfig) -> ObservedPoint {
+        build(series, servers, cfg).run_and_observe(f64::from(servers))
+    }
+}
+
 pub use set1::Set1Series;
 pub use set2::Set2Series;
 pub use set3::Set3Series;
 pub use set4::Set4Series;
 pub use set5::Set5Series;
+pub use set6::Set6Series;
 
 #[cfg(test)]
 mod tests {
@@ -1205,5 +568,24 @@ mod tests {
         let x0 = set5::run_point(Set5Series::RgmaRegistry, 0, &cfg);
         let unfaulted = set5::run_point(Set5Series::RgmaRegistry, 0, &none);
         assert_eq!(x0, unfaulted);
+    }
+
+    /// Pinned claim (federation): at 200 GRISes the 2-level index keeps
+    /// the top GIIS's host load below the flat deployment's — the
+    /// mid-level servers absorb the re-pull fan-out.
+    #[test]
+    fn set6_federation_offloads_the_top_giis() {
+        let mut cfg = RunConfig::quick(21);
+        cfg.warmup = SimDuration::from_secs(10);
+        cfg.window = SimDuration::from_secs(60);
+        let flat = set6::run_point(Set6Series::FlatGiis, 100, &cfg);
+        let fed = set6::run_point(Set6Series::Federated6, 100, &cfg);
+        assert!(flat.completions > 0 && fed.completions > 0);
+        assert!(
+            fed.cpu_load < flat.cpu_load,
+            "federation must offload the watched top host: flat {} vs fed {}",
+            flat.cpu_load,
+            fed.cpu_load
+        );
     }
 }

@@ -19,11 +19,10 @@
 //! Set 4, and [`composite_study`] exercises the R-GMA composite
 //! Consumer/Producer the paper describes but R-GMA never shipped.
 
-use crate::deploy::{deploy_producer_servlet, deploy_registry, giis_suffix, Harness};
+use crate::deploy::{giis_suffix, Harness, MdsBackend, RgmaBackend};
 use crate::experiments::{set2, set4};
 use crate::runcfg::{Measurement, RunConfig};
-use ldapdir::Dn;
-use mds::{Giis, MdsRequest};
+use mds::MdsRequest;
 use rgma::{CompositeProducer, RgmaMsg};
 use simcore::{SimDuration, SimRng};
 use simnet::{NodeId, Payload, ServiceConfig};
@@ -108,56 +107,13 @@ pub fn hierarchy_tree_point(cfg: &RunConfig, n: u32, branches: usize) -> Measure
     let branches = branches.min(mid_hosts.len());
     // Top-level GIIS with pinned cache over the mid level (the mid level
     // carries the churn).
-    let top = {
-        let giis = Giis::new(giis_suffix(), Some(cfg.params.giis_exp4_cachettl));
-        let gc = cfg.params.giis_config();
-        h.net.add_service(top_node, gc, Box::new(giis), &mut h.eng)
-    };
-    // Mid-level GIISes, each managing a subset of the GRISes.
-    let per_branch = (n as usize).div_ceil(branches);
-    let mut assigned = 0usize;
+    let ttl = Some(cfg.params.giis_exp4_cachettl);
+    let top = MdsBackend.giis(&mut h, top_node, ttl, None, 0);
+    // Mid-level GIISes, each managing a contiguous shard of the GRISes.
     for (b, host) in mid_hosts.iter().take(branches).enumerate() {
         let node = h.lucky(host);
-        let suffix = Dn::parse(&format!("mds-vo-name=branch-{b}, o=giis")).expect("suffix");
-        let mid = {
-            let mut giis = Giis::new(suffix, Some(cfg.params.giis_exp4_cachettl));
-            giis.register_with(top);
-            let gc = cfg.params.giis_config();
-            h.net.add_service(node, gc, Box::new(giis), &mut h.eng)
-        };
-        h.net.service_as_mut::<Giis>(mid).unwrap().me = Some(mid);
-        h.net.prime_service_timer(
-            &mut h.eng,
-            mid,
-            SimDuration::from_millis(20 + b as u64 * 7),
-            0,
-        );
-        // This branch's GRISes live on the same host pool.
-        let take = per_branch.min((n as usize) - assigned);
-        if take > 0 {
-            let gris_nodes: Vec<NodeId> = vec![node];
-            // Reuse deploy_giis's GRIS-spawning by registering them to the
-            // mid-level GIIS directly.
-            for i in 0..take {
-                let idx = assigned + i;
-                let gsuffix = crate::deploy::gris_suffix(idx);
-                let host_label = format!("{host}-gris{idx}");
-                let mut gris = mds::Gris::new(
-                    gsuffix.clone(),
-                    mds::default_providers(&gsuffix, &host_label, 10, None),
-                );
-                gris.register_with(mid);
-                let cfg_g = cfg.params.gris_config();
-                let key = h
-                    .net
-                    .add_service(gris_nodes[0], cfg_g, Box::new(gris), &mut h.eng);
-                h.net.service_as_mut::<mds::Gris>(key).unwrap().me = Some(key);
-                let offset =
-                    SimDuration::from_micros(60_000 + (idx as u64 * 29_000_000) / n.max(1) as u64);
-                h.net.prime_service_timer(&mut h.eng, key, offset, 0);
-            }
-            assigned += take;
-        }
+        let mid = MdsBackend.giis(&mut h, node, ttl, Some(top), b as u32);
+        MdsBackend.gris_fleet(&mut h, node, mid, 10, (b as u32, branches as u32), n);
     }
     h.watch(top_node);
     // 10 users query the top GIIS for everything, as in Set 4.
@@ -204,8 +160,8 @@ pub fn open_loop_point(cfg: &RunConfig, rate: f64) -> OpenLoopPoint {
     let mut h = Harness::new(*cfg);
     let ps_node = h.lucky("lucky3");
     let reg_node = h.lucky("lucky1");
-    let reg = deploy_registry(&mut h, reg_node);
-    let ps = deploy_producer_servlet(&mut h, ps_node, 10, reg);
+    let reg = RgmaBackend.registry(&mut h, reg_node);
+    let ps = RgmaBackend.producer_servlet(&mut h, ps_node, 10, reg);
     h.watch(ps_node);
     // One source per UC machine, splitting the offered rate.
     let n_sources = 10usize;
@@ -245,12 +201,12 @@ pub fn composite_study(cfg: &RunConfig, sources: u32) -> Measurement {
     let mut h = Harness::new(*cfg);
     let reg_node = h.lucky("lucky1");
     let agg_node = h.lucky("lucky0");
-    let reg = deploy_registry(&mut h, reg_node);
+    let reg = RgmaBackend.registry(&mut h, reg_node);
     let site_hosts = ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
     let mut keys = Vec::new();
     for i in 0..sources as usize {
         let node = h.lucky(site_hosts[i % site_hosts.len()]);
-        keys.push(deploy_producer_servlet(&mut h, node, 10, reg));
+        keys.push(RgmaBackend.producer_servlet(&mut h, node, 10, reg));
     }
     let comp = h.net.add_service(
         agg_node,

@@ -10,7 +10,8 @@
 
 use crate::deploy::ObservedPoint;
 use crate::experiments::{
-    set1, set2, set3, set4, set5, Set1Series, Set2Series, Set3Series, Set4Series, Set5Series,
+    set1, set2, set3, set4, set5, set6, Set1Series, Set2Series, Set3Series, Set4Series, Set5Series,
+    Set6Series,
 };
 use crate::mapping::System;
 use crate::runcfg::{Measurement, RunConfig};
@@ -44,12 +45,13 @@ pub struct SetData {
 }
 
 /// Selection errors: the paper defines sets 1–4 (figures 5–20); this
-/// reproduction adds the resilience set 5 (figures 21–24).
+/// reproduction adds the resilience set 5 (figures 21–24) and the
+/// federation set 6 (figures 25–28).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FigureError {
-    /// Experiment sets are 1..=5.
+    /// Experiment sets are 1..=6.
     UnknownSet(u32),
-    /// Figures are 5..=24.
+    /// Figures are 5..=28.
     UnknownFigure(u32),
     /// The figure exists but belongs to a different set's data.
     FigureNotInSet { fig: u32, set: u32 },
@@ -61,13 +63,13 @@ impl fmt::Display for FigureError {
             FigureError::UnknownSet(s) => {
                 write!(
                     f,
-                    "no experiment set {s}: sets 1-4 are the paper's, 5 is resilience"
+                    "no experiment set {s}: sets 1-4 are the paper's, 5 is resilience, 6 is federation"
                 )
             }
             FigureError::UnknownFigure(n) => {
                 write!(
                     f,
-                    "no figure {n}: figures 5-20 are the paper's, 21-24 are resilience"
+                    "no figure {n}: figures 5-20 are the paper's, 21-24 resilience, 25-28 federation"
                 )
             }
             FigureError::FigureNotInSet { fig, set } => {
@@ -80,12 +82,13 @@ impl fmt::Display for FigureError {
 impl std::error::Error for FigureError {}
 
 /// Which metric each figure within a set plots, in paper order.
-const SET_FIGS: [(u32, [u32; 4]); 5] = [
+const SET_FIGS: [(u32, [u32; 4]); 6] = [
     (1, [5, 6, 7, 8]),
     (2, [9, 10, 11, 12]),
     (3, [13, 14, 15, 16]),
     (4, [17, 18, 19, 20]),
     (5, [21, 22, 23, 24]),
+    (6, [25, 26, 27, 28]),
 ];
 
 fn metric_of(set: u32, pos: usize) -> (&'static str, &'static str) {
@@ -140,6 +143,7 @@ pub enum SeriesId {
     S3(Set3Series),
     S4(Set4Series),
     S5(Set5Series),
+    S6(Set6Series),
 }
 
 impl SeriesId {
@@ -151,6 +155,7 @@ impl SeriesId {
             3 => Set3Series::ALL.iter().map(|&s| SeriesId::S3(s)).collect(),
             4 => Set4Series::ALL.iter().map(|&s| SeriesId::S4(s)).collect(),
             5 => Set5Series::ALL.iter().map(|&s| SeriesId::S5(s)).collect(),
+            6 => Set6Series::ALL.iter().map(|&s| SeriesId::S6(s)).collect(),
             other => return Err(FigureError::UnknownSet(other)),
         })
     }
@@ -163,6 +168,7 @@ impl SeriesId {
             SeriesId::S3(_) => 3,
             SeriesId::S4(_) => 4,
             SeriesId::S5(_) => 5,
+            SeriesId::S6(_) => 6,
         }
     }
 
@@ -174,6 +180,7 @@ impl SeriesId {
             SeriesId::S3(s) => s.label(),
             SeriesId::S4(s) => s.label(),
             SeriesId::S5(s) => s.label(),
+            SeriesId::S6(s) => s.label(),
         }
     }
 
@@ -185,6 +192,7 @@ impl SeriesId {
             SeriesId::S3(s) => s.collector_counts(),
             SeriesId::S4(s) => s.server_counts(),
             SeriesId::S5(s) => s.fault_counts(),
+            SeriesId::S6(s) => s.server_counts(),
         }
     }
 
@@ -206,7 +214,29 @@ impl SeriesId {
             SeriesId::S5(Set5Series::MdsGiis) => System::Mds,
             SeriesId::S5(Set5Series::RgmaRegistry) => System::Rgma,
             SeriesId::S5(Set5Series::HawkeyeManager) => System::Hawkeye,
+            SeriesId::S6(_) => System::Mds,
         }
+    }
+
+    /// The declarative spec this series compiles to — its canonical text
+    /// is the single source of truth for the deployed topology.
+    pub fn catalogue_spec(self) -> gscenario::ScenarioSpec {
+        use crate::scenario::catalogue;
+        match self {
+            SeriesId::S1(s) => catalogue::set1(s),
+            SeriesId::S2(s) => catalogue::set2(s),
+            SeriesId::S3(s) => catalogue::set3(s),
+            SeriesId::S4(s) => catalogue::set4(s),
+            SeriesId::S5(s) => catalogue::set5(s),
+            SeriesId::S6(s) => catalogue::set6(s),
+        }
+    }
+
+    /// Fingerprint of [`catalogue_spec`](SeriesId::catalogue_spec):
+    /// folded into the result-cache address so editing a built-in
+    /// topology invalidates exactly that series' cached points.
+    pub fn scenario_fingerprint(self) -> String {
+        self.catalogue_spec().fingerprint()
     }
 
     /// Run one point of this series with `cfg` exactly as given (no seed
@@ -218,6 +248,7 @@ impl SeriesId {
             SeriesId::S3(s) => set3::run_point(s, x, cfg),
             SeriesId::S4(s) => set4::run_point(s, x, cfg),
             SeriesId::S5(s) => set5::run_point(s, x, cfg),
+            SeriesId::S6(s) => set6::run_point(s, x, cfg),
         }
     }
 
@@ -230,6 +261,7 @@ impl SeriesId {
             SeriesId::S3(s) => set3::run_point_observed(s, x, cfg),
             SeriesId::S4(s) => set4::run_point_observed(s, x, cfg),
             SeriesId::S5(s) => set5::run_point_observed(s, x, cfg),
+            SeriesId::S6(s) => set6::run_point_observed(s, x, cfg),
         }
     }
 }
@@ -399,9 +431,9 @@ pub fn set_of_figure(fig: u32) -> Option<u32> {
 }
 
 /// All figure numbers, in paper order (5–20), plus the resilience
-/// figures 21–24.
+/// figures 21–24 and the federation figures 25–28.
 pub fn all_figures() -> Vec<u32> {
-    (5..=24).collect()
+    (5..=28).collect()
 }
 
 /// The four figures an experiment set produces, in paper order.
@@ -426,11 +458,14 @@ mod tests {
         assert_eq!(set_of_figure(20), Some(4));
         assert_eq!(set_of_figure(21), Some(5));
         assert_eq!(set_of_figure(24), Some(5));
+        assert_eq!(set_of_figure(25), Some(6));
+        assert_eq!(set_of_figure(28), Some(6));
         assert_eq!(set_of_figure(4), None);
-        assert_eq!(set_of_figure(25), None);
-        assert_eq!(all_figures().len(), 20);
+        assert_eq!(set_of_figure(29), None);
+        assert_eq!(all_figures().len(), 24);
         assert_eq!(figures_of_set(2).unwrap(), [9, 10, 11, 12]);
         assert_eq!(figures_of_set(5).unwrap(), [21, 22, 23, 24]);
+        assert_eq!(figures_of_set(6).unwrap(), [25, 26, 27, 28]);
         assert_eq!(figures_of_set(9), Err(FigureError::UnknownSet(9)));
     }
 
@@ -465,7 +500,7 @@ mod tests {
         let msg = FigureError::UnknownSet(7).to_string();
         assert!(msg.contains("sets 1-4"), "{msg}");
         let msg = FigureError::UnknownFigure(42).to_string();
-        assert!(msg.contains("21-24"), "{msg}");
+        assert!(msg.contains("25-28"), "{msg}");
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   documented with the figure it reproduces.
 //! * [`deploy`] — builds the paper's deployments on the simulated
 //!   Lucky/UC testbed (which host runs which component).
+//! * [`scenario`] — the declarative layer: compiles a
+//!   [`gscenario::ScenarioSpec`] (topology + workload + faults as pure
+//!   data) into a runnable world, and holds the built-in catalogue the
+//!   experiment sets are defined in.
 //! * [`experiments`] — one runner per experiment set (the paper's
 //!   sections 3.3–3.6); each point yields the four reported metrics:
 //!   throughput, response time, host `load1` and host CPU load.
@@ -35,6 +39,7 @@ pub mod mapping;
 pub mod params;
 pub mod report;
 pub mod runcfg;
+pub mod scenario;
 pub mod stablehash;
 
 pub use deploy::ObservedPoint;

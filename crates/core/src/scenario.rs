@@ -1,0 +1,1389 @@
+//! The scenario → [`Harness`] compiler and the built-in catalogue.
+//!
+//! A [`gscenario::ScenarioSpec`] is pure data; this module is the single
+//! place that turns one into a runnable world.  [`compile`] evaluates a
+//! spec at one x value in a fixed order — services in file order, then
+//! the Ganglia monitor, then the workload, then the fault schedule and
+//! resilience probe — so that a spec compiled here produces the exact
+//! sequence of `Net`/`Engine` mutations the hand-written
+//! `experiments::set1..set5` builders used to perform.  The builders now
+//! delegate to [`catalogue`], which holds the five paper sets (plus the
+//! federation Set 6) as `ScenarioSpec` values.
+//!
+//! Determinism contract: identical `(spec, x, cfg)` ⇒ identical
+//! trajectory.  Deployment order is spec file order; the t=0 start order
+//! and every RNG stream follow from it.
+
+use crate::deploy::{backend_of, giis_suffix, gris_suffix, DeployError, Harness};
+use crate::runcfg::{Measurement, RunConfig};
+use gfaults::{FaultAction, FaultPlan, Scenario, PARTITION_BPS};
+use gscenario::{ClientCpu, FaultKind, Placement, ProbeSpec, Query, ScenarioSpec, ServiceKind};
+use hawkeye::{HawkeyeMsg, Manager};
+use ldapdir::{Filter, Scope};
+use mds::{Giis, MdsRequest};
+use rgma::{ProducerServlet, RgmaMsg};
+use simcore::{SimDuration, SimTime};
+use simnet::{Client, ClientCx, NodeId, Payload, SvcKey};
+use testbed::TestbedConfig;
+use workload::{QueryFactory, UserConfig};
+
+pub use crate::deploy::ObservedPoint;
+
+/// How often the resilience probe samples staleness/recovery.
+pub const PROBE_PERIOD_S: u64 = 2;
+
+/// An agent ad older than this no longer matches (3 advertise periods,
+/// Condor's classic 3×-heartbeat rule of thumb).
+pub const HAWKEYE_FRESH_HORIZON_S: u64 = 90;
+
+// ======================================================================
+// Compilation
+// ======================================================================
+
+/// One deployed service of a compiling scenario.
+struct Placed {
+    name: String,
+    node: NodeId,
+    key: Option<SvcKey>,
+}
+
+/// The compiler's working state between phases.
+struct World<'s> {
+    spec: &'s ScenarioSpec,
+    x: u32,
+    placed: Vec<Placed>,
+}
+
+impl World<'_> {
+    fn node_of(&self, h: &Harness, at: &str, host: &str) -> Result<NodeId, DeployError> {
+        h.net
+            .topo
+            .find_node(host)
+            .ok_or_else(|| DeployError::UnknownHost {
+                service: at.to_string(),
+                host: host.to_string(),
+            })
+    }
+
+    /// The single service key a reference resolves to.
+    fn key_of(&self, name: &str) -> Result<SvcKey, DeployError> {
+        self.placed
+            .iter()
+            .find(|p| p.name == name)
+            .and_then(|p| p.key)
+            .ok_or_else(|| DeployError::NoServiceKey {
+                service: name.to_string(),
+            })
+    }
+
+    fn placed_of(&self, name: &str) -> Result<&Placed, DeployError> {
+        self.placed
+            .iter()
+            .find(|p| p.name == name)
+            .ok_or_else(|| DeployError::NoServiceKey {
+                service: name.to_string(),
+            })
+    }
+}
+
+/// Compile `spec` at sweep value `x` into a ready-to-run [`Harness`].
+///
+/// Phase order (semantic — it fixes the run's trajectory):
+/// 1. services, in spec file order, each through its backend;
+/// 2. the Ganglia monitor on the `watch` host;
+/// 3. the closed-loop workload;
+/// 4. the fault schedule and resilience probe.
+pub fn compile(spec: &ScenarioSpec, x: u32, cfg: &RunConfig) -> Result<Harness, DeployError> {
+    let mut h = Harness::new(*cfg);
+    let mut w = World {
+        spec,
+        x,
+        placed: Vec::with_capacity(spec.services.len()),
+    };
+
+    // Phase 1: services, in file order.
+    for (name, svc) in &spec.services {
+        let node = w.node_of(&h, name, &svc.host)?;
+        let upstream = match svc.kind.upstream_ref() {
+            None => None,
+            Some(up) => Some(w.key_of(up)?),
+        };
+        let pool_nodes = match &svc.kind {
+            ServiceKind::GiisPool { gris_hosts, .. } => gris_hosts
+                .iter()
+                .map(|hst| w.node_of(&h, name, hst))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        };
+        let r = crate::deploy::ResolvedService {
+            name,
+            kind: &svc.kind,
+            node,
+            x,
+            upstream,
+            pool_nodes,
+        };
+        let d = backend_of(&svc.kind).deploy(&mut h, &r)?;
+        w.placed.push(Placed {
+            name: name.clone(),
+            node,
+            key: d.key,
+        });
+    }
+
+    // Phase 2: the monitor.
+    let wnode = w.node_of(&h, "watch", &spec.watch)?;
+    h.watch(wnode);
+
+    // Phase 3: the workload.
+    spawn_workload(&mut h, &w)?;
+
+    // Phase 4: faults + probe.
+    install_resilience(&mut h, &w)?;
+
+    Ok(h)
+}
+
+/// Run one `(spec, x)` point: compile, run, measure.
+pub fn run_point(spec: &ScenarioSpec, x: u32, cfg: &RunConfig) -> Result<Measurement, DeployError> {
+    Ok(compile(spec, x, cfg)?.run_and_measure(f64::from(x)))
+}
+
+/// [`run_point`] with the observability report harvested (requires
+/// `cfg.obs` to enable tracing and/or metrics).
+pub fn run_point_observed(
+    spec: &ScenarioSpec,
+    x: u32,
+    cfg: &RunConfig,
+) -> Result<ObservedPoint, DeployError> {
+    Ok(compile(spec, x, cfg)?.run_and_observe(f64::from(x)))
+}
+
+// ======================================================================
+// Workload
+// ======================================================================
+
+fn client_cpu_us(h: &Harness, cpu: ClientCpu) -> f64 {
+    match cpu {
+        ClientCpu::Mds => h.cfg.params.mds_client_cpu_us,
+        ClientCpu::Condor => h.cfg.params.condor_client_cpu_us,
+        ClientCpu::Rgma => h.cfg.params.rgma_client_cpu_us,
+    }
+}
+
+fn user_config(h: &Harness, w: &World<'_>) -> UserConfig {
+    UserConfig {
+        think: h.cfg.params.think,
+        retry_base: h.cfg.params.retry_base,
+        retry_cap: h.cfg.params.retry_cap,
+        series: "user".to_string(),
+        client_cpu_us: client_cpu_us(h, w.spec.workload.cpu),
+        timeout: w.spec.workload.timeout_s.map(SimDuration::from_secs),
+    }
+}
+
+fn spawn_workload(h: &mut Harness, w: &World<'_>) -> Result<(), DeployError> {
+    let users = w.spec.workload.users.eval(w.x) as usize;
+    let ucfg = user_config(h, w);
+    let factory = factory_for(w);
+    match &w.spec.workload.placement {
+        Placement::PerService(names) => {
+            // User i sits beside — and queries — service names[i % len].
+            let pairs: Vec<(NodeId, SvcKey)> = names
+                .iter()
+                .map(|n| {
+                    let p = w.placed_of(n)?;
+                    let key = p
+                        .key
+                        .ok_or_else(|| DeployError::NoServiceKey { service: n.clone() })?;
+                    Ok((p.node, key))
+                })
+                .collect::<Result<_, DeployError>>()?;
+            let placement: Vec<(NodeId, SvcKey)> =
+                (0..users).map(|i| pairs[i % pairs.len()]).collect();
+            workload::spawn_users_to(&mut h.net, &mut h.eng, &placement, &ucfg, factory);
+        }
+        placement => {
+            let target_name =
+                w.spec
+                    .workload
+                    .target
+                    .as_deref()
+                    .ok_or_else(|| DeployError::Probe {
+                        msg: "workload has no target service".to_string(),
+                    })?;
+            let target = w.key_of(target_name)?;
+            let nodes: Vec<NodeId> = match placement {
+                Placement::Uc => h.uc.clone(),
+                Placement::Hosts(hosts) => hosts
+                    .iter()
+                    .map(|hst| w.node_of(h, "[workload]", hst))
+                    .collect::<Result<_, _>>()?,
+                Placement::PerService(_) => unreachable!("handled above"),
+            };
+            let placement: Vec<NodeId> = (0..users).map(|i| nodes[i % nodes.len()]).collect();
+            workload::spawn_users(&mut h.net, &mut h.eng, &placement, target, &ucfg, factory);
+        }
+    }
+    Ok(())
+}
+
+/// Build the per-user query factory for a spec's workload.  The
+/// context-dependent queries resolve their tables/hosts from the spec
+/// itself (agent hosts in declaration order; the canonical producer
+/// table set), never from run state, so the stream is deterministic.
+fn factory_for(w: &World<'_>) -> Box<dyn FnMut() -> QueryFactory> {
+    fn mds(req: fn() -> MdsRequest) -> Box<dyn FnMut() -> QueryFactory> {
+        Box::new(move || {
+            Box::new(move |_rng| {
+                let req = req();
+                let bytes = req.wire_size();
+                (Box::new(req) as Payload, bytes)
+            })
+        })
+    }
+    fn hawkeye(msg: fn() -> HawkeyeMsg) -> Box<dyn FnMut() -> QueryFactory> {
+        Box::new(move || {
+            Box::new(move |_rng| {
+                let m = msg();
+                let bytes = m.wire_size();
+                (Box::new(m) as Payload, bytes)
+            })
+        })
+    }
+    fn rgma(msg: fn() -> RgmaMsg) -> Box<dyn FnMut() -> QueryFactory> {
+        Box::new(move || {
+            Box::new(move |_rng| {
+                let m = msg();
+                let bytes = m.wire_size();
+                (Box::new(m) as Payload, bytes)
+            })
+        })
+    }
+    match w.spec.workload.query {
+        Query::MdsSearchAllGris0 => mds(|| MdsRequest::search_all(gris_suffix(0))),
+        Query::MdsSearchAllGiis => mds(|| MdsRequest::search_all(giis_suffix())),
+        Query::MdsSearchCpu { attrs_only } => Box::new(move || {
+            Box::new(move |_rng| {
+                let req = MdsRequest::Search {
+                    base: giis_suffix(),
+                    scope: Scope::Sub,
+                    filter: Filter::parse("(mds-device-group-name=cpu)").unwrap(),
+                    attrs: if attrs_only {
+                        Some(vec!["mds-device-group-name".into(), "objectclass".into()])
+                    } else {
+                        None
+                    },
+                };
+                let bytes = req.wire_size();
+                (Box::new(req) as Payload, bytes)
+            })
+        }),
+        Query::HawkeyeAgentStatus => hawkeye(|| HawkeyeMsg::AgentStatus),
+        Query::HawkeyeAgentFull => hawkeye(|| HawkeyeMsg::AgentFull),
+        Query::HawkeyeConstraintMiss => hawkeye(|| HawkeyeMsg::Constraint {
+            expr: "NoSuchAttribute =?= 424242".into(),
+        }),
+        Query::HawkeyeStatusRandom => {
+            // Status of a random deployed agent host, in declaration order.
+            let hosts: Vec<String> = w
+                .spec
+                .services
+                .iter()
+                .filter(|(_, s)| matches!(s.kind, ServiceKind::Agent { .. }))
+                .map(|(_, s)| s.host.clone())
+                .collect();
+            Box::new(move || {
+                let hosts = hosts.clone();
+                Box::new(move |rng| {
+                    let host = hosts[rng.next_below(hosts.len() as u64) as usize].clone();
+                    let m = HawkeyeMsg::Status {
+                        machine: Some(host),
+                    };
+                    let bytes = m.wire_size();
+                    (Box::new(m) as Payload, bytes)
+                })
+            })
+        }
+        Query::RgmaConsumerQuery => rgma(|| RgmaMsg::ConsumerQuery {
+            sql: "SELECT * FROM cpuload".into(),
+        }),
+        Query::RgmaProducerQueryAll => rgma(|| RgmaMsg::ProducerQuery {
+            sql: "*ALL*".into(),
+        }),
+        Query::RgmaRegistryLookupRandom => {
+            // Lookup of a random table from the canonical producer set.
+            let tables: Vec<String> = rgma::producer::default_producers("anl", 10)
+                .into_iter()
+                .map(|p| p.table)
+                .collect();
+            Box::new(move || {
+                let tables = tables.clone();
+                Box::new(move |rng| {
+                    let t = tables[rng.next_below(tables.len() as u64) as usize].clone();
+                    let m = RgmaMsg::RegistryLookup { table: t };
+                    let bytes = m.wire_size();
+                    (Box::new(m) as Payload, bytes)
+                })
+            })
+        }
+    }
+}
+
+// ======================================================================
+// Faults + resilience probe
+// ======================================================================
+
+/// Every deployed service with the given `name()`, in deployment order
+/// (slab order is deterministic).
+pub fn services_named(h: &Harness, name: &str) -> Vec<SvcKey> {
+    h.net
+        .services
+        .iter()
+        .filter(|&(k, _)| h.net.service(k).is_some_and(|s| s.name() == name))
+        .map(|(k, _)| k)
+        .collect()
+}
+
+/// Translate the spec's fault policy into a concrete schedule: `n`
+/// targets fault at `start_at` and heal at `heal_at`, under the resolved
+/// scenario.
+#[allow(clippy::too_many_arguments)]
+fn build_plan(
+    h: &Harness,
+    scenario: Scenario,
+    svcs: &[SvcKey],
+    hosts: &[String],
+    prime: &[(SimDuration, u64)],
+    n: usize,
+    start_at: SimTime,
+    heal_at: SimTime,
+) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let n = n.min(svcs.len());
+    match scenario {
+        Scenario::None | Scenario::Auto => {}
+        Scenario::Churn => {
+            for &svc in &svcs[..n] {
+                plan.push(start_at, FaultAction::Crash { svc });
+                plan.push(
+                    heal_at,
+                    FaultAction::Restart {
+                        svc,
+                        prime: prime.to_vec(),
+                    },
+                );
+            }
+        }
+        Scenario::Partition => {
+            let lan = TestbedConfig::default().lan_bps;
+            for host in &hosts[..n.min(hosts.len())] {
+                for dir in ["up", "down"] {
+                    let link = h
+                        .net
+                        .topo
+                        .find_link(&format!("{host}-{dir}"))
+                        .expect("access link");
+                    plan.push(
+                        start_at,
+                        FaultAction::SetLinkCapacity {
+                            link,
+                            bps: PARTITION_BPS,
+                        },
+                    );
+                    plan.push(heal_at, FaultAction::SetLinkCapacity { link, bps: lan });
+                }
+            }
+        }
+        Scenario::Freeze => {
+            for &svc in &svcs[..n] {
+                plan.push(
+                    start_at,
+                    FaultAction::Freeze {
+                        svc,
+                        until: heal_at,
+                    },
+                );
+            }
+        }
+        Scenario::ConnBurst => {
+            for &svc in &svcs[..n] {
+                plan.push(
+                    start_at,
+                    FaultAction::DropConns {
+                        svc,
+                        until: heal_at,
+                    },
+                );
+            }
+        }
+    }
+    plan
+}
+
+/// What the resilience probe watches.
+enum ProbeTarget {
+    Giis {
+        giis: SvcKey,
+        /// Data older than this means a subtree missed its re-pull.
+        fresh_horizon: SimDuration,
+    },
+    Rgma {
+        /// All producer servlets (staleness = mean publication age).
+        all: Vec<SvcKey>,
+        /// The crashed subset (recovery = all have republished).
+        crashed: Vec<SvcKey>,
+    },
+    Hawkeye {
+        mgr: SvcKey,
+        total: usize,
+    },
+}
+
+/// A passive deterministic observer: samples system staleness into a
+/// gauge every [`PROBE_PERIOD_S`] seconds (window samples only) and
+/// records the first instant the system looks healthy again after the
+/// heal.  It only reads simulation state and writes stats, so it cannot
+/// perturb the run's trajectory.
+struct Probe {
+    target: ProbeTarget,
+    ws: SimTime,
+    we: SimTime,
+    heal_at: SimTime,
+    faulted: bool,
+    recovered: bool,
+}
+
+impl Probe {
+    fn staleness(&self, net: &simnet::Net, now: SimTime) -> Option<f64> {
+        match &self.target {
+            ProbeTarget::Giis { giis, .. } => net
+                .service_as::<Giis>(*giis)
+                .and_then(|g| g.max_data_age(now))
+                .map(|d| d.as_secs_f64()),
+            ProbeTarget::Rgma { all, .. } => {
+                let ages: Vec<f64> = all
+                    .iter()
+                    .filter_map(|&k| net.service_as::<ProducerServlet>(k))
+                    .filter_map(|ps| ps.last_publish_at)
+                    .map(|t| now.saturating_since(t).as_secs_f64())
+                    .collect();
+                if ages.is_empty() {
+                    None
+                } else {
+                    Some(ages.iter().sum::<f64>() / ages.len() as f64)
+                }
+            }
+            ProbeTarget::Hawkeye { mgr, .. } => net
+                .service_as::<Manager>(*mgr)
+                .and_then(|m| m.mean_ad_age(now)),
+        }
+    }
+
+    fn healthy(&self, net: &simnet::Net, now: SimTime) -> bool {
+        match &self.target {
+            ProbeTarget::Giis {
+                giis,
+                fresh_horizon,
+            } => net
+                .service_as::<Giis>(*giis)
+                .and_then(|g| g.max_data_age(now))
+                .is_some_and(|age| age <= *fresh_horizon),
+            ProbeTarget::Rgma { crashed, .. } => crashed.iter().all(|&k| {
+                !net.service_down(k)
+                    && net
+                        .service_as::<ProducerServlet>(k)
+                        .and_then(|ps| ps.last_publish_at)
+                        .is_some_and(|t| t >= self.heal_at)
+            }),
+            ProbeTarget::Hawkeye { mgr, total } => {
+                net.service_as::<Manager>(*mgr).is_some_and(|m| {
+                    m.fresh_count(now, SimDuration::from_secs(HAWKEYE_FRESH_HORIZON_S)) == *total
+                })
+            }
+        }
+    }
+}
+
+impl Client for Probe {
+    fn on_start(&mut self, cx: &mut ClientCx) {
+        cx.wake_in(SimDuration::from_secs(PROBE_PERIOD_S), 0);
+    }
+
+    fn on_wake(&mut self, _tag: u64, cx: &mut ClientCx) {
+        let now = cx.now();
+        let period = SimDuration::from_secs(PROBE_PERIOD_S);
+        if now >= self.ws && now < self.we {
+            if let Some(age) = self.staleness(cx.net, now) {
+                cx.net.stats.gauge("probe.staleness_s", age);
+            }
+        }
+        if self.faulted && !self.recovered && now >= self.heal_at {
+            if self.healthy(cx.net, now) {
+                self.recovered = true;
+                let r = now.saturating_since(self.heal_at).as_secs_f64();
+                cx.net.stats.gauge("probe.recovery_s", r);
+                cx.net.stats.incr("probe.recovered");
+            } else if now + period >= self.we && self.heal_at < self.we {
+                // Last in-window sample and still unhealthy: censor
+                // recovery at window end so the mean stays defined.
+                self.recovered = true;
+                let r = self.we.saturating_since(self.heal_at).as_secs_f64();
+                cx.net.stats.gauge("probe.recovery_s", r);
+                cx.net.stats.incr("probe.censored");
+            }
+        }
+        cx.wake_in(period, 0);
+    }
+}
+
+/// The TTL a probe's fresh horizon derives from, looked up on the
+/// watched service's declared kind.
+fn declared_ttl(w: &World<'_>, h: &Harness, name: &str) -> Result<SimDuration, DeployError> {
+    let kind = w
+        .spec
+        .services
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, s)| &s.kind)
+        .ok_or_else(|| DeployError::Probe {
+            msg: format!("probe target {name:?} is not a declared service"),
+        })?;
+    let ttl = match kind {
+        ServiceKind::GiisPool { cachettl, .. } | ServiceKind::Giis { cachettl, .. } => {
+            crate::deploy::resolve_ttl(*cachettl, h)
+        }
+        _ => None,
+    };
+    ttl.ok_or_else(|| DeployError::Probe {
+        msg: format!("service {name:?} has no finite cache TTL to probe freshness against"),
+    })
+}
+
+/// Build the fault schedule from the policy, add the probe client, and
+/// install the schedule.  The run's `FaultSpec` (onset/heal fractions,
+/// scenario override) comes from the `RunConfig`; the x value sets how
+/// many targets fault; `Scenario::Auto` resolves to the policy's kind
+/// and `Scenario::None` (the default) injects nothing.
+fn install_resilience(h: &mut Harness, w: &World<'_>) -> Result<(), DeployError> {
+    let cfg = h.cfg;
+    let ws = cfg.window_start();
+    let we = cfg.window_end();
+    let start_at = ws + cfg.window.mul_f64(cfg.faults.start_frac);
+    let heal_at = ws + cfg.window.mul_f64(cfg.faults.heal_frac);
+
+    let plan = match &w.spec.faults {
+        None => FaultPlan::new(),
+        Some(policy) => {
+            let scenario = match cfg.faults.scenario {
+                Scenario::Auto => match policy.scenario {
+                    FaultKind::Partition => Scenario::Partition,
+                    FaultKind::Churn => Scenario::Churn,
+                },
+                s => s,
+            };
+            let svcs = services_named(h, &policy.service);
+            let prime = vec![(SimDuration::from_millis(policy.prime_ms), 0)];
+            build_plan(
+                h,
+                scenario,
+                &svcs,
+                &policy.hosts,
+                &prime,
+                w.x as usize,
+                start_at,
+                heal_at,
+            )
+        }
+    };
+
+    if let Some(ps) = &w.spec.probe {
+        let target = match ps {
+            ProbeSpec::GiisFreshness { giis } => {
+                let ttl = declared_ttl(w, h, giis)?;
+                ProbeTarget::Giis {
+                    giis: w.key_of(giis)?,
+                    fresh_horizon: ttl + SimDuration::from_secs(5),
+                }
+            }
+            ProbeSpec::RgmaProducers => {
+                let all = services_named(h, "rgma-producer-servlet");
+                let crashed: Vec<SvcKey> = all
+                    .iter()
+                    .copied()
+                    .take((w.x as usize).min(all.len()))
+                    .collect();
+                ProbeTarget::Rgma { all, crashed }
+            }
+            ProbeSpec::HawkeyeAds { manager } => {
+                let total = w
+                    .spec
+                    .services
+                    .iter()
+                    .filter(|(_, s)| matches!(s.kind, ServiceKind::Agent { .. }))
+                    .count();
+                ProbeTarget::Hawkeye {
+                    mgr: w.key_of(manager)?,
+                    total,
+                }
+            }
+        };
+        let faulted = !plan.is_empty();
+        h.net.add_client(Box::new(Probe {
+            target,
+            ws,
+            we,
+            heal_at,
+            faulted,
+            recovered: false,
+        }));
+    }
+    h.install_faults(plan);
+    Ok(())
+}
+
+// ======================================================================
+// The built-in catalogue
+// ======================================================================
+
+/// The five paper experiment sets — plus the federated Set 6 — as
+/// [`ScenarioSpec`] values.  These are the single source of truth the
+/// `experiments::setN::build` functions compile; their canonical text
+/// (and hence fingerprint) is part of the result cache's address.
+pub mod catalogue {
+    use crate::experiments::{
+        Set1Series, Set2Series, Set3Series, Set4Series, Set5Series, Set6Series,
+    };
+    use gscenario::{
+        ClientCpu, Count, FaultKind, FaultPolicy, Placement, ProbeSpec, Query, ScenarioSpec,
+        ServiceKind, ServiceSpec, SystemId, Ttl, WorkloadSpec,
+    };
+
+    fn svc(name: &str, host: &str, kind: ServiceKind) -> (String, ServiceSpec) {
+        (
+            name.to_string(),
+            ServiceSpec {
+                kind,
+                host: host.to_string(),
+            },
+        )
+    }
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn workload(target: Option<&str>, query: Query, cpu: ClientCpu) -> WorkloadSpec {
+        WorkloadSpec {
+            users: Count::X,
+            placement: Placement::Uc,
+            target: target.map(str::to_string),
+            query,
+            cpu,
+            timeout_s: None,
+        }
+    }
+
+    fn spec(
+        name: &str,
+        system: SystemId,
+        x_values: &[u32],
+        services: Vec<(String, ServiceSpec)>,
+        watch: &str,
+        workload: WorkloadSpec,
+    ) -> ScenarioSpec {
+        let s = ScenarioSpec {
+            name: name.to_string(),
+            system,
+            x_values: x_values.to_vec(),
+            services,
+            watch: watch.to_string(),
+            workload,
+            probe: None,
+            faults: None,
+        };
+        debug_assert!(s.validate().is_ok(), "catalogue spec {name} is invalid");
+        s
+    }
+
+    /// Experiment Set 1 — information server scalability with users.
+    pub fn set1(series: Set1Series) -> ScenarioSpec {
+        match series {
+            Set1Series::GrisCache | Set1Series::GrisNoCache => {
+                let cache = series == Set1Series::GrisCache;
+                let name = if cache {
+                    "set1-gris-cache"
+                } else {
+                    "set1-gris-nocache"
+                };
+                spec(
+                    name,
+                    SystemId::Mds,
+                    series.user_counts(),
+                    vec![svc(
+                        "gris",
+                        "lucky7",
+                        ServiceKind::Gris {
+                            providers: Count::Lit(10),
+                            cache,
+                            gsi: true,
+                        },
+                    )],
+                    "lucky7",
+                    workload(Some("gris"), Query::MdsSearchAllGris0, ClientCpu::Mds),
+                )
+            }
+            Set1Series::HawkeyeAgent => spec(
+                "set1-hawkeye-agent",
+                SystemId::Hawkeye,
+                series.user_counts(),
+                vec![
+                    svc("mgr", "lucky3", ServiceKind::Manager),
+                    svc(
+                        "agent",
+                        "lucky4",
+                        ServiceKind::Agent {
+                            modules: Count::Lit(11),
+                            manager: "mgr".to_string(),
+                        },
+                    ),
+                ],
+                "lucky4",
+                workload(Some("agent"), Query::HawkeyeAgentStatus, ClientCpu::Condor),
+            ),
+            Set1Series::ProducerServletUC => spec(
+                "set1-producer-servlet-uc",
+                SystemId::Rgma,
+                series.user_counts(),
+                vec![
+                    svc("reg", "lucky1", ServiceKind::Registry),
+                    svc(
+                        "ps",
+                        "lucky3",
+                        ServiceKind::ProducerServlet {
+                            producers: Count::Lit(10),
+                            registry: "reg".to_string(),
+                        },
+                    ),
+                    svc(
+                        "cs",
+                        "uc00",
+                        ServiceKind::ConsumerServlet {
+                            registry: "reg".to_string(),
+                        },
+                    ),
+                ],
+                "lucky3",
+                workload(Some("cs"), Query::RgmaConsumerQuery, ClientCpu::Rgma),
+            ),
+            Set1Series::ProducerServletLucky => {
+                // One ConsumerServlet per Lucky client node (lucky minus
+                // the servlet/registry hosts), users beside their servlet.
+                let mut services = vec![
+                    svc("reg", "lucky1", ServiceKind::Registry),
+                    svc(
+                        "ps",
+                        "lucky3",
+                        ServiceKind::ProducerServlet {
+                            producers: Count::Lit(10),
+                            registry: "reg".to_string(),
+                        },
+                    ),
+                ];
+                let client_hosts = ["lucky0", "lucky4", "lucky5", "lucky6", "lucky7"];
+                for (i, host) in client_hosts.iter().enumerate() {
+                    services.push(svc(
+                        &format!("cs{i}"),
+                        host,
+                        ServiceKind::ConsumerServlet {
+                            registry: "reg".to_string(),
+                        },
+                    ));
+                }
+                let mut w = workload(None, Query::RgmaConsumerQuery, ClientCpu::Rgma);
+                w.placement = Placement::PerService(
+                    (0..client_hosts.len()).map(|i| format!("cs{i}")).collect(),
+                );
+                spec(
+                    "set1-producer-servlet-lucky",
+                    SystemId::Rgma,
+                    series.user_counts(),
+                    services,
+                    "lucky3",
+                    w,
+                )
+            }
+        }
+    }
+
+    /// Experiment Set 2 — directory server scalability with users.
+    pub fn set2(series: Set2Series) -> ScenarioSpec {
+        match series {
+            Set2Series::Giis => spec(
+                "set2-giis",
+                SystemId::Mds,
+                series.user_counts(),
+                vec![svc(
+                    "giis",
+                    "lucky0",
+                    ServiceKind::GiisPool {
+                        gris_hosts: strings(&["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]),
+                        n_gris: Count::Lit(5),
+                        cachettl: Ttl::Pinned,
+                    },
+                )],
+                "lucky0",
+                workload(
+                    Some("giis"),
+                    Query::MdsSearchCpu { attrs_only: false },
+                    ClientCpu::Mds,
+                ),
+            ),
+            Set2Series::HawkeyeManager => {
+                let mut services = vec![svc("mgr", "lucky3", ServiceKind::Manager)];
+                let agent_hosts = ["lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7"];
+                for (i, host) in agent_hosts.iter().enumerate() {
+                    services.push(svc(
+                        &format!("a{i}"),
+                        host,
+                        ServiceKind::Agent {
+                            modules: Count::Lit(11),
+                            manager: "mgr".to_string(),
+                        },
+                    ));
+                }
+                spec(
+                    "set2-hawkeye-manager",
+                    SystemId::Hawkeye,
+                    series.user_counts(),
+                    services,
+                    "lucky3",
+                    workload(Some("mgr"), Query::HawkeyeStatusRandom, ClientCpu::Condor),
+                )
+            }
+            Set2Series::RegistryLucky | Set2Series::RegistryUC => {
+                let mut services = vec![svc("reg", "lucky1", ServiceKind::Registry)];
+                for (i, host) in ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]
+                    .iter()
+                    .enumerate()
+                {
+                    services.push(svc(
+                        &format!("ps{i}"),
+                        host,
+                        ServiceKind::ProducerServlet {
+                            producers: Count::Lit(10),
+                            registry: "reg".to_string(),
+                        },
+                    ));
+                }
+                let mut w = workload(
+                    Some("reg"),
+                    Query::RgmaRegistryLookupRandom,
+                    ClientCpu::Rgma,
+                );
+                let name = if series == Set2Series::RegistryUC {
+                    "set2-registry-uc"
+                } else {
+                    // Users on the lucky nodes themselves (120 per node).
+                    w.placement = Placement::Hosts(strings(&[
+                        "lucky0", "lucky3", "lucky4", "lucky5", "lucky6",
+                    ]));
+                    "set2-registry-lucky"
+                };
+                spec(
+                    name,
+                    SystemId::Rgma,
+                    series.user_counts(),
+                    services,
+                    "lucky1",
+                    w,
+                )
+            }
+        }
+    }
+
+    /// Experiment Set 3 — information server scalability with collectors.
+    pub fn set3(series: Set3Series) -> ScenarioSpec {
+        let users = Count::Lit(crate::experiments::set3::USERS);
+        match series {
+            Set3Series::GrisCache | Set3Series::GrisNoCache => {
+                let cache = series == Set3Series::GrisCache;
+                let name = if cache {
+                    "set3-gris-cache"
+                } else {
+                    "set3-gris-nocache"
+                };
+                let mut w = workload(Some("gris"), Query::MdsSearchAllGris0, ClientCpu::Mds);
+                w.users = users;
+                spec(
+                    name,
+                    SystemId::Mds,
+                    series.collector_counts(),
+                    // Anonymous binds: the paper's Set-3 cached responses
+                    // are sub-second, ruling out the 4 s GSI bind of Set 1.
+                    vec![svc(
+                        "gris",
+                        "lucky7",
+                        ServiceKind::Gris {
+                            providers: Count::X,
+                            cache,
+                            gsi: false,
+                        },
+                    )],
+                    "lucky7",
+                    w,
+                )
+            }
+            Set3Series::HawkeyeAgent => {
+                let mut w = workload(Some("agent"), Query::HawkeyeAgentFull, ClientCpu::Condor);
+                w.users = users;
+                spec(
+                    "set3-hawkeye-agent",
+                    SystemId::Hawkeye,
+                    series.collector_counts(),
+                    vec![
+                        svc("mgr", "lucky3", ServiceKind::Manager),
+                        svc(
+                            "agent",
+                            "lucky4",
+                            ServiceKind::Agent {
+                                modules: Count::X,
+                                manager: "mgr".to_string(),
+                            },
+                        ),
+                    ],
+                    "lucky4",
+                    w,
+                )
+            }
+            Set3Series::ProducerServlet => {
+                let mut w = workload(Some("ps"), Query::RgmaProducerQueryAll, ClientCpu::Rgma);
+                w.users = users;
+                spec(
+                    "set3-producer-servlet",
+                    SystemId::Rgma,
+                    series.collector_counts(),
+                    vec![
+                        svc("reg", "lucky1", ServiceKind::Registry),
+                        svc(
+                            "ps",
+                            "lucky3",
+                            ServiceKind::ProducerServlet {
+                                producers: Count::X,
+                                registry: "reg".to_string(),
+                            },
+                        ),
+                    ],
+                    "lucky3",
+                    w,
+                )
+            }
+        }
+    }
+
+    /// Experiment Set 4 — aggregate information server scalability.
+    pub fn set4(series: Set4Series) -> ScenarioSpec {
+        let users = Count::Lit(crate::experiments::set4::USERS);
+        match series {
+            Set4Series::GiisQueryAll | Set4Series::GiisQueryPart => {
+                let all = series == Set4Series::GiisQueryAll;
+                let (name, query) = if all {
+                    ("set4-giis-query-all", Query::MdsSearchAllGiis)
+                } else {
+                    (
+                        "set4-giis-query-part",
+                        Query::MdsSearchCpu { attrs_only: true },
+                    )
+                };
+                let mut w = workload(Some("giis"), query, ClientCpu::Mds);
+                w.users = users;
+                spec(
+                    name,
+                    SystemId::Mds,
+                    series.server_counts(),
+                    vec![svc(
+                        "giis",
+                        "lucky0",
+                        ServiceKind::GiisPool {
+                            gris_hosts: strings(&[
+                                "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7",
+                            ]),
+                            n_gris: Count::X,
+                            cachettl: Ttl::Exp4,
+                        },
+                    )],
+                    "lucky0",
+                    w,
+                )
+            }
+            Set4Series::HawkeyeManager => {
+                let mut w = workload(Some("mgr"), Query::HawkeyeConstraintMiss, ClientCpu::Condor);
+                w.users = users;
+                spec(
+                    "set4-hawkeye-manager",
+                    SystemId::Hawkeye,
+                    series.server_counts(),
+                    vec![
+                        svc("mgr", "lucky3", ServiceKind::Manager),
+                        // The advertiser fleet lives on lucky4 (the paper
+                        // used `hawkeye_advertise` from testbed hosts).
+                        svc(
+                            "fleet",
+                            "lucky4",
+                            ServiceKind::AdvertiserFleet {
+                                machines: Count::X,
+                                manager: "mgr".to_string(),
+                            },
+                        ),
+                    ],
+                    "lucky3",
+                    w,
+                )
+            }
+        }
+    }
+
+    /// Experiment Set 5 — resilience under injected faults.
+    pub fn set5(series: Set5Series) -> ScenarioSpec {
+        let users = Count::Lit(crate::experiments::set5::USERS);
+        let timeout = Some(crate::experiments::set5::CLIENT_TIMEOUT_S);
+        match series {
+            Set5Series::MdsGiis => {
+                let mut w = workload(
+                    Some("giis"),
+                    Query::MdsSearchCpu { attrs_only: false },
+                    ClientCpu::Mds,
+                );
+                w.users = users;
+                w.timeout_s = timeout;
+                let mut s = spec(
+                    "set5-mds-giis",
+                    SystemId::Mds,
+                    series.fault_counts(),
+                    vec![svc(
+                        "giis",
+                        "lucky0",
+                        ServiceKind::GiisPool {
+                            gris_hosts: strings(&[
+                                "lucky3", "lucky4", "lucky5", "lucky6", "lucky7",
+                            ]),
+                            n_gris: Count::Lit(5),
+                            cachettl: Ttl::Exp4,
+                        },
+                    )],
+                    "lucky0",
+                    w,
+                );
+                s.probe = Some(ProbeSpec::GiisFreshness {
+                    giis: "giis".to_string(),
+                });
+                s.faults = Some(FaultPolicy {
+                    service: "gris".to_string(),
+                    hosts: strings(&["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"]),
+                    prime_ms: 50,
+                    scenario: FaultKind::Partition,
+                });
+                s
+            }
+            Set5Series::RgmaRegistry => {
+                let mut services = vec![svc("reg", "lucky1", ServiceKind::Registry)];
+                let ps_hosts = ["lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
+                for (i, host) in ps_hosts.iter().enumerate() {
+                    services.push(svc(
+                        &format!("ps{i}"),
+                        host,
+                        ServiceKind::ProducerServlet {
+                            producers: Count::Lit(10),
+                            registry: "reg".to_string(),
+                        },
+                    ));
+                }
+                services.push(svc(
+                    "cs",
+                    "lucky0",
+                    ServiceKind::ConsumerServlet {
+                        registry: "reg".to_string(),
+                    },
+                ));
+                let mut w = workload(Some("cs"), Query::RgmaConsumerQuery, ClientCpu::Rgma);
+                w.users = users;
+                w.timeout_s = timeout;
+                let mut s = spec(
+                    "set5-rgma-registry",
+                    SystemId::Rgma,
+                    series.fault_counts(),
+                    services,
+                    "lucky1",
+                    w,
+                );
+                s.probe = Some(ProbeSpec::RgmaProducers);
+                s.faults = Some(FaultPolicy {
+                    service: "rgma-producer-servlet".to_string(),
+                    hosts: strings(&ps_hosts),
+                    prime_ms: 200,
+                    scenario: FaultKind::Churn,
+                });
+                s
+            }
+            Set5Series::HawkeyeManager => {
+                let mut services = vec![svc("mgr", "lucky3", ServiceKind::Manager)];
+                let agent_hosts = ["lucky0", "lucky1", "lucky4", "lucky5", "lucky6", "lucky7"];
+                for (i, host) in agent_hosts.iter().enumerate() {
+                    services.push(svc(
+                        &format!("a{i}"),
+                        host,
+                        ServiceKind::Agent {
+                            modules: Count::Lit(11),
+                            manager: "mgr".to_string(),
+                        },
+                    ));
+                }
+                let mut w = workload(Some("mgr"), Query::HawkeyeStatusRandom, ClientCpu::Condor);
+                w.users = users;
+                w.timeout_s = timeout;
+                let mut s = spec(
+                    "set5-hawkeye-manager",
+                    SystemId::Hawkeye,
+                    series.fault_counts(),
+                    services,
+                    "lucky3",
+                    w,
+                );
+                s.probe = Some(ProbeSpec::HawkeyeAds {
+                    manager: "mgr".to_string(),
+                });
+                s.faults = Some(FaultPolicy {
+                    service: "hawkeye-agent".to_string(),
+                    hosts: strings(&agent_hosts),
+                    prime_ms: 500,
+                    scenario: FaultKind::Churn,
+                });
+                s
+            }
+        }
+    }
+
+    /// Experiment Set 6 — hierarchical-GIIS federation, the demonstration
+    /// scenario the declarative layer makes expressible: `x` GRISes flat
+    /// under one GIIS vs the same `x` sharded over 3 or 6 mid-level
+    /// branch GIISes under a 2-level index.
+    pub fn set6(series: Set6Series) -> ScenarioSpec {
+        let users = Count::Lit(crate::experiments::set6::USERS);
+        match series {
+            Set6Series::FlatGiis => {
+                let mut w = workload(Some("top"), Query::MdsSearchAllGiis, ClientCpu::Mds);
+                w.users = users;
+                spec(
+                    "set6-flat-giis",
+                    SystemId::Mds,
+                    series.server_counts(),
+                    vec![svc(
+                        "top",
+                        "lucky0",
+                        ServiceKind::GiisPool {
+                            gris_hosts: strings(&[
+                                "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7",
+                            ]),
+                            n_gris: Count::X,
+                            cachettl: Ttl::Exp4,
+                        },
+                    )],
+                    "lucky0",
+                    w,
+                )
+            }
+            Set6Series::Federated3 | Set6Series::Federated6 => {
+                let branches: u32 = if series == Set6Series::Federated3 {
+                    3
+                } else {
+                    6
+                };
+                let name = if branches == 3 {
+                    "set6-federated-3"
+                } else {
+                    "set6-federated-6"
+                };
+                let hosts = ["lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7"];
+                let mut services = vec![svc(
+                    "top",
+                    "lucky0",
+                    ServiceKind::Giis {
+                        cachettl: Ttl::Exp4,
+                        parent: None,
+                        branch: 0,
+                    },
+                )];
+                for b in 0..branches {
+                    let host = hosts[b as usize];
+                    services.push(svc(
+                        &format!("mid{b}"),
+                        host,
+                        ServiceKind::Giis {
+                            cachettl: Ttl::Exp4,
+                            parent: Some("top".to_string()),
+                            branch: b,
+                        },
+                    ));
+                    services.push(svc(
+                        &format!("shard{b}"),
+                        host,
+                        ServiceKind::GrisFleet {
+                            parent: format!("mid{b}"),
+                            providers: 10,
+                            share: (b, branches),
+                        },
+                    ));
+                }
+                let mut w = workload(Some("top"), Query::MdsSearchAllGiis, ClientCpu::Mds);
+                w.users = users;
+                spec(
+                    name,
+                    SystemId::Mds,
+                    series.server_counts(),
+                    services,
+                    "lucky0",
+                    w,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{
+        set1, set2, set3, set4, set5, Set1Series, Set2Series, Set3Series, Set4Series, Set5Series,
+    };
+    use gscenario::parse;
+
+    fn quick(seed: u64) -> RunConfig {
+        let mut cfg = RunConfig::quick(seed);
+        cfg.warmup = SimDuration::from_secs(5);
+        cfg.window = SimDuration::from_secs(20);
+        cfg
+    }
+
+    /// Every catalogue spec round-trips through the text format —
+    /// the committed examples stay parseable and canonical.
+    #[test]
+    fn catalogue_specs_round_trip_and_validate() {
+        let mut fingerprints = std::collections::HashSet::new();
+        for spec in all_catalogue_specs() {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let text = spec.print();
+            let back = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(back, spec, "{} must round-trip", spec.name);
+            assert!(
+                fingerprints.insert(spec.fingerprint()),
+                "{} collides with another spec",
+                spec.name
+            );
+        }
+    }
+
+    fn all_catalogue_specs() -> Vec<ScenarioSpec> {
+        let mut v = Vec::new();
+        v.extend(Set1Series::ALL.iter().map(|&s| catalogue::set1(s)));
+        v.extend(Set2Series::ALL.iter().map(|&s| catalogue::set2(s)));
+        v.extend(Set3Series::ALL.iter().map(|&s| catalogue::set3(s)));
+        v.extend(Set4Series::ALL.iter().map(|&s| catalogue::set4(s)));
+        v.extend(Set5Series::ALL.iter().map(|&s| catalogue::set5(s)));
+        v.extend(
+            crate::experiments::Set6Series::ALL
+                .iter()
+                .map(|&s| catalogue::set6(s)),
+        );
+        v
+    }
+
+    /// The compiler is the builders: `experiments::setN::build` delegates
+    /// to `compile(catalogue::setN(..))`, so running a point through
+    /// either path must be bit-identical.  (This is the in-crate twin of
+    /// the golden fig05–fig24 CSV comparison.)
+    #[test]
+    fn compiled_points_match_builders_bit_for_bit() {
+        let cfg = quick(42);
+        let m1 = set1::run_point(Set1Series::GrisCache, 3, &cfg);
+        let c1 = run_point(&catalogue::set1(Set1Series::GrisCache), 3, &cfg).unwrap();
+        assert_eq!(m1, c1);
+        let m2 = set2::run_point(Set2Series::HawkeyeManager, 2, &cfg);
+        let c2 = run_point(&catalogue::set2(Set2Series::HawkeyeManager), 2, &cfg).unwrap();
+        assert_eq!(m2, c2);
+        let m3 = set3::run_point(Set3Series::ProducerServlet, 5, &cfg);
+        let c3 = run_point(&catalogue::set3(Set3Series::ProducerServlet), 5, &cfg).unwrap();
+        assert_eq!(m3, c3);
+        let m4 = set4::run_point(Set4Series::GiisQueryPart, 4, &cfg);
+        let c4 = run_point(&catalogue::set4(Set4Series::GiisQueryPart), 4, &cfg).unwrap();
+        assert_eq!(m4, c4);
+    }
+
+    /// A faulted Set-5 point through the compiler carries the probe and
+    /// fault machinery: identical to the builder under the canonical
+    /// fault schedule.
+    #[test]
+    fn compiled_set5_point_matches_builder_under_faults() {
+        let mut cfg = quick(7);
+        cfg.warmup = SimDuration::from_secs(20);
+        cfg.window = SimDuration::from_secs(100);
+        cfg.faults = set5::default_spec();
+        let m = set5::run_point(Set5Series::RgmaRegistry, 3, &cfg);
+        let c = run_point(&catalogue::set5(Set5Series::RgmaRegistry), 3, &cfg).unwrap();
+        assert_eq!(m, c);
+        assert!(m.recovery_s > 0.0, "churn must be observed healing: {m:?}");
+    }
+
+    /// A user-authored spec straight from text runs end to end.
+    #[test]
+    fn parsed_scenario_compiles_and_runs() {
+        let text = r#"
+name = "tiny-giis"
+system = "mds"
+x = [2]
+watch = "lucky0"
+
+[service.giis]
+kind = "giis-pool"
+host = "lucky0"
+gris_hosts = ["lucky3", "lucky4"]
+n_gris = "x"
+cachettl = "pinned"
+
+[workload]
+users = 3
+target = "giis"
+query = "mds-search-all-giis"
+"#;
+        let spec = parse(text).unwrap();
+        let m = run_point(&spec, 2, &quick(9)).unwrap();
+        assert!(m.completions > 0, "{m:?}");
+        // Deterministic: same spec, same cfg, same bits.
+        let m2 = run_point(&spec, 2, &quick(9)).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    /// Compile errors carry the offending service, not a panic.
+    #[test]
+    fn compile_errors_name_the_offender() {
+        let mut spec = catalogue::set1(Set1Series::GrisCache);
+        spec.services[0].1.host = "lucky2".to_string();
+        let err = match compile(&spec, 1, &quick(1)) {
+            Ok(_) => panic!("lucky2 does not exist; compile must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(
+            err.to_string(),
+            "service \"gris\": no host \"lucky2\" on the testbed"
+        );
+    }
+
+    /// The federation sweep deploys a 2-level index: top GIIS + branch
+    /// GIISes + sharded GRIS fleets, and queries flow end to end.
+    #[test]
+    fn set6_federation_compiles_and_answers() {
+        let spec = catalogue::set6(crate::experiments::Set6Series::Federated3);
+        let m = run_point(&spec, 6, &quick(11)).unwrap();
+        assert!(m.completions > 0, "{m:?}");
+    }
+}

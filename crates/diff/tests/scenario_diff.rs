@@ -1,0 +1,383 @@
+//! Scenario text format vs its own printer: `parse(print(spec))` must
+//! reproduce the spec exactly — structure, fingerprint, and canonical
+//! text — for randomly generated specs of every backend shape.  The
+//! golden tests below pin the author-facing error messages word for
+//! word: a misspelled backend, a dangling service reference, a
+//! duplicate section and an off-testbed host must each name the
+//! offender, because those strings are the scenario author's compiler
+//! diagnostics.
+
+use gscenario::{
+    ClientCpu, Count, FaultKind, FaultPolicy, Placement, ProbeSpec, Query, ScenarioSpec,
+    ServiceKind, ServiceSpec, SystemId, Ttl, WorkloadSpec,
+};
+use proptest::prelude::*;
+
+/// The testbed's server-class hosts (there is no lucky2).
+const LUCKY: [&str; 7] = [
+    "lucky0", "lucky1", "lucky3", "lucky4", "lucky5", "lucky6", "lucky7",
+];
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,11}"
+}
+
+fn arb_xs() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(1u32..300, 1..=4).prop_map(|mut xs| {
+        xs.sort_unstable();
+        xs.dedup();
+        xs
+    })
+}
+
+fn arb_count() -> impl Strategy<Value = Count> {
+    prop_oneof![(1u32..40).prop_map(Count::Lit), Just(Count::X)]
+}
+
+fn arb_ttl() -> impl Strategy<Value = Ttl> {
+    prop_oneof![
+        Just(Ttl::Pinned),
+        Just(Ttl::Zero),
+        Just(Ttl::Exp4),
+        (1u64..600).prop_map(Ttl::Secs),
+    ]
+}
+
+fn arb_cpu() -> impl Strategy<Value = ClientCpu> {
+    prop_oneof![
+        Just(ClientCpu::Mds),
+        Just(ClientCpu::Condor),
+        Just(ClientCpu::Rgma),
+    ]
+}
+
+fn arb_placement() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        Just(Placement::Uc),
+        proptest::collection::vec(0usize..20, 1..=3).prop_map(|is| {
+            Placement::Hosts(is.into_iter().map(|i| format!("uc{i:02}")).collect())
+        }),
+    ]
+}
+
+fn workload(
+    users: Count,
+    placement: Placement,
+    target: &str,
+    query: Query,
+    cpu: ClientCpu,
+    timeout_s: Option<u64>,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        users,
+        placement,
+        target: Some(target.to_string()),
+        query,
+        cpu,
+        timeout_s,
+    }
+}
+
+/// A hierarchical-GIIS federation: one top index, 1–3 branches each
+/// carrying a mid-level GIIS plus its GRIS-fleet shard.
+fn arb_mds() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        arb_name(),
+        arb_xs(),
+        1u32..4,
+        arb_ttl(),
+        (arb_count(), arb_placement(), arb_cpu()),
+        0u8..2,
+    )
+        .prop_map(
+            |(name, xs, branches, ttl, (users, placement, cpu), probe)| {
+                let mut services = vec![(
+                    "top".to_string(),
+                    ServiceSpec {
+                        kind: ServiceKind::Giis {
+                            cachettl: ttl,
+                            parent: None,
+                            branch: 0,
+                        },
+                        host: "lucky0".to_string(),
+                    },
+                )];
+                for b in 0..branches {
+                    let host = LUCKY[1 + b as usize].to_string();
+                    services.push((
+                        format!("mid{b}"),
+                        ServiceSpec {
+                            kind: ServiceKind::Giis {
+                                cachettl: ttl,
+                                parent: Some("top".to_string()),
+                                branch: b,
+                            },
+                            host: host.clone(),
+                        },
+                    ));
+                    services.push((
+                        format!("shard{b}"),
+                        ServiceSpec {
+                            kind: ServiceKind::GrisFleet {
+                                parent: format!("mid{b}"),
+                                providers: 10,
+                                share: (b, branches),
+                            },
+                            host,
+                        },
+                    ));
+                }
+                let probe = (probe == 1 && ttl != Ttl::Pinned).then(|| ProbeSpec::GiisFreshness {
+                    giis: "top".to_string(),
+                });
+                ScenarioSpec {
+                    name,
+                    system: SystemId::Mds,
+                    x_values: xs,
+                    services,
+                    watch: "lucky0".to_string(),
+                    workload: workload(users, placement, "top", Query::MdsSearchAllGiis, cpu, None),
+                    probe,
+                    faults: None,
+                }
+            },
+        )
+}
+
+/// An R-GMA mesh: registry, 1–5 ProducerServlets, one ConsumerServlet,
+/// optionally churned and probed.
+fn arb_rgma() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        arb_name(),
+        arb_xs(),
+        1usize..6,
+        arb_count(),
+        (arb_count(), arb_cpu(), 0u64..20),
+        (0u8..2, 0u8..2, 50u64..500),
+    )
+        .prop_map(
+            |(name, xs, n_ps, producers, (users, cpu, timeout), (probe, fault, prime_ms))| {
+                let mut services = vec![(
+                    "reg".to_string(),
+                    ServiceSpec {
+                        kind: ServiceKind::Registry,
+                        host: "lucky1".to_string(),
+                    },
+                )];
+                let mut ps_hosts = Vec::new();
+                for i in 0..n_ps {
+                    let host = LUCKY[2 + i].to_string();
+                    ps_hosts.push(host.clone());
+                    services.push((
+                        format!("ps{i}"),
+                        ServiceSpec {
+                            kind: ServiceKind::ProducerServlet {
+                                producers,
+                                registry: "reg".to_string(),
+                            },
+                            host,
+                        },
+                    ));
+                }
+                services.push((
+                    "cs".to_string(),
+                    ServiceSpec {
+                        kind: ServiceKind::ConsumerServlet {
+                            registry: "reg".to_string(),
+                        },
+                        host: "lucky0".to_string(),
+                    },
+                ));
+                let faults = (fault == 1).then(|| FaultPolicy {
+                    service: "rgma-producer-servlet".to_string(),
+                    hosts: ps_hosts,
+                    prime_ms,
+                    scenario: FaultKind::Churn,
+                });
+                ScenarioSpec {
+                    name,
+                    system: SystemId::Rgma,
+                    x_values: xs,
+                    services,
+                    watch: "lucky1".to_string(),
+                    workload: workload(
+                        users,
+                        Placement::Uc,
+                        "cs",
+                        Query::RgmaConsumerQuery,
+                        cpu,
+                        (timeout > 0).then_some(timeout),
+                    ),
+                    probe: (probe == 1).then_some(ProbeSpec::RgmaProducers),
+                    faults: None.or(faults),
+                }
+            },
+        )
+}
+
+/// A Hawkeye pool: Manager, one Agent, optionally an advertiser fleet.
+fn arb_hawkeye() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        arb_name(),
+        arb_xs(),
+        (arb_count(), arb_count()),
+        prop_oneof![
+            Just(Query::HawkeyeAgentStatus),
+            Just(Query::HawkeyeAgentFull),
+            Just(Query::HawkeyeStatusRandom),
+            Just(Query::HawkeyeConstraintMiss),
+        ],
+        (arb_count(), arb_cpu()),
+        (0u8..2, 0u8..2),
+    )
+        .prop_map(
+            |(name, xs, (modules, machines), query, (users, cpu), (fleet, probe))| {
+                let mut services = vec![
+                    (
+                        "mgr".to_string(),
+                        ServiceSpec {
+                            kind: ServiceKind::Manager,
+                            host: "lucky0".to_string(),
+                        },
+                    ),
+                    (
+                        "agent".to_string(),
+                        ServiceSpec {
+                            kind: ServiceKind::Agent {
+                                modules,
+                                manager: "mgr".to_string(),
+                            },
+                            host: "lucky3".to_string(),
+                        },
+                    ),
+                ];
+                if fleet == 1 {
+                    services.push((
+                        "ads".to_string(),
+                        ServiceSpec {
+                            kind: ServiceKind::AdvertiserFleet {
+                                machines,
+                                manager: "mgr".to_string(),
+                            },
+                            host: "lucky4".to_string(),
+                        },
+                    ));
+                }
+                ScenarioSpec {
+                    name,
+                    system: SystemId::Hawkeye,
+                    x_values: xs,
+                    services,
+                    watch: "lucky0".to_string(),
+                    workload: workload(users, Placement::Uc, "mgr", query, cpu, None),
+                    probe: (probe == 1).then(|| ProbeSpec::HawkeyeAds {
+                        manager: "mgr".to_string(),
+                    }),
+                    faults: None,
+                }
+            },
+        )
+}
+
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    prop_oneof![arb_mds(), arb_rgma(), arb_hawkeye()]
+}
+
+proptest! {
+    /// print → parse is the identity on specs, and the canonical text is
+    /// a fixed point (printing the re-parsed spec changes nothing).
+    #[test]
+    fn spec_round_trips_through_print_and_parse(spec in arb_spec()) {
+        assert!(spec.validate().is_ok(), "generator made an invalid spec: {:?}", spec.validate());
+        let text = spec.print();
+        let back = gscenario::parse(&text)
+            .unwrap_or_else(|e| panic!("canonical text failed to parse: {e}\n{text}"));
+        assert_eq!(back, spec, "round-trip changed the spec:\n{text}");
+        assert_eq!(back.fingerprint(), spec.fingerprint());
+        assert_eq!(back.print(), text, "canonical text is not a fixed point");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden error messages: the exact strings a scenario author sees.
+// ---------------------------------------------------------------------
+
+/// A minimal well-formed spec to mutate in the golden tests.
+const GOOD: &str = r#"
+name = "golden"
+system = "rgma"
+x = [1]
+watch = "lucky1"
+
+[service.reg]
+kind = "rgma-registry"
+host = "lucky1"
+
+[service.cs]
+kind = "rgma-consumer-servlet"
+host = "lucky0"
+registry = "reg"
+
+[workload]
+users = 5
+placement = "uc"
+target = "cs"
+query = "rgma-consumer-query"
+cpu = "rgma"
+"#;
+
+/// The author-facing diagnostic for a broken spec — `parse` validates
+/// as it goes, so the error may surface at either stage.
+fn validate_err(text: &str) -> String {
+    match gscenario::parse(text) {
+        Err(e) => e.to_string(),
+        Ok(spec) => spec
+            .validate()
+            .expect_err("spec must not validate")
+            .to_string(),
+    }
+}
+
+#[test]
+fn golden_spec_is_good() {
+    let spec = gscenario::parse(GOOD).expect("golden spec parses");
+    assert!(spec.validate().is_ok());
+}
+
+#[test]
+fn unknown_backend_lists_the_known_ones() {
+    let text = GOOD.replace("system = \"rgma\"", "system = \"ldap\"");
+    let err = match gscenario::parse(&text) {
+        Ok(spec) => spec
+            .validate()
+            .expect_err("unknown backend must not validate"),
+        Err(e) => e,
+    };
+    assert_eq!(
+        err.to_string(),
+        "unknown backend \"ldap\": known backends are mds, rgma, hawkeye"
+    );
+}
+
+#[test]
+fn dangling_service_ref_names_field_and_target() {
+    let err = validate_err(&GOOD.replace("registry = \"reg\"", "registry = \"nope\""));
+    assert_eq!(err, "service \"cs\": registry = \"nope\" names no service");
+}
+
+#[test]
+fn duplicate_service_name_is_called_out() {
+    let err = validate_err(&GOOD.replace("[service.cs]", "[service.reg]"));
+    assert_eq!(err, "duplicate service name \"reg\"");
+}
+
+#[test]
+fn off_testbed_host_gets_the_host_roster() {
+    // lucky2 does not exist — the paper's testbed skips it.
+    let err = validate_err(&GOOD.replace("host = \"lucky0\"", "host = \"lucky2\""));
+    assert_eq!(
+        err,
+        "service \"cs\": unknown host \"lucky2\" \
+         (hosts: lucky0, lucky1, lucky3..lucky7, uc00..uc19)"
+    );
+}

@@ -11,12 +11,16 @@ use gridmon_core::ext::{self, OpenLoopPoint, WanPoint, WAN_CASES};
 use gridmon_core::figures::PointSpec;
 use gridmon_core::mapping::System;
 use gridmon_core::runcfg::{Measurement, RunConfig};
-use gridmon_core::stablehash::digest128;
+use gridmon_core::stablehash::{digest128, fnv1a64, mix64};
+use gscenario::{ScenarioSpec, SystemId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Cache schema version: bump when the encoded record or the digest
-/// recipe changes, so stale files can never be misread.
-const CACHE_SCHEMA: &str = "gridmon-cache-v3";
+/// recipe changes, so stale files can never be misread.  v4 folds the
+/// scenario fingerprint (the canonical deployed topology) into every
+/// figure and scenario address.
+const CACHE_SCHEMA: &str = "gridmon-cache-v4";
 
 /// One extension-study point (the Section-4 future-work studies).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,13 +41,33 @@ pub enum ExtPoint {
     Composite { sources: u32 },
 }
 
+/// One `(spec, x)` point of a user-authored scenario.  The spec is
+/// shared (`Arc`) across the sweep's jobs; its fingerprint — not its
+/// address — is the cache identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioPoint {
+    pub spec: Arc<ScenarioSpec>,
+    pub x: u32,
+}
+
+impl ScenarioPoint {
+    /// Stable textual identity (scenario names are author-chosen; two
+    /// different topologies under one name still get distinct cache
+    /// addresses via the fingerprint).
+    pub fn key(&self) -> String {
+        format!("scenario/{}/x={}", self.spec.name, self.x)
+    }
+}
+
 /// A schedulable experiment point.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Job {
-    /// One `(series, x)` point of experiment sets 1-4.
+    /// One `(series, x)` point of experiment sets 1-6.
     Figure(PointSpec),
     /// One extension-study point.
     Ext(ExtPoint),
+    /// One point of a user-authored scenario sweep.
+    Scenario(ScenarioPoint),
 }
 
 /// What a job produced.  `Measurement` for figure and most extension
@@ -71,6 +95,7 @@ impl Job {
     /// seed and parameter fingerprint, the cache address.
     pub fn key(&self) -> String {
         match *self {
+            Job::Scenario(ref p) => p.key(),
             Job::Figure(spec) => spec.key(),
             Job::Ext(ExtPoint::Wan { users, case }) => {
                 format!("ext/wan/{}/users={users}", WAN_CASES[case].0)
@@ -101,6 +126,11 @@ impl Job {
                 | ExtPoint::AggViaGiis { .. },
             ) => System::Mds,
             Job::Ext(ExtPoint::OpenLoop { .. } | ExtPoint::Composite { .. }) => System::Rgma,
+            Job::Scenario(ref p) => match p.spec.system {
+                SystemId::Mds => System::Mds,
+                SystemId::Rgma => System::Rgma,
+                SystemId::Hawkeye => System::Hawkeye,
+            },
         }
     }
 
@@ -112,6 +142,9 @@ impl Job {
         match *self {
             Job::Figure(spec) => spec.derived_seed(cfg.seed),
             Job::Ext(_) => cfg.seed,
+            // Scenario points follow the figure discipline: independent
+            // per-point streams, order-invariant results.
+            Job::Scenario(_) => mix64(cfg.seed ^ fnv1a64(self.key().as_bytes())),
         }
     }
 
@@ -143,6 +176,28 @@ impl Job {
             Job::Ext(ExtPoint::Composite { sources }) => {
                 JobOutput::Measurement(ext::composite_study(cfg, sources))
             }
+            Job::Scenario(ref p) => {
+                let mut c = *cfg;
+                c.seed = self.seed(cfg);
+                // Specs are validated (and dry-compiled) before they are
+                // enqueued, so a failure here is a runner bug, not user
+                // input.
+                let m = gridmon_core::scenario::run_point(&p.spec, p.x, &c)
+                    .unwrap_or_else(|e| panic!("scenario {:?} x={}: {e}", p.spec.name, p.x));
+                JobOutput::Measurement(m)
+            }
+        }
+    }
+
+    /// The canonical-topology fingerprint folded into this job's cache
+    /// address: the built-in catalogue spec for figure points, the
+    /// authored spec for scenario points, none for extension studies
+    /// (their topology lives in code only).
+    fn scenario_fingerprint(&self) -> String {
+        match *self {
+            Job::Figure(spec) => spec.series.scenario_fingerprint(),
+            Job::Ext(_) => "-".to_string(),
+            Job::Scenario(ref p) => p.spec.fingerprint(),
         }
     }
 
@@ -159,7 +214,7 @@ impl Job {
     /// never be allowed to paper over a regression in it.
     pub fn cache_digest(&self, cfg: &RunConfig) -> String {
         let material = format!(
-            "{CACHE_SCHEMA}\n{key}\nseed={seed}\nwarmup_us={wu}\nwindow_us={wi}\n{obs}\n{faults}\n{params}",
+            "{CACHE_SCHEMA}\n{key}\nseed={seed}\nwarmup_us={wu}\nwindow_us={wi}\n{obs}\n{faults}\n{params}\nscenario={fp}",
             key = self.key(),
             seed = self.seed(cfg),
             wu = cfg.warmup.as_micros(),
@@ -167,6 +222,7 @@ impl Job {
             obs = cfg.obs.fingerprint(),
             faults = cfg.faults.fingerprint(),
             params = cfg.params.fingerprint(self.system()),
+            fp = self.scenario_fingerprint(),
         );
         digest128(material.as_bytes())
     }
@@ -245,8 +301,8 @@ impl Job {
             })
         }
         let kind = fields.get("kind")?.as_str();
-        match (*self, kind) {
-            (Job::Ext(ExtPoint::Wan { case, .. }), "wan") => {
+        match (self, kind) {
+            (&Job::Ext(ExtPoint::Wan { case, .. }), "wan") => {
                 let (label, bps, lat_ms) = WAN_CASES[case];
                 Some(JobOutput::Wan(WanPoint {
                     label: label.to_string(),
@@ -255,7 +311,7 @@ impl Job {
                     m: measurement(fields)?,
                 }))
             }
-            (Job::Ext(ExtPoint::OpenLoop { .. }), "openloop") => {
+            (&Job::Ext(ExtPoint::OpenLoop { .. }), "openloop") => {
                 Some(JobOutput::OpenLoop(OpenLoopPoint {
                     offered_per_sec: f(fields, "offered_per_sec")?,
                     completed_per_sec: f(fields, "completed_per_sec")?,
@@ -265,6 +321,7 @@ impl Job {
             }
             (
                 Job::Figure(_)
+                | Job::Scenario(_)
                 | Job::Ext(
                     ExtPoint::HierFlat { .. }
                     | ExtPoint::HierTree { .. }

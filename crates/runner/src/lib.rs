@@ -23,7 +23,7 @@ pub mod pool;
 pub mod progress;
 
 pub use cache::DiskCache;
-pub use job::{ExtPoint, Job, JobOutput};
+pub use job::{ExtPoint, Job, JobOutput, ScenarioPoint};
 
 use gperf::PerfSink;
 use gridmon_core::deploy::ObservedPoint;
@@ -273,6 +273,46 @@ pub fn run_sets_profiled(
     Ok((data, stats))
 }
 
+/// Run a user-authored scenario's full sweep through the pool: one
+/// [`Job::Scenario`] per declared x value, cached and scheduled exactly
+/// like the built-in figure points.  Results are in `spec.x_values`
+/// order, byte-identical for any worker count.
+///
+/// The spec is dry-compiled at every x first, so authoring mistakes the
+/// validator cannot see (an unknown host, a TTL-less freshness probe)
+/// surface as an error here instead of a panic on a pool thread.
+pub fn run_scenario(
+    spec: &gscenario::ScenarioSpec,
+    cfg: &RunConfig,
+    rc: &RunnerConfig,
+) -> Result<(Vec<gridmon_core::runcfg::Measurement>, SweepStats), String> {
+    spec.validate().map_err(|e| e.to_string())?;
+    let shared = std::sync::Arc::new(spec.clone());
+    let jobs: Vec<Job> = spec
+        .x_values
+        .iter()
+        .map(|&x| {
+            Job::Scenario(ScenarioPoint {
+                spec: shared.clone(),
+                x,
+            })
+        })
+        .collect();
+    for job in &jobs {
+        if let Job::Scenario(p) = job {
+            let mut c = *cfg;
+            c.seed = job.seed(cfg);
+            gridmon_core::scenario::compile(&p.spec, p.x, &c).map_err(|e| e.to_string())?;
+        }
+    }
+    let (outputs, stats) = run_jobs(&jobs, cfg, rc);
+    let measurements = outputs
+        .into_iter()
+        .map(|o| o.measurement().expect("scenario jobs yield measurements"))
+        .collect();
+    Ok((measurements, stats))
+}
+
 /// Run figure points with observability harvested, across the pool.
 ///
 /// Observed runs are never cached: the result cache stores figure
@@ -504,6 +544,50 @@ mod tests {
             assert_eq!(warm.totals().cached as usize, s2.total);
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+
+    #[test]
+    fn scenario_sweep_is_order_invariant_and_cached() {
+        let cfg = tiny_cfg(17);
+        let spec =
+            gridmon_core::figures::SeriesId::S6(gridmon_core::experiments::Set6Series::Federated3)
+                .catalogue_spec();
+        let mut spec = spec;
+        spec.x_values = vec![3, 6];
+        let (seq, _) = run_scenario(&spec, &cfg, &RunnerConfig::sequential()).unwrap();
+        let dir = scratch_cache("scenario");
+        let rc = RunnerConfig {
+            jobs: 8,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+        };
+        let (par, s1) = run_scenario(&spec, &cfg, &rc).unwrap();
+        assert_eq!(s1.cache_hits, 0);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a, b, "worker count must not change a bit");
+        }
+        // Warm: everything from cache, same bits.
+        let (warm, s2) = run_scenario(&spec, &cfg, &rc).unwrap();
+        assert_eq!(s2.executed, 0);
+        assert_eq!(warm, par);
+        // Editing the topology (not the name) re-addresses the cache.
+        let mut edited = spec.clone();
+        edited.workload.users = gscenario::Count::Lit(12);
+        let (_, s3) = run_scenario(&edited, &cfg, &rc).unwrap();
+        assert_eq!(s3.cache_hits, 0, "fingerprint must fold into the digest");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_errors_surface_before_the_pool() {
+        let cfg = tiny_cfg(1);
+        let mut spec =
+            gridmon_core::figures::SeriesId::S6(gridmon_core::experiments::Set6Series::FlatGiis)
+                .catalogue_spec();
+        spec.services[0].1.host = "lucky2".to_string();
+        let err = run_scenario(&spec, &cfg, &RunnerConfig::sequential()).unwrap_err();
+        assert!(err.contains("lucky2"), "{err}");
     }
 
     #[test]

@@ -469,7 +469,11 @@ mod tests {
         eng.run_until(&mut net, SimTime::from_secs(130));
         let refused: u64 = keys
             .iter()
-            .map(|&k| net.client_as::<User>(k).unwrap().refused)
+            .map(|&k| {
+                net.client_as::<User>(k)
+                    .expect("spawn_users keys resolve to User clients")
+                    .refused
+            })
             .sum();
         assert!(refused > 10, "refusals {refused}");
         // Completed-query response times stay bounded: a few backoff
@@ -596,7 +600,9 @@ mod tests {
         let keys = spawn_users(&mut net, &mut eng, &clients[..1], svc, &cfg, factory);
         net.start(&mut eng);
         eng.run_until(&mut net, SimTime::from_secs(130));
-        let user = net.client_as::<User>(keys[0]).unwrap();
+        let user = net
+            .client_as::<User>(keys[0])
+            .expect("spawn_users keys resolve to User clients");
         assert!(user.timedout > 3, "timedout {}", user.timedout);
         assert_eq!(user.completed, 0);
         // The windowed counter sees fewer: backoff stretches attempts out
@@ -617,7 +623,9 @@ mod tests {
         let keys = spawn_users(&mut net, &mut eng, &clients[..1], svc, &cfg, factory);
         net.start(&mut eng);
         eng.run_until(&mut net, SimTime::from_secs(130));
-        let user = net.client_as::<User>(keys[0]).unwrap();
+        let user = net
+            .client_as::<User>(keys[0])
+            .expect("spawn_users keys resolve to User clients");
         assert_eq!(user.timedout, 0);
         assert!(user.completed > 10);
         assert_eq!(net.stats.counter("user.late"), 0);
