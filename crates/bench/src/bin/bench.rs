@@ -11,7 +11,8 @@
 //! --jobs N       worker threads; 0 = one per available hardware
 //!                thread, the default — the suite benchmarks the
 //!                machine as the sweeps would actually use it.
-//! --sets LIST    comma-separated experiment sets (default 1,2,3,4,5).
+//! --sets LIST    comma-separated experiment sets (default
+//!                1,2,3,4,5,6).
 //! --out PATH     where to write the report (default BENCH_<L>.json).
 //! --compare PATH gate an existing report instead of running the
 //!                matrix (PATH is the "current" side; nothing is run
@@ -28,6 +29,11 @@
 //! are deterministic; wall numbers are machine-dependent, so gate
 //! against baselines from the same hardware class and keep the
 //! tolerance loose.
+//!
+//! Built with `--features alloc-profile`, every entry additionally
+//! carries `allocs` / `peak_bytes` / `allocs_per_event` from the
+//! counting global allocator, and the gate also fails cold entries
+//! whose allocations per event grow beyond the tolerance.
 
 use gbench::suite::{compare, render_regressions, run_matrix, BenchReport, BENCH_SETS};
 use std::path::PathBuf;
@@ -68,7 +74,7 @@ fn main() {
                             .trim()
                             .parse()
                             .unwrap_or_else(|_| die(&format!("bad set {s:?}")));
-                        if !(1..=5).contains(&n) {
+                        if !(1..=6).contains(&n) {
                             die(&format!("no experiment set {n}"));
                         }
                         n

@@ -23,7 +23,11 @@ use gtrace::json::{parse, Val};
 use std::path::Path;
 
 /// Schema tag of `BENCH_*.json`; bump on layout changes.
-pub const BENCH_SCHEMA: &str = "gridmon-bench-v1";
+///
+/// v2 added the allocation columns (`allocs`, `peak_bytes`,
+/// `allocs_per_event`), populated when the binary is built with
+/// `--features alloc-profile` and zero otherwise.
+pub const BENCH_SCHEMA: &str = "gridmon-bench-v2";
 
 /// The sets the full matrix covers.
 pub const BENCH_SETS: [u32; 6] = [1, 2, 3, 4, 5, 6];
@@ -45,6 +49,15 @@ pub struct BenchEntry {
     pub sim_s: f64,
     /// Simulator speed, `events / wall_s` (0 for warm entries).
     pub events_per_sec: f64,
+    /// Heap allocations performed during the phase (0 when the binary
+    /// was built without `alloc-profile`).
+    pub allocs: u64,
+    /// Net growth of the in-use high-water mark over the phase, bytes
+    /// (0 without `alloc-profile`).
+    pub peak_bytes: u64,
+    /// `allocs / events` for cold entries; 0 for warm entries and
+    /// without `alloc-profile`.
+    pub allocs_per_event: f64,
 }
 
 /// A full benchmark report, as serialized to `BENCH_<label>.json`.
@@ -58,7 +71,7 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Serialize as a `gridmon-bench-v1` document.
+    /// Serialize as a `gridmon-bench-v2` document.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512 + self.entries.len() * 160);
         out.push_str("{\n");
@@ -73,21 +86,25 @@ impl BenchReport {
             }
             out.push_str(&format!(
                 "\n    {{\"id\": \"{}\", \"warm\": {}, \"points\": {}, \"wall_s\": {}, \
-                 \"events\": {}, \"sim_s\": {}, \"events_per_sec\": {}}}",
+                 \"events\": {}, \"sim_s\": {}, \"events_per_sec\": {}, \
+                 \"allocs\": {}, \"peak_bytes\": {}, \"allocs_per_event\": {}}}",
                 json_escape(&e.id),
                 e.warm,
                 e.points,
                 json_f64(e.wall_s),
                 e.events,
                 json_f64(e.sim_s),
-                json_f64(e.events_per_sec)
+                json_f64(e.events_per_sec),
+                e.allocs,
+                e.peak_bytes,
+                json_f64(e.allocs_per_event)
             ));
         }
         out.push_str("\n  ]\n}\n");
         out
     }
 
-    /// Parse a `gridmon-bench-v1` document.
+    /// Parse a `gridmon-bench-v2` document.
     pub fn from_json(doc: &str) -> Result<BenchReport, String> {
         let v = parse(doc)?;
         let schema = v.get("schema").and_then(Val::as_str).unwrap_or("");
@@ -119,6 +136,9 @@ impl BenchReport {
                     events: num(e, "events")? as u64,
                     sim_s: num(e, "sim_s")?,
                     events_per_sec: num(e, "events_per_sec")?,
+                    allocs: num(e, "allocs")? as u64,
+                    peak_bytes: num(e, "peak_bytes")? as u64,
+                    allocs_per_event: num(e, "allocs_per_event")?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -134,10 +154,13 @@ impl BenchReport {
         })
     }
 
-    /// Render the report as an aligned table.
+    /// Render the report as an aligned table.  The allocation columns
+    /// only appear when some entry actually carries alloc data (i.e.
+    /// the matrix ran under `alloc-profile`).
     pub fn render(&self) -> String {
+        let with_allocs = self.entries.iter().any(|e| e.allocs > 0);
         let mut out = format!(
-            "benchmark {} (seed {}, {} worker{})\n{:<14} {:>7} {:>10} {:>12} {:>10} {:>14}\n",
+            "benchmark {} (seed {}, {} worker{})\n{:<14} {:>7} {:>10} {:>12} {:>10} {:>14}",
             self.label,
             self.seed,
             self.jobs,
@@ -149,11 +172,25 @@ impl BenchReport {
             "sim (s)",
             "events/s"
         );
+        if with_allocs {
+            out.push_str(&format!(
+                " {:>12} {:>12} {:>10}",
+                "allocs", "peak (B)", "allocs/ev"
+            ));
+        }
+        out.push('\n');
         for e in &self.entries {
             out.push_str(&format!(
-                "{:<14} {:>7} {:>10.4} {:>12} {:>10.1} {:>14.0}\n",
+                "{:<14} {:>7} {:>10.4} {:>12} {:>10.1} {:>14.0}",
                 e.id, e.points, e.wall_s, e.events, e.sim_s, e.events_per_sec
             ));
+            if with_allocs {
+                out.push_str(&format!(
+                    " {:>12} {:>12} {:>10.2}",
+                    e.allocs, e.peak_bytes, e.allocs_per_event
+                ));
+            }
+            out.push('\n');
         }
         out
     }
@@ -163,7 +200,8 @@ impl BenchReport {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Regression {
     pub id: String,
-    /// What regressed: `events_per_sec`, `wall_s`, or `missing`.
+    /// What regressed: `events_per_sec`, `wall_s`, `allocs_per_event`,
+    /// or `missing`.
     pub metric: &'static str,
     pub current: f64,
     pub baseline: f64,
@@ -171,14 +209,24 @@ pub struct Regression {
     pub delta_pct: f64,
 }
 
+/// Below this wall time a warm entry is all timer jitter: the cache
+/// path finishes in ~0.1 ms, where a one-scheduler-tick difference
+/// reads as a "+300%" regression.  Warm comparisons only fire once the
+/// current run is slow enough to be signal.
+const WARM_WALL_NOISE_FLOOR_S: f64 = 0.005;
+
 /// Gate `current` against `baseline` with a symmetric `tolerance_pct`.
 ///
 /// Cold entries regress when simulator throughput drops more than the
-/// tolerance below the baseline; warm entries regress when the cache
-/// path's wall time exceeds the baseline by more than the tolerance.
-/// A baseline entry missing from the current report is itself a
-/// regression (a silently shrunken matrix must not pass the gate);
-/// entries new in `current` are ignored.
+/// tolerance below the baseline, or when allocations per event grow
+/// beyond it (the allocation check only fires when both reports carry
+/// alloc data — a matrix run without `alloc-profile` reports zeros and
+/// is exempt).  Warm entries regress when the cache path's wall time
+/// exceeds the baseline by more than the tolerance *and* clears the
+/// absolute noise floor ([`WARM_WALL_NOISE_FLOOR_S`]).  A baseline
+/// entry missing from the current report is itself a regression (a
+/// silently shrunken matrix must not pass the gate); entries new in
+/// `current` are ignored.
 pub fn compare(
     current: &BenchReport,
     baseline: &BenchReport,
@@ -202,7 +250,10 @@ pub fn compare(
             continue;
         };
         if base.warm {
-            if base.wall_s > 0.0 && cur.wall_s > base.wall_s * (1.0 + tol) {
+            if base.wall_s > 0.0
+                && cur.wall_s > WARM_WALL_NOISE_FLOOR_S
+                && cur.wall_s > base.wall_s * (1.0 + tol)
+            {
                 regressions.push(Regression {
                     id: base.id.clone(),
                     metric: "wall_s",
@@ -211,16 +262,28 @@ pub fn compare(
                     delta_pct: (cur.wall_s / base.wall_s - 1.0) * 100.0,
                 });
             }
-        } else if base.events_per_sec > 0.0
-            && cur.events_per_sec < base.events_per_sec * (1.0 - tol)
-        {
-            regressions.push(Regression {
-                id: base.id.clone(),
-                metric: "events_per_sec",
-                current: cur.events_per_sec,
-                baseline: base.events_per_sec,
-                delta_pct: (cur.events_per_sec / base.events_per_sec - 1.0) * 100.0,
-            });
+        } else {
+            if base.events_per_sec > 0.0 && cur.events_per_sec < base.events_per_sec * (1.0 - tol) {
+                regressions.push(Regression {
+                    id: base.id.clone(),
+                    metric: "events_per_sec",
+                    current: cur.events_per_sec,
+                    baseline: base.events_per_sec,
+                    delta_pct: (cur.events_per_sec / base.events_per_sec - 1.0) * 100.0,
+                });
+            }
+            if base.allocs_per_event > 0.0
+                && cur.allocs_per_event > 0.0
+                && cur.allocs_per_event > base.allocs_per_event * (1.0 + tol)
+            {
+                regressions.push(Regression {
+                    id: base.id.clone(),
+                    metric: "allocs_per_event",
+                    current: cur.allocs_per_event,
+                    baseline: base.allocs_per_event,
+                    delta_pct: (cur.allocs_per_event / base.allocs_per_event - 1.0) * 100.0,
+                });
+            }
         }
     }
     regressions
@@ -277,10 +340,17 @@ pub fn run_matrix(
             quiet,
         };
 
-        // Cold: empty cache, everything executes.
+        // Cold: empty cache, everything executes.  Bracket the run
+        // with allocator snapshots (no-ops without `alloc-profile`):
+        // `reset_peak` restarts the high-water mark so `peak_bytes`
+        // measures this phase, not the whole process so far.
+        gperf::alloc::reset_peak();
+        let pre = gperf::alloc::stats().unwrap_or_default();
         let mut cold = gperf::PerfSink::new();
         let (_, _) = gridmon_runner::run_jobs_profiled(&jobs_list, &cfg, &rc, Some(&mut cold));
+        let post = gperf::alloc::stats().unwrap_or_default();
         let t = cold.totals();
+        let allocs = post.allocs.saturating_sub(pre.allocs);
         entries.push(BenchEntry {
             id: format!("set{set}/cold"),
             warm: false,
@@ -289,11 +359,21 @@ pub fn run_matrix(
             events: t.events,
             sim_s: t.sim_us as f64 / 1e6,
             events_per_sec: t.events_per_sec(),
+            allocs,
+            peak_bytes: post.peak.saturating_sub(pre.in_use),
+            allocs_per_event: if t.events > 0 {
+                allocs as f64 / t.events as f64
+            } else {
+                0.0
+            },
         });
 
         // Warm: the same sweep against the cache the cold run filled.
+        gperf::alloc::reset_peak();
+        let pre = gperf::alloc::stats().unwrap_or_default();
         let mut warm = gperf::PerfSink::new();
         let (_, stats) = gridmon_runner::run_jobs_profiled(&jobs_list, &cfg, &rc, Some(&mut warm));
+        let post = gperf::alloc::stats().unwrap_or_default();
         debug_assert_eq!(stats.executed, 0, "warm run must be all cache hits");
         entries.push(BenchEntry {
             id: format!("set{set}/warm"),
@@ -303,6 +383,9 @@ pub fn run_matrix(
             events: 0,
             sim_s: 0.0,
             events_per_sec: 0.0,
+            allocs: post.allocs.saturating_sub(pre.allocs),
+            peak_bytes: post.peak.saturating_sub(pre.in_use),
+            allocs_per_event: 0.0,
         });
     }
     Ok(entries)
@@ -322,14 +405,18 @@ mod tests {
     }
 
     fn cold(id: &str, eps: f64) -> BenchEntry {
+        let events = (eps * 1.0) as u64;
         BenchEntry {
             id: id.into(),
             warm: false,
             points: 2,
             wall_s: 1.0,
-            events: (eps * 1.0) as u64,
+            events,
             sim_s: 120.0,
             events_per_sec: eps,
+            allocs: events * 3,
+            peak_bytes: 1 << 20,
+            allocs_per_event: 3.0,
         }
     }
 
@@ -342,6 +429,9 @@ mod tests {
             events: 0,
             sim_s: 0.0,
             events_per_sec: 0.0,
+            allocs: 500,
+            peak_bytes: 4096,
+            allocs_per_event: 0.0,
         }
     }
 
@@ -349,7 +439,7 @@ mod tests {
     fn json_roundtrips() {
         let r = report(vec![cold("set1/cold", 123456.7), warm("set1/warm", 0.0023)]);
         let doc = r.to_json();
-        assert!(doc.contains("\"schema\": \"gridmon-bench-v1\""));
+        assert!(doc.contains("\"schema\": \"gridmon-bench-v2\""));
         let back = BenchReport::from_json(&doc).unwrap();
         assert_eq!(back.label, "test");
         assert_eq!(back.seed, 1);
@@ -358,7 +448,17 @@ mod tests {
         assert_eq!(back.entries[0].id, "set1/cold");
         assert!(!back.entries[0].warm);
         assert!((back.entries[0].events_per_sec - 123456.7).abs() < 1e-6);
+        assert_eq!(back.entries[0].allocs, back.entries[0].events * 3);
+        assert_eq!(back.entries[0].peak_bytes, 1 << 20);
+        assert!((back.entries[0].allocs_per_event - 3.0).abs() < 1e-9);
         assert!(back.entries[1].warm);
+    }
+
+    #[test]
+    fn v1_documents_are_rejected() {
+        let doc = r#"{"schema": "gridmon-bench-v1", "label": "old", "seed": 1,
+                      "jobs": 1, "entries": []}"#;
+        assert!(BenchReport::from_json(doc).unwrap_err().contains("schema"));
     }
 
     #[test]
@@ -386,6 +486,32 @@ mod tests {
     }
 
     #[test]
+    fn gate_flags_alloc_per_event_growth() {
+        let base = report(vec![cold("set1/cold", 100_000.0)]);
+        // Same throughput, 3.0 -> 3.2 allocs/event under 10%: fine.
+        let mut ok_entry = cold("set1/cold", 100_000.0);
+        ok_entry.allocs_per_event = 3.2;
+        assert!(compare(&report(vec![ok_entry]), &base, 10.0).is_empty());
+        // 3.0 -> 4.5 allocs/event: regression.
+        let mut bad_entry = cold("set1/cold", 100_000.0);
+        bad_entry.allocs_per_event = 4.5;
+        let regs = compare(&report(vec![bad_entry]), &base, 10.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "allocs_per_event");
+        assert!((regs[0].delta_pct - 50.0).abs() < 1e-9);
+        // A report without alloc data (feature off) is exempt.
+        let mut off_entry = cold("set1/cold", 100_000.0);
+        off_entry.allocs = 0;
+        off_entry.allocs_per_event = 0.0;
+        assert!(compare(&report(vec![off_entry.clone()]), &base, 10.0).is_empty());
+        // ... and a baseline without alloc data never gates on it.
+        let no_alloc_base = report(vec![off_entry]);
+        let mut cur = cold("set1/cold", 100_000.0);
+        cur.allocs_per_event = 99.0;
+        assert!(compare(&report(vec![cur]), &no_alloc_base, 10.0).is_empty());
+    }
+
+    #[test]
     fn gate_flags_warm_wall_growth_and_missing_entries() {
         let base = report(vec![warm("set1/warm", 0.010), cold("set2/cold", 5e5)]);
         let slower = report(vec![warm("set1/warm", 0.020), cold("set2/cold", 5e5)]);
@@ -399,5 +525,20 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].metric, "missing");
         assert_eq!(regs[0].id, "set2/cold");
+    }
+
+    #[test]
+    fn gate_ignores_warm_jitter_below_noise_floor() {
+        // 0.1 ms -> 0.4 ms is +300%, but both are timer noise: the
+        // absolute floor keeps the warm check quiet until the cache
+        // path is slow enough to mean something.
+        let base = report(vec![warm("set1/warm", 0.0001)]);
+        let jitter = report(vec![warm("set1/warm", 0.0004)]);
+        assert!(compare(&jitter, &base, 50.0).is_empty());
+        // A genuinely slow cache path still regresses.
+        let slow = report(vec![warm("set1/warm", 0.0200)]);
+        let regs = compare(&slow, &base, 50.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "wall_s");
     }
 }

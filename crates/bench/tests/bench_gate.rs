@@ -30,6 +30,9 @@ fn synthetic(label: &str, eps: f64, warm_wall: f64) -> BenchReport {
                 events: eps as u64,
                 sim_s: 120.0,
                 events_per_sec: eps,
+                allocs: (eps * 2.0) as u64,
+                peak_bytes: 1 << 20,
+                allocs_per_event: 2.0,
             },
             BenchEntry {
                 id: "set1/warm".into(),
@@ -39,6 +42,9 @@ fn synthetic(label: &str, eps: f64, warm_wall: f64) -> BenchReport {
                 events: 0,
                 sim_s: 0.0,
                 events_per_sec: 0.0,
+                allocs: 100,
+                peak_bytes: 4096,
+                allocs_per_event: 0.0,
             },
         ],
     }

@@ -5,19 +5,27 @@
 //! `#` are comments).  Attribute names are case-insensitive; insertion
 //! order is preserved for printing.
 
-use crate::expr::Expr;
+use crate::expr::{intern_lower, Expr};
 use crate::parser::{parse_expr, ParseError};
 use crate::value::Value;
+use gintern::Sym;
 use std::collections::HashMap;
 use std::fmt;
 
 /// A classified advertisement: a set of named expressions.
+///
+/// Names are interned [`Sym`]s: inserts and lookups hash a 32-bit id,
+/// and cloning an ad copies no name strings.  Probing uses
+/// [`gintern::lookup`], which never grows the intern table — a name that
+/// was never interned anywhere cannot be a key of any ad.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassAd {
     /// Insertion-ordered (lowercase name, printed name, expression).
-    entries: Vec<(String, String, Expr)>,
-    /// Lowercase name -> index into `entries`.
-    index: HashMap<String, usize>,
+    entries: Vec<(Sym, Sym, Expr)>,
+    /// Lowercase name -> index into `entries`.  Only probed by key
+    /// (never iterated), so `Sym`'s id-based hashing cannot leak
+    /// nondeterministic ordering anywhere.
+    index: HashMap<Sym, usize>,
 }
 
 impl ClassAd {
@@ -36,15 +44,16 @@ impl ClassAd {
 
     /// Insert or replace an attribute.
     pub fn insert(&mut self, name: &str, expr: Expr) {
-        let key = name.to_ascii_lowercase();
+        let key = intern_lower(name);
+        let printed = gintern::intern(name);
         match self.index.get(&key) {
             Some(&i) => {
-                self.entries[i].1 = name.to_string();
+                self.entries[i].1 = printed;
                 self.entries[i].2 = expr;
             }
             None => {
-                self.index.insert(key.clone(), self.entries.len());
-                self.entries.push((key, name.to_string(), expr));
+                self.index.insert(key, self.entries.len());
+                self.entries.push((key, printed, expr));
             }
         }
     }
@@ -77,27 +86,36 @@ impl ClassAd {
         Ok(())
     }
 
+    /// Resolve a probe name to the `Sym` it would be stored under, without
+    /// interning: a name absent from the global table was never inserted
+    /// into *any* ad, so a miss means "not present".
+    fn probe(name: &str) -> Option<Sym> {
+        if name.bytes().any(|b| b.is_ascii_uppercase()) {
+            gintern::lookup(&name.to_ascii_lowercase())
+        } else {
+            gintern::lookup(name)
+        }
+    }
+
     /// Look up an attribute (case-insensitive).  Parsed expressions store
     /// names lowercase already, so the hot path does not allocate.
     pub fn get(&self, name: &str) -> Option<&Expr> {
-        let idx = if name.bytes().any(|b| b.is_ascii_uppercase()) {
-            self.index.get(name.to_ascii_lowercase().as_str())
-        } else {
-            self.index.get(name)
-        };
-        idx.map(|&i| &self.entries[i].2)
+        let key = Self::probe(name)?;
+        self.index.get(&key).map(|&i| &self.entries[i].2)
     }
 
     /// Remove an attribute; returns whether it existed.
     pub fn remove(&mut self, name: &str) -> bool {
-        let key = name.to_ascii_lowercase();
+        let Some(key) = Self::probe(name) else {
+            return false;
+        };
         let Some(i) = self.index.remove(&key) else {
             return false;
         };
         self.entries.remove(i);
         // Reindex the tail.
         for (j, (k, _, _)) in self.entries.iter().enumerate().skip(i) {
-            self.index.insert(k.clone(), j);
+            self.index.insert(*k, j);
         }
         true
     }
@@ -169,9 +187,20 @@ impl ClassAd {
         Ok(ad)
     }
 
-    /// Serialized size in bytes (what goes on the simulated wire).
+    /// Serialized size in bytes (what goes on the simulated wire),
+    /// measured by counting `Display` output instead of materializing it.
     pub fn wire_size(&self) -> u64 {
-        self.to_string().len() as u64
+        use fmt::Write;
+        struct Counter(u64);
+        impl fmt::Write for Counter {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                self.0 += s.len() as u64;
+                Ok(())
+            }
+        }
+        let mut c = Counter(0);
+        write!(c, "{self}").expect("counting writer never fails");
+        c.0
     }
 }
 

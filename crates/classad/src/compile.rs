@@ -23,6 +23,7 @@ use crate::eval::{
 };
 use crate::expr::{BinOp, Expr, Scope, UnOp};
 use crate::value::Value;
+use gintern::Sym;
 
 /// One instruction of the flattened expression.
 #[derive(Debug, Clone)]
@@ -56,7 +57,7 @@ enum Op {
 #[derive(Debug, Clone)]
 pub struct CompiledExpr {
     ops: Vec<Op>,
-    names: Vec<String>,
+    names: Vec<Sym>,
 }
 
 impl CompiledExpr {
@@ -80,11 +81,11 @@ impl CompiledExpr {
         self.ops.is_empty()
     }
 
-    fn intern(&mut self, name: &str) -> u32 {
-        match self.names.iter().position(|n| n == name) {
+    fn intern(&mut self, name: Sym) -> u32 {
+        match self.names.iter().position(|&n| n == name) {
             Some(i) => i as u32,
             None => {
-                self.names.push(name.to_string());
+                self.names.push(name);
                 (self.names.len() - 1) as u32
             }
         }
@@ -94,7 +95,7 @@ impl CompiledExpr {
         match expr {
             Expr::Lit(v) => self.ops.push(Op::Lit(v.clone())),
             Expr::Attr { scope, name, .. } => {
-                let name = self.intern(name);
+                let name = self.intern(*name);
                 self.ops.push(Op::Attr {
                     scope: *scope,
                     name,
@@ -147,7 +148,7 @@ impl CompiledExpr {
                 for a in args {
                     self.emit(a);
                 }
-                let name = self.intern(name);
+                let name = self.intern(*name);
                 self.ops.push(Op::Call {
                     name,
                     argc: args.len() as u32,
@@ -165,7 +166,7 @@ impl CompiledExpr {
             match &self.ops[pc] {
                 Op::Lit(v) => stack.push(v.clone()),
                 Op::Attr { scope, name } => {
-                    let v = eval_attr(*scope, &self.names[*name as usize], cx);
+                    let v = eval_attr(*scope, self.names[*name as usize], cx);
                     stack.push(v);
                 }
                 Op::Unary(op) => {

@@ -9,13 +9,14 @@
 use crate::ad::ClassAd;
 use crate::expr::{BinOp, Expr, Scope, UnOp};
 use crate::value::Value;
+use gintern::Sym;
 
 /// Evaluation context: the two ads and the in-progress reference stack for
 /// cycle detection.
 pub struct EvalCtx<'a> {
     pub my: &'a ClassAd,
     pub target: Option<&'a ClassAd>,
-    visiting: Vec<(bool, String)>, // (is_target_scope, name)
+    visiting: Vec<(bool, Sym)>, // (is_target_scope, name)
 }
 
 impl<'a> EvalCtx<'a> {
@@ -31,22 +32,12 @@ impl<'a> EvalCtx<'a> {
     /// an attribute's *body* is evaluated directly (e.g. a pre-compiled
     /// `Requirements`) so circular definitions behave exactly as if the
     /// evaluation had entered through the attribute reference.
-    pub fn seeded(my: &'a ClassAd, target: Option<&'a ClassAd>, visiting: (bool, String)) -> Self {
+    pub fn seeded(my: &'a ClassAd, target: Option<&'a ClassAd>, visiting: (bool, Sym)) -> Self {
         EvalCtx {
             my,
             target,
             visiting: vec![visiting],
         }
-    }
-}
-
-/// Lowercase only when needed (attribute names in parsed expressions are
-/// already lowercase, so the hot path doesn't allocate).
-fn lower(name: &str) -> std::borrow::Cow<'_, str> {
-    if name.bytes().any(|b| b.is_ascii_uppercase()) {
-        std::borrow::Cow::Owned(name.to_ascii_lowercase())
-    } else {
-        std::borrow::Cow::Borrowed(name)
     }
 }
 
@@ -60,7 +51,7 @@ pub fn eval(expr: &Expr, my: &ClassAd, target: Option<&ClassAd>) -> Value {
 pub fn eval_in(expr: &Expr, cx: &mut EvalCtx) -> Value {
     match expr {
         Expr::Lit(v) => v.clone(),
-        Expr::Attr { scope, name, .. } => eval_attr(*scope, name, cx),
+        Expr::Attr { scope, name, .. } => eval_attr(*scope, *name, cx),
         Expr::Unary(op, e) => eval_unary(*op, eval_in(e, cx)),
         Expr::Binary(op, a, b) => eval_binary(*op, a, b, cx),
         Expr::Cond(c, t, e) => match eval_in(c, cx) {
@@ -73,7 +64,7 @@ pub fn eval_in(expr: &Expr, cx: &mut EvalCtx) -> Value {
     }
 }
 
-pub(crate) fn eval_attr(scope: Scope, name: &str, cx: &mut EvalCtx) -> Value {
+pub(crate) fn eval_attr(scope: Scope, name: Sym, cx: &mut EvalCtx) -> Value {
     // Resolve which ad the reference lands in.
     let candidates: &[(bool, &ClassAd)] = match scope {
         Scope::My => &[(false, cx.my)],
@@ -86,17 +77,18 @@ pub(crate) fn eval_attr(scope: Scope, name: &str, cx: &mut EvalCtx) -> Value {
             None => &[(false, cx.my)],
         },
     };
-    let key_name = lower(name);
+    // `Expr::Attr` names are interned lowercase, so the cycle stack
+    // compares symbol ids — no per-resolution lowercasing or allocation.
     let in_visiting = |cx: &EvalCtx, is_target: bool| {
         cx.visiting
             .iter()
-            .any(|(t, n)| *t == is_target && *n == *key_name)
+            .any(|(t, n)| *t == is_target && *n == name)
     };
     // Work around the borrow of cx inside the loop: find the expression
     // first.
     let mut found: Option<(bool, Expr)> = None;
     for &(is_target, ad) in candidates {
-        if let Some(e) = ad.get(name) {
+        if let Some(e) = ad.get(&name) {
             // A literal body cannot recurse, so the cycle bookkeeping
             // below is unobservable for it: answer without cloning the
             // expression — unless this very reference is already in
@@ -117,7 +109,7 @@ pub(crate) fn eval_attr(scope: Scope, name: &str, cx: &mut EvalCtx) -> Value {
         // Circular reference.
         return Value::Undefined;
     }
-    cx.visiting.push((is_target, key_name.into_owned()));
+    cx.visiting.push((is_target, name));
     // Inside the referenced ad, unscoped references resolve relative to
     // *that* ad: swap MY/TARGET when we crossed into the target.
     let v = if is_target {

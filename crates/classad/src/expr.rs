@@ -1,6 +1,11 @@
 //! ClassAd expression AST and pretty-printing.
+//!
+//! Attribute and builtin names are interned [`Sym`]s: constructing,
+//! cloning and comparing references costs no allocation, and scope
+//! resolution in the evaluator compares symbol ids instead of strings.
 
 use crate::value::Value;
+use gintern::Sym;
 use std::fmt;
 
 /// Attribute-reference scope.
@@ -84,31 +89,41 @@ pub enum Expr {
     /// are case-insensitive) with the original case kept for printing.
     Attr {
         scope: Scope,
-        name: String,
-        printed: String,
+        name: Sym,
+        printed: Sym,
     },
     Unary(UnOp, Box<Expr>),
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// `cond ? then : else`.
     Cond(Box<Expr>, Box<Expr>, Box<Expr>),
     /// Builtin function call.
-    Call(String, Vec<Expr>),
+    Call(Sym, Vec<Expr>),
+}
+
+/// Intern a name's lowercase form without allocating when it is already
+/// lowercase.
+pub(crate) fn intern_lower(name: &str) -> Sym {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        gintern::intern(&name.to_ascii_lowercase())
+    } else {
+        gintern::intern(name)
+    }
 }
 
 impl Expr {
     pub fn attr(name: &str) -> Expr {
         Expr::Attr {
             scope: Scope::None,
-            name: name.to_ascii_lowercase(),
-            printed: name.to_string(),
+            name: intern_lower(name),
+            printed: gintern::intern(name),
         }
     }
 
     pub fn scoped_attr(scope: Scope, name: &str) -> Expr {
         Expr::Attr {
             scope,
-            name: name.to_ascii_lowercase(),
-            printed: name.to_string(),
+            name: intern_lower(name),
+            printed: gintern::intern(name),
         }
     }
 
@@ -264,8 +279,8 @@ mod tests {
         let e = Expr::scoped_attr(Scope::Target, "CpuLoad");
         match &e {
             Expr::Attr { name, printed, .. } => {
-                assert_eq!(name, "cpuload");
-                assert_eq!(printed, "CpuLoad");
+                assert_eq!(name.as_str(), "cpuload");
+                assert_eq!(printed.as_str(), "CpuLoad");
             }
             _ => unreachable!(),
         }

@@ -55,7 +55,8 @@ pub fn requirements_met_compiled(
     match req {
         None => true,
         Some(c) => {
-            let mut cx = EvalCtx::seeded(ad, Some(target), (false, "requirements".to_string()));
+            let mut cx =
+                EvalCtx::seeded(ad, Some(target), (false, gintern::intern("requirements")));
             matches!(c.eval_in(&mut cx), Value::Bool(true))
         }
     }

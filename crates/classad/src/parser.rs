@@ -205,7 +205,7 @@ impl Parser {
                     self.expect(&Token::Comma)?;
                 }
             }
-            return Ok(Expr::Call(lower, args));
+            return Ok(Expr::Call(gintern::intern(&lower), args));
         }
         Ok(Expr::attr(&name))
     }

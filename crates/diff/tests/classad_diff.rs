@@ -80,13 +80,13 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 ],
                 inner.clone()
             )
-                .prop_map(|(f, a)| Expr::Call(f.to_string(), vec![a])),
+                .prop_map(|(f, a)| Expr::Call(f.into(), vec![a])),
             (
                 prop_oneof![Just("min"), Just("max"), Just("strcat"), Just("strcmp")],
                 inner.clone(),
                 inner
             )
-                .prop_map(|(f, a, b)| Expr::Call(f.to_string(), vec![a, b])),
+                .prop_map(|(f, a, b)| Expr::Call(f.into(), vec![a, b])),
         ]
     })
 }

@@ -6,6 +6,7 @@
 //! reference engine; only `popped` (stale churn) may shrink.
 
 use proptest::prelude::*;
+use simcore::reference::RefEngine;
 use simcore::{Engine, SimTime};
 
 #[derive(Default)]
@@ -90,5 +91,123 @@ proptest! {
         let fast = run(true, &seed_times);
         let slow = run(false, &seed_times);
         prop_assert_eq!(fast, slow);
+    }
+
+    /// Pooled closure storage vs the verbatim pre-pool box-per-event
+    /// engine: identical schedule/cancel scripts must yield the same
+    /// dispatch stream, clock and all three counters.  The script mixes
+    /// small captures (pooled), 1 KiB captures (the `Box` fallback) and
+    /// burst cancellation so recycled buffers interleave with stale keys.
+    #[test]
+    fn pooled_storage_matches_boxed_reference(
+        plan in proptest::collection::vec(
+            (0u64..5000, any::<bool>(), any::<bool>()), 1..300),
+    ) {
+        fn run_new(plan: &[(u64, bool, bool)]) -> (Vec<(u64, u32)>, u64, u64, u64, u64) {
+            let mut eng: Engine<World> = Engine::new(42);
+            let mut w = World::default();
+            let mut doomed = Vec::new();
+            for (i, &(t, cancel, big)) in plan.iter().enumerate() {
+                let i = i as u32;
+                let h = if big {
+                    let pad = [u64::from(i); 128]; // forces the Box fallback
+                    eng.schedule_at(SimTime(t), move |w: &mut World, eng| {
+                        w.dispatched.push((eng.now().as_micros(), i + pad[0] as u32 - i));
+                    })
+                } else {
+                    eng.schedule_at(SimTime(t), move |w: &mut World, eng| {
+                        w.dispatched.push((eng.now().as_micros(), i));
+                    })
+                };
+                if cancel {
+                    doomed.push(h);
+                }
+                if doomed.len() >= 16 {
+                    for h in doomed.drain(..) {
+                        assert!(eng.cancel(h));
+                    }
+                }
+            }
+            for h in doomed {
+                assert!(eng.cancel(h));
+            }
+            eng.run_until(&mut w, SimTime(1_000_000));
+            (w.dispatched, eng.fired, eng.popped, eng.advances, eng.now().as_micros())
+        }
+        fn run_ref(plan: &[(u64, bool, bool)]) -> (Vec<(u64, u32)>, u64, u64, u64, u64) {
+            let mut eng: RefEngine<World> = RefEngine::new(42);
+            let mut w = World::default();
+            let mut doomed = Vec::new();
+            for (i, &(t, cancel, big)) in plan.iter().enumerate() {
+                let i = i as u32;
+                let h = if big {
+                    let pad = [u64::from(i); 128];
+                    eng.schedule_at(SimTime(t), move |w: &mut World, eng| {
+                        w.dispatched.push((eng.now().as_micros(), i + pad[0] as u32 - i));
+                    })
+                } else {
+                    eng.schedule_at(SimTime(t), move |w: &mut World, eng| {
+                        w.dispatched.push((eng.now().as_micros(), i));
+                    })
+                };
+                if cancel {
+                    doomed.push(h);
+                }
+                if doomed.len() >= 16 {
+                    for h in doomed.drain(..) {
+                        assert!(eng.cancel(h));
+                    }
+                }
+            }
+            for h in doomed {
+                assert!(eng.cancel(h));
+            }
+            eng.run_until(&mut w, SimTime(1_000_000));
+            (w.dispatched, eng.fired, eng.popped, eng.advances, eng.now().as_micros())
+        }
+        prop_assert_eq!(run_new(&plan), run_ref(&plan));
+    }
+
+    /// Self-rescheduling from inside pooled events (buffer recycled and
+    /// immediately reused by the successor) matches the boxed reference.
+    #[test]
+    fn pooled_nested_scheduling_matches_reference(
+        seed_times in proptest::collection::vec(0u64..100, 1..30),
+    ) {
+        fn run_new(seed_times: &[u64]) -> (Vec<(u64, u32)>, u64) {
+            let mut eng: Engine<World> = Engine::new(7);
+            let mut w = World::default();
+            for (i, &t) in seed_times.iter().enumerate() {
+                let i = i as u32;
+                eng.schedule_at(SimTime(t), move |w: &mut World, eng| {
+                    w.dispatched.push((eng.now().as_micros(), i));
+                    eng.schedule_in(simcore::SimDuration(10), move |w: &mut World, eng| {
+                        w.dispatched.push((eng.now().as_micros(), 1000 + i));
+                    });
+                    let doomed = eng.schedule_in(simcore::SimDuration(500), |_w, _e| {});
+                    eng.cancel(doomed);
+                });
+            }
+            eng.run_until(&mut w, SimTime(10_000));
+            (w.dispatched, eng.fired)
+        }
+        fn run_ref(seed_times: &[u64]) -> (Vec<(u64, u32)>, u64) {
+            let mut eng: RefEngine<World> = RefEngine::new(7);
+            let mut w = World::default();
+            for (i, &t) in seed_times.iter().enumerate() {
+                let i = i as u32;
+                eng.schedule_at(SimTime(t), move |w: &mut World, eng| {
+                    w.dispatched.push((eng.now().as_micros(), i));
+                    eng.schedule_in(simcore::SimDuration(10), move |w: &mut World, eng| {
+                        w.dispatched.push((eng.now().as_micros(), 1000 + i));
+                    });
+                    let doomed = eng.schedule_in(simcore::SimDuration(500), |_w, _e| {});
+                    eng.cancel(doomed);
+                });
+            }
+            eng.run_until(&mut w, SimTime(10_000));
+            (w.dispatched, eng.fired)
+        }
+        prop_assert_eq!(run_new(&seed_times), run_ref(&seed_times));
     }
 }

@@ -5,8 +5,19 @@
 //! Attribute types and values are matched case-insensitively (LDAP
 //! caseIgnoreMatch, which is what MDS schema attributes use).  Multi-valued
 //! RDNs (`a=1+b=2`) are not supported — MDS does not use them.
+//!
+//! Both sides of every RDN are interned [`Sym`]s and the component list
+//! is a shared `Rc` slice, so `Dn::clone` — which the request path runs
+//! once per message and once per returned entry — performs no heap
+//! allocation at all.  `Sym` comparison resolves to string comparison,
+//! so DNs sort exactly as their string forms did; that ordering is
+//! load-bearing (DN-ordered result assembly feeds size-capped GIIS
+//! payloads and the pinned figure CSVs).
 
+use gintern::Sym;
+use std::borrow::Cow;
 use std::fmt;
+use std::rc::Rc;
 
 /// Error parsing a DN.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,13 +31,49 @@ impl fmt::Display for DnError {
 
 impl std::error::Error for DnError {}
 
-/// One `type=value` component.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Lowercase only when needed; DN components flowing through the query
+/// path are lowercase already.
+fn lc(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+/// One `type=value` component.  Both sides are lowercased interned
+/// symbols: equality and hashing compare symbol ids, ordering compares
+/// the resolved strings (see `gintern`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rdn {
     /// Lowercased attribute type.
-    pub attr: String,
+    pub attr: Sym,
     /// Lowercased value (LDAP caseIgnore semantics).
-    pub value: String,
+    pub value: Sym,
+}
+
+impl Rdn {
+    /// Intern a component, lowercasing as needed.
+    pub fn new(attr: &str, value: &str) -> Rdn {
+        Rdn {
+            attr: gintern::intern(lc(attr).as_ref()),
+            value: gintern::intern(lc(value).as_ref()),
+        }
+    }
+}
+
+impl PartialOrd for Rdn {
+    fn partial_cmp(&self, other: &Rdn) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rdn {
+    fn cmp(&self, other: &Rdn) -> std::cmp::Ordering {
+        self.attr
+            .cmp(&other.attr)
+            .then_with(|| self.value.cmp(&other.value))
+    }
 }
 
 impl fmt::Display for Rdn {
@@ -38,13 +85,17 @@ impl fmt::Display for Rdn {
 /// A distinguished name (most-specific RDN first).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Dn {
-    rdns: Vec<Rdn>,
+    rdns: Rc<[Rdn]>,
 }
 
 impl Dn {
     /// The empty (root) DN.
     pub fn root() -> Dn {
-        Dn { rdns: Vec::new() }
+        Dn::default()
+    }
+
+    fn from_vec(rdns: Vec<Rdn>) -> Dn {
+        Dn { rdns: rdns.into() }
     }
 
     /// Parse `a=x, b=y, c=z`.
@@ -64,12 +115,9 @@ impl Dn {
             if attr.is_empty() || value.is_empty() {
                 return Err(DnError(format!("empty attribute or value in {part:?}")));
             }
-            rdns.push(Rdn {
-                attr: attr.to_ascii_lowercase(),
-                value: value.to_ascii_lowercase(),
-            });
+            rdns.push(Rdn::new(attr, value));
         }
-        Ok(Dn { rdns })
+        Ok(Dn::from_vec(rdns))
     }
 
     /// Number of RDN components.
@@ -92,7 +140,7 @@ impl Dn {
             None
         } else {
             Some(Dn {
-                rdns: self.rdns[1..].to_vec(),
+                rdns: self.rdns[1..].into(),
             })
         }
     }
@@ -100,12 +148,9 @@ impl Dn {
     /// Prepend an RDN, producing a child DN.
     pub fn child(&self, attr: &str, value: &str) -> Dn {
         let mut rdns = Vec::with_capacity(self.rdns.len() + 1);
-        rdns.push(Rdn {
-            attr: attr.to_ascii_lowercase(),
-            value: value.to_ascii_lowercase(),
-        });
-        rdns.extend(self.rdns.iter().cloned());
-        Dn { rdns }
+        rdns.push(Rdn::new(attr, value));
+        rdns.extend(self.rdns.iter().copied());
+        Dn::from_vec(rdns)
     }
 
     /// Is `self` equal to or below `ancestor`?
@@ -126,7 +171,7 @@ impl Dn {
     /// `None` when the DN is shorter.
     pub fn suffix_of_depth(&self, n: usize) -> Option<Dn> {
         Some(Dn {
-            rdns: self.suffix_slice(n)?.to_vec(),
+            rdns: self.suffix_slice(n)?.into(),
         })
     }
 
@@ -165,8 +210,8 @@ impl Dn {
         }
         let keep = self.rdns.len() - old_suffix.rdns.len();
         let mut rdns = self.rdns[..keep].to_vec();
-        rdns.extend(new_suffix.rdns.iter().cloned());
-        Some(Dn { rdns })
+        rdns.extend(new_suffix.rdns.iter().copied());
+        Some(Dn::from_vec(rdns))
     }
 }
 
@@ -270,7 +315,7 @@ mod tests {
         for n in 0..=4 {
             assert_eq!(
                 dn.suffix_slice(n).map(|s| s.to_vec()),
-                dn.suffix_of_depth(n).map(|d| d.rdns)
+                dn.suffix_of_depth(n).map(|d| d.rdns.to_vec())
             );
         }
     }
@@ -279,5 +324,40 @@ mod tests {
     fn empty_is_root() {
         assert!(Dn::parse("").unwrap().is_root());
         assert!(Dn::parse("   ").unwrap().is_root());
+    }
+
+    #[test]
+    fn ordering_matches_string_forms() {
+        // Interning order must not leak into DN ordering: build DNs in
+        // an order unrelated to their lexicographic rank.
+        let raw = [
+            "mds-host-hn=zz, o=grid",
+            "mds-host-hn=aa, o=grid",
+            "mds-vo-name=local, o=grid",
+            "a=1",
+            "o=grid",
+        ];
+        let mut dns: Vec<Dn> = raw.iter().map(|s| Dn::parse(s).unwrap()).collect();
+        dns.sort();
+        let mut strs: Vec<String> = raw.iter().map(|s| s.to_string()).collect();
+        // The string form sorts component-wise like the structural
+        // form for these single-attr-per-level DNs.
+        strs.sort_by(|a, b| {
+            let pa: Vec<&str> = a.split(", ").collect();
+            let pb: Vec<&str> = b.split(", ").collect();
+            pa.cmp(&pb)
+        });
+        assert_eq!(
+            dns.iter().map(Dn::to_string).collect::<Vec<_>>(),
+            strs,
+            "DN order must match component-wise string order"
+        );
+    }
+
+    #[test]
+    fn clones_share_components() {
+        let dn = Dn::parse("a=1, o=grid").unwrap();
+        let copy = dn.clone();
+        assert!(Rc::ptr_eq(&dn.rdns, &copy.rdns));
     }
 }

@@ -93,6 +93,21 @@ impl Filter {
             _ => 1,
         }
     }
+
+    /// Length of the RFC 4515 rendering, computed without building the
+    /// string (wire-size accounting runs on every simulated request).
+    pub fn display_len(&self) -> usize {
+        struct Counter(usize);
+        impl fmt::Write for Counter {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                self.0 += s.len();
+                Ok(())
+            }
+        }
+        let mut c = Counter(0);
+        let _ = fmt::Write::write_fmt(&mut c, format_args!("{self}"));
+        c.0
+    }
 }
 
 impl fmt::Display for Filter {
@@ -399,5 +414,18 @@ mod tests {
         assert!(Filter::any().matches(&e));
         let bare = Entry::new(Dn::parse("x=1").unwrap());
         assert!(!Filter::any().matches(&bare));
+    }
+
+    #[test]
+    fn display_len_matches_rendering() {
+        for src in [
+            "(objectclass=*)",
+            "(&(objectclass=host)(cpuload>=2))",
+            "(|(a=1)(!(b=2))(c=x*y*z))",
+            "(cn=lucky*)",
+        ] {
+            let f = Filter::parse(src).unwrap();
+            assert_eq!(f.display_len(), f.to_string().len(), "{src}");
+        }
     }
 }

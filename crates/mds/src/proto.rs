@@ -37,8 +37,8 @@ impl MdsRequest {
                 attrs,
                 ..
             } => {
-                64 + base.to_string().len() as u64
-                    + filter.to_string().len() as u64
+                64 + base.display_len() as u64
+                    + filter.display_len() as u64
                     + attrs
                         .as_ref()
                         .map_or(0, |a| a.iter().map(|x| x.len() as u64 + 2).sum())

@@ -15,10 +15,75 @@
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static BYTES_TOTAL: AtomicU64 = AtomicU64::new(0);
-static IN_USE: AtomicU64 = AtomicU64::new(0);
-static PEAK: AtomicU64 = AtomicU64::new(0);
+/// The four counters the shim maintains.  The accounting lives on a
+/// struct (rather than bare statics) so its arithmetic — alloc and
+/// realloc deltas, the peak high-water mark, saturating dealloc — is
+/// unit-testable on a private instance without racing the live global
+/// allocator.
+pub struct AllocCounters {
+    allocs: AtomicU64,
+    bytes_total: AtomicU64,
+    in_use: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl AllocCounters {
+    pub const fn new() -> AllocCounters {
+        AllocCounters {
+            allocs: AtomicU64::new(0),
+            bytes_total: AtomicU64::new(0),
+            in_use: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn on_alloc(&self, size: usize) {
+        self.allocs.fetch_add(1, Relaxed);
+        self.bytes_total.fetch_add(size as u64, Relaxed);
+        let now = self.in_use.fetch_add(size as u64, Relaxed) + size as u64;
+        self.peak.fetch_max(now, Relaxed);
+    }
+
+    #[inline]
+    fn on_dealloc(&self, size: usize) {
+        // Saturating: allocations made before the counters existed
+        // (there are none when installed as the global allocator, but
+        // stay defensive) must not wrap the gauge.
+        let _ = self
+            .in_use
+            .fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(size as u64)));
+    }
+
+    #[inline]
+    fn on_realloc(&self, old_size: usize, new_size: usize) {
+        // A realloc counts as one allocation event: the old block is
+        // retired and the new size is charged.
+        self.on_dealloc(old_size);
+        self.on_alloc(new_size);
+    }
+
+    fn snapshot(&self) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.load(Relaxed),
+            bytes_total: self.bytes_total.load(Relaxed),
+            in_use: self.in_use.load(Relaxed),
+            peak: self.peak.load(Relaxed),
+        }
+    }
+
+    fn reset_peak(&self) {
+        self.peak.store(self.in_use.load(Relaxed), Relaxed);
+    }
+}
+
+impl Default for AllocCounters {
+    fn default() -> Self {
+        AllocCounters::new()
+    }
+}
+
+static COUNTERS: AllocCounters = AllocCounters::new();
 
 /// Snapshot of the allocator counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,54 +104,38 @@ pub fn stats() -> Option<AllocStats> {
     if !cfg!(feature = "count-alloc") {
         return None;
     }
-    Some(AllocStats {
-        allocs: ALLOCS.load(Relaxed),
-        bytes_total: BYTES_TOTAL.load(Relaxed),
-        in_use: IN_USE.load(Relaxed),
-        peak: PEAK.load(Relaxed),
-    })
+    Some(COUNTERS.snapshot())
+}
+
+/// Restart the peak-bytes high-water mark from the current in-use
+/// level, so the next [`stats`] reports the peak *of the phase that
+/// follows* rather than of the whole process lifetime.  A no-op
+/// without the `count-alloc` feature.
+pub fn reset_peak() {
+    COUNTERS.reset_peak();
 }
 
 /// The counting shim over [`std::alloc::System`].
 pub struct CountingAlloc;
 
-impl CountingAlloc {
-    #[inline]
-    fn on_alloc(size: usize) {
-        ALLOCS.fetch_add(1, Relaxed);
-        BYTES_TOTAL.fetch_add(size as u64, Relaxed);
-        let now = IN_USE.fetch_add(size as u64, Relaxed) + size as u64;
-        PEAK.fetch_max(now, Relaxed);
-    }
-
-    #[inline]
-    fn on_dealloc(size: usize) {
-        // Saturating: allocations made before the counters existed
-        // (there are none when installed as the global allocator, but
-        // stay defensive) must not wrap the gauge.
-        let _ = IN_USE.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(size as u64)));
-    }
-}
-
 unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
         let p = std::alloc::System.alloc(layout);
         if !p.is_null() {
-            Self::on_alloc(layout.size());
+            COUNTERS.on_alloc(layout.size());
         }
         p
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
         std::alloc::System.dealloc(ptr, layout);
-        Self::on_dealloc(layout.size());
+        COUNTERS.on_dealloc(layout.size());
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
         let p = std::alloc::System.realloc(ptr, layout, new_size);
         if !p.is_null() {
-            Self::on_dealloc(layout.size());
-            Self::on_alloc(new_size);
+            COUNTERS.on_realloc(layout.size(), new_size);
         }
         p
     }
@@ -113,17 +162,81 @@ mod tests {
     }
 
     #[test]
+    fn alloc_dealloc_deltas() {
+        let c = AllocCounters::new();
+        c.on_alloc(64);
+        c.on_alloc(32);
+        let s = c.snapshot();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.bytes_total, 96);
+        assert_eq!(s.in_use, 96);
+        assert_eq!(s.peak, 96);
+        c.on_dealloc(64);
+        let s = c.snapshot();
+        assert_eq!(s.allocs, 2, "deallocs do not count as allocations");
+        assert_eq!(s.bytes_total, 96, "bytes_total is cumulative");
+        assert_eq!(s.in_use, 32);
+        assert_eq!(s.peak, 96, "peak survives the release");
+    }
+
+    #[test]
+    fn realloc_counts_one_allocation_and_moves_the_gauge() {
+        let c = AllocCounters::new();
+        c.on_alloc(100);
+        // Grow: gauge follows the new size, one more allocation event.
+        c.on_realloc(100, 150);
+        let s = c.snapshot();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.bytes_total, 250);
+        assert_eq!(s.in_use, 150);
+        assert_eq!(s.peak, 150);
+        // Shrink: gauge drops, peak stays at the high-water mark.
+        c.on_realloc(150, 10);
+        let s = c.snapshot();
+        assert_eq!(s.allocs, 3);
+        assert_eq!(s.in_use, 10);
+        assert_eq!(s.peak, 150);
+    }
+
+    #[test]
+    fn peak_is_a_high_water_mark_and_resets_to_in_use() {
+        let c = AllocCounters::new();
+        c.on_alloc(1000);
+        c.on_dealloc(1000);
+        c.on_alloc(10);
+        let s = c.snapshot();
+        assert_eq!(s.in_use, 10);
+        assert_eq!(s.peak, 1000, "peak remembers the spike");
+        c.reset_peak();
+        let s = c.snapshot();
+        assert_eq!(s.peak, 10, "reset restarts the mark from in_use");
+        c.on_alloc(5);
+        assert_eq!(c.snapshot().peak, 15, "post-reset growth tracked");
+    }
+
+    #[test]
+    fn dealloc_saturates_instead_of_wrapping() {
+        let c = AllocCounters::new();
+        c.on_alloc(8);
+        c.on_dealloc(100); // more than ever allocated
+        let s = c.snapshot();
+        assert_eq!(s.in_use, 0, "gauge saturates at zero");
+        c.on_alloc(16);
+        assert_eq!(c.snapshot().in_use, 16, "gauge recovers cleanly");
+    }
+
+    #[test]
     fn shim_counts_without_being_global() {
         // Drive the shim directly (not as the global allocator) and
         // watch the counters move.
         use std::alloc::{GlobalAlloc, Layout};
-        let before = ALLOCS.load(Relaxed);
+        let before = COUNTERS.snapshot().allocs;
         let layout = Layout::from_size_align(64, 8).unwrap();
         unsafe {
             let p = CountingAlloc.alloc(layout);
             assert!(!p.is_null());
             CountingAlloc.dealloc(p, layout);
         }
-        assert!(ALLOCS.load(Relaxed) > before);
+        assert!(COUNTERS.snapshot().allocs > before);
     }
 }

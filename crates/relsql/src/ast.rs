@@ -151,7 +151,7 @@ impl Stmt {
 /// Helper for building column definitions.
 pub fn col(name: &str, ty: ColType) -> Column {
     Column {
-        name: name.to_ascii_lowercase(),
+        name: gintern::intern(&name.to_ascii_lowercase()),
         ty,
     }
 }

@@ -34,6 +34,7 @@ pub mod value;
 
 pub use ast::{Pred, SelectCols, Stmt};
 pub use engine::{Database, QueryResult, SqlError};
+pub use gintern::Sym;
 pub use parser::parse_stmt;
-pub use table::{ColType, Column, Table, TableSchema};
+pub use table::{ColType, Column, Row, SharedRow, Table, TableSchema};
 pub use value::SqlValue;

@@ -183,7 +183,10 @@ impl P {
                 }
                 primary_key = Some(columns.len());
             }
-            columns.push(Column { name: cname, ty });
+            columns.push(Column {
+                name: gintern::intern(&cname),
+                ty,
+            });
             if self.eat_tok(&Tok::RParen) {
                 break;
             }

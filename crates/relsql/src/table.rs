@@ -1,8 +1,16 @@
 //! Tables, schemas and indexes.
+//!
+//! Table and column names are interned [`Sym`]s, and rows live behind
+//! `Rc` ([`SharedRow`]): a `SELECT *` result shares the stored rows
+//! instead of deep-cloning every cell, and in-place cell updates go
+//! through `Rc::make_mut` so outstanding result sets keep their
+//! snapshot.
 
 use crate::value::SqlValue;
+use gintern::Sym;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// Column type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,7 +48,7 @@ impl fmt::Display for ColType {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Lowercased name.
-    pub name: String,
+    pub name: Sym,
     pub ty: ColType,
 }
 
@@ -48,7 +56,7 @@ pub struct Column {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
     /// Lowercased table name.
-    pub name: String,
+    pub name: Sym,
     pub columns: Vec<Column>,
     /// Index of the primary-key column, if any.
     pub primary_key: Option<usize>,
@@ -56,26 +64,68 @@ pub struct TableSchema {
 
 impl TableSchema {
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        let lower = name.to_ascii_lowercase();
-        self.columns.iter().position(|c| c.name == lower)
+        // Probe via `gintern::lookup`: a name never interned anywhere
+        // cannot be a column, and the already-lowercase common case
+        // (parsed statements) does not allocate.
+        let key = if name.bytes().any(|b| b.is_ascii_uppercase()) {
+            gintern::lookup(&name.to_ascii_lowercase())?
+        } else {
+            gintern::lookup(name)?
+        };
+        self.columns.iter().position(|c| c.name == key)
     }
 
-    pub fn column_names(&self) -> Vec<String> {
-        self.columns.iter().map(|c| c.name.clone()).collect()
+    pub fn column_names(&self) -> Vec<Sym> {
+        self.columns.iter().map(|c| c.name).collect()
     }
 }
 
 /// A row is one value per column.
 pub type Row = Vec<SqlValue>;
 
-/// Index key: a string-normalised form of a value so `BTreeMap` keys are
-/// `Ord` (f64 isn't).  Numbers normalise so 2 and 2.0 share a key.
-fn index_key(v: &SqlValue) -> Option<String> {
+/// A reference-counted row: cloning a result set shares storage with the
+/// table instead of copying cells.
+pub type SharedRow = Rc<Row>;
+
+/// Index key: a normalised, allocation-free form of a value for the
+/// per-column equality indexes.  Numbers key by their `f64` bit
+/// pattern so `2` and `2.0` (both `2.0f64`) share a key, exactly like
+/// the old `format!("n:{}")` string normalisation: float `Display` is
+/// shortest-roundtrip, hence injective over distinct non-NaN bit
+/// patterns, and all NaNs collapse to one canonical key here as they
+/// all rendered `"NaN"` there.  Text keys are interned symbols.  The
+/// index maps are only ever probed, never iterated, so key *ordering*
+/// is unobservable — only equality must match the old behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum IndexKey {
+    Num(u64),
+    Text(Sym),
+}
+
+fn num_key(r: f64) -> IndexKey {
+    IndexKey::Num(if r.is_nan() { f64::NAN } else { r }.to_bits())
+}
+
+/// Probe form of a key: text resolves through [`gintern::lookup`]
+/// without interning — a string this thread never interned cannot
+/// have been stored as a key (storing interns it), so a miss means
+/// "not present".  `None` means the value cannot be in any index.
+fn probe_key(v: &SqlValue) -> Option<IndexKey> {
     match v {
         SqlValue::Null => None,
-        SqlValue::Int(i) => Some(format!("n:{}", *i as f64)),
-        SqlValue::Real(r) => Some(format!("n:{r}")),
-        SqlValue::Text(s) => Some(format!("t:{s}")),
+        SqlValue::Int(i) => Some(num_key(*i as f64)),
+        SqlValue::Real(r) => Some(num_key(*r)),
+        SqlValue::Text(s) => gintern::lookup(s).map(IndexKey::Text),
+    }
+}
+
+/// Store form of a key: interns text (allocating only the first time
+/// a distinct string is seen on this thread) so the key can live in
+/// the map.
+fn store_key(v: &SqlValue) -> Option<IndexKey> {
+    match v {
+        SqlValue::Text(s) => Some(IndexKey::Text(gintern::intern(s))),
+        _ => probe_key(v),
     }
 }
 
@@ -83,10 +133,10 @@ fn index_key(v: &SqlValue) -> Option<String> {
 #[derive(Debug, Clone)]
 pub struct Table {
     pub schema: TableSchema,
-    rows: Vec<Option<Row>>, // tombstoned on delete
+    rows: Vec<Option<SharedRow>>, // tombstoned on delete
     live: usize,
     /// column index -> (key -> row ids)
-    indexes: BTreeMap<usize, BTreeMap<String, Vec<usize>>>,
+    indexes: BTreeMap<usize, BTreeMap<IndexKey, Vec<usize>>>,
 }
 
 /// Errors raised by table operations.
@@ -135,10 +185,10 @@ impl Table {
             .schema
             .column_index(column)
             .ok_or_else(|| TableError::NoSuchColumn(column.into()))?;
-        let mut idx: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut idx: BTreeMap<IndexKey, Vec<usize>> = BTreeMap::new();
         for (rid, row) in self.rows.iter().enumerate() {
             if let Some(row) = row {
-                if let Some(k) = index_key(&row[col]) {
+                if let Some(k) = store_key(&row[col]) {
                     idx.entry(k).or_default().push(rid);
                 }
             }
@@ -166,13 +216,15 @@ impl Table {
         for (col, v) in self.schema.columns.iter().zip(&row) {
             if !col.ty.accepts(v) {
                 return Err(TableError::TypeMismatch {
-                    column: col.name.clone(),
+                    column: col.name.to_string(),
                     value: v.to_string(),
                 });
             }
         }
         if let Some(pk) = self.schema.primary_key {
-            if let Some(k) = index_key(&row[pk]) {
+            // Probe form suffices: a duplicate key is by definition
+            // already stored, hence already interned.
+            if let Some(k) = probe_key(&row[pk]) {
                 if self.indexes[&pk].get(&k).is_some_and(|v| !v.is_empty()) {
                     return Err(TableError::DuplicateKey(row[pk].to_string()));
                 }
@@ -180,28 +232,42 @@ impl Table {
         }
         let rid = self.rows.len();
         for (&col, idx) in self.indexes.iter_mut() {
-            if let Some(k) = index_key(&row[col]) {
+            if let Some(k) = store_key(&row[col]) {
                 idx.entry(k).or_default().push(rid);
             }
         }
-        self.rows.push(Some(row));
+        self.rows.push(Some(Rc::new(row)));
         self.live += 1;
         Ok(rid)
     }
 
-    /// Row ids matching `value` on `col` via an index, or `None` if the
-    /// column has no index (caller must scan).
-    pub fn index_lookup(&self, col: usize, value: &SqlValue) -> Option<Vec<usize>> {
+    /// Row ids matching `value` on `col` via an index, borrowed from
+    /// the index itself: `None` if the column has no index or the
+    /// value is NULL (caller must scan), `Some(&[])` if indexed with
+    /// no match.
+    pub fn index_ids(&self, col: usize, value: &SqlValue) -> Option<&[usize]> {
         let idx = self.indexes.get(&col)?;
-        let k = index_key(value)?;
-        Some(idx.get(&k).cloned().unwrap_or_default())
+        if value.is_null() {
+            return None;
+        }
+        Some(
+            probe_key(value)
+                .and_then(|k| idx.get(&k))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+        )
+    }
+
+    /// Owned form of [`Table::index_ids`].
+    pub fn index_lookup(&self, col: usize, value: &SqlValue) -> Option<Vec<usize>> {
+        self.index_ids(col, value).map(<[usize]>::to_vec)
     }
 
     pub fn has_index(&self, col: usize) -> bool {
         self.indexes.contains_key(&col)
     }
 
-    pub fn get_row(&self, rid: usize) -> Option<&Row> {
+    pub fn get_row(&self, rid: usize) -> Option<&SharedRow> {
         self.rows.get(rid).and_then(Option::as_ref)
     }
 
@@ -215,7 +281,8 @@ impl Table {
         };
         self.live -= 1;
         for (&col, idx) in self.indexes.iter_mut() {
-            if let Some(k) = index_key(&row[col]) {
+            // Probe form: a stored row's keys were interned on insert.
+            if let Some(k) = probe_key(&row[col]) {
                 if let Some(ids) = idx.get_mut(&k) {
                     ids.retain(|&r| r != rid);
                 }
@@ -229,21 +296,22 @@ impl Table {
         let ty = self.schema.columns[col].ty;
         if !ty.accepts(&v) {
             return Err(TableError::TypeMismatch {
-                column: self.schema.columns[col].name.clone(),
+                column: self.schema.columns[col].name.to_string(),
                 value: v.to_string(),
             });
         }
         let Some(Some(row)) = self.rows.get_mut(rid) else {
             return Ok(());
         };
-        let old = std::mem::replace(&mut row[col], v.clone());
+        // Copy-on-write: result sets holding this row keep their snapshot.
+        let old = std::mem::replace(&mut Rc::make_mut(row)[col], v.clone());
         if let Some(idx) = self.indexes.get_mut(&col) {
-            if let Some(k) = index_key(&old) {
+            if let Some(k) = probe_key(&old) {
                 if let Some(ids) = idx.get_mut(&k) {
                     ids.retain(|&r| r != rid);
                 }
             }
-            if let Some(k) = index_key(&v) {
+            if let Some(k) = store_key(&v) {
                 idx.entry(k).or_default().push(rid);
             }
         }
@@ -251,7 +319,7 @@ impl Table {
     }
 
     /// Iterate `(row_id, row)` over live rows.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &Row)> {
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &SharedRow)> {
         self.rows
             .iter()
             .enumerate()

@@ -66,9 +66,20 @@ impl SqlValue {
         }
     }
 
-    /// Estimated size on the wire (textual form).
+    /// Estimated size on the wire (textual form), counted through a
+    /// length-only `fmt::Write` — wire accounting runs per value per
+    /// message, and must not allocate the rendering it measures.
     pub fn wire_size(&self) -> u64 {
-        self.to_string().len() as u64
+        struct Counter(u64);
+        impl fmt::Write for Counter {
+            fn write_str(&mut self, s: &str) -> fmt::Result {
+                self.0 += s.len() as u64;
+                Ok(())
+            }
+        }
+        let mut c = Counter(0);
+        let _ = fmt::Write::write_fmt(&mut c, format_args!("{self}"));
+        c.0
     }
 }
 

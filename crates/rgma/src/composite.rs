@@ -13,7 +13,7 @@
 
 use crate::proto::{RgmaMsg, SqlResultMsg};
 use crate::{DB_FIXED_CPU_US, JVM_DISPATCH_CPU_US, ROW_SCAN_CPU_US, SQL_PARSE_CPU_US};
-use relsql::{Database, SqlValue};
+use relsql::{Database, SharedRow, SqlValue};
 use simcore::SimDuration;
 use simnet::{Payload, Plan, Service, SvcCx, SvcKey};
 
@@ -76,7 +76,11 @@ impl CompositeProducer {
             .unwrap_or(0)
     }
 
-    fn fold(&mut self, source_id: i64, rows: &[Vec<SqlValue>]) {
+    /// Fold one streamed batch into the aggregate store.  Runs once per
+    /// tuple per batch, so it uses the direct row APIs: the upsert is
+    /// still delete + insert on the `key` primary key, without building
+    /// and parsing two SQL strings per tuple.
+    fn fold(&mut self, source_id: i64, rows: &[SharedRow]) {
         for row in rows {
             // Producer rows are (entity, value, seq).
             let entity = row
@@ -86,14 +90,25 @@ impl CompositeProducer {
                 .to_string();
             let value = row.get(1).and_then(|v| v.as_number()).unwrap_or(0.0);
             let seq = row.get(2).and_then(|v| v.as_number()).unwrap_or(0.0) as i64;
-            let key = format!("{source_id}:{entity}");
-            let table = &self.table;
-            let _ = self
-                .db
-                .execute(&format!("DELETE FROM {table} WHERE key = '{key}'"));
-            let _ = self.db.execute(&format!(
-                "INSERT INTO {table} VALUES ('{key}', {source_id}, '{entity}', {value}, {seq})"
-            ));
+            let key = SqlValue::Text(format!("{source_id}:{entity}"));
+            // Whole-number values store as INT, as their SQL literal
+            // form used to parse (see `ProducerServlet::publish`).
+            let value = if value.fract() == 0.0 {
+                SqlValue::Int(value as i64)
+            } else {
+                SqlValue::Real(value)
+            };
+            let _ = self.db.delete_where_eq(&self.table, "key", &key);
+            let _ = self.db.insert_row(
+                &self.table,
+                vec![
+                    key,
+                    SqlValue::Int(source_id),
+                    SqlValue::Text(entity),
+                    value,
+                    SqlValue::Int(seq),
+                ],
+            );
             self.tuples_folded += 1;
         }
     }

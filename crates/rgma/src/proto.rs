@@ -1,6 +1,6 @@
 //! Wire messages of the R-GMA model.
 
-use relsql::SqlValue;
+use relsql::{SharedRow, Sym};
 use simnet::SvcKey;
 
 /// Messages between consumers, servlets and the registry.
@@ -27,10 +27,9 @@ pub enum RgmaMsg {
         period_us: u64,
     },
     /// ProducerServlet -> subscriber sink: a batch of streamed tuples.
-    Stream {
-        table: String,
-        rows: Vec<Vec<SqlValue>>,
-    },
+    /// Rows are shared with the producer's table (`Rc` clones), so a
+    /// streamed batch costs one pointer per tuple, not a deep copy.
+    Stream { table: String, rows: Vec<SharedRow> },
 }
 
 impl RgmaMsg {
@@ -61,15 +60,17 @@ pub struct ProducerList {
     pub bytes: u64,
 }
 
-/// Query answer: a relational result set.
+/// Query answer: a relational result set.  Columns are interned symbols
+/// and rows are shared (`Rc`) with the producer tables they came from —
+/// forwarding a result set between servlets never deep-copies tuples.
 pub struct SqlResultMsg {
-    pub columns: Vec<String>,
-    pub rows: Vec<Vec<SqlValue>>,
+    pub columns: Vec<Sym>,
+    pub rows: Vec<SharedRow>,
     pub bytes: u64,
 }
 
 impl SqlResultMsg {
-    pub fn new(columns: Vec<String>, rows: Vec<Vec<SqlValue>>) -> SqlResultMsg {
+    pub fn new(columns: Vec<Sym>, rows: Vec<SharedRow>) -> SqlResultMsg {
         let bytes = 240
             + columns.iter().map(|c| c.len() as u64 + 8).sum::<u64>()
             + rows

@@ -23,6 +23,10 @@ pub struct Registry {
     /// re-registers after a crash/restart refreshes its row instead of
     /// accumulating duplicates (consumers would double-count it).
     by_owner: HashMap<(SvcKey, String), i64>,
+    /// Lookup SQL per table name: consumers ask for the same handful of
+    /// tables over and over, and a stable text also hits the relsql
+    /// statement cache.
+    lookup_sql: HashMap<String, String>,
     next_id: i64,
     /// The RDBMS connection lock (registered with the world at deploy
     /// time).
@@ -43,6 +47,7 @@ impl Registry {
             db,
             servlets: HashMap::new(),
             by_owner: HashMap::new(),
+            lookup_sql: HashMap::new(),
             next_id: 1,
             db_lock: None,
             lookups: 0,
@@ -125,13 +130,11 @@ impl Service for Registry {
             RgmaMsg::RegistryLookup { table } => {
                 self.lookups += 1;
                 _cx.obs.incr("rgma.registry_lookups", 1);
-                let esc = table.replace('\'', "''");
-                let r = self
-                    .db
-                    .execute(&format!(
-                        "SELECT id FROM producers WHERE tablename = '{esc}'"
-                    ))
-                    .expect("lookup");
+                let sql = self.lookup_sql.entry(table).or_insert_with_key(|t| {
+                    let esc = t.replace('\'', "''");
+                    format!("SELECT id FROM producers WHERE tablename = '{esc}'")
+                });
+                let r = self.db.execute(sql).expect("lookup");
                 let producers: Vec<SvcKey> = r
                     .rows
                     .iter()

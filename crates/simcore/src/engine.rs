@@ -1,7 +1,7 @@
 //! The event calendar and simulation driver.
 //!
 //! [`Engine<W>`] is generic over a "world" type `W` that owns all mutable
-//! simulation state.  Events are boxed `FnOnce(&mut W, &mut Engine<W>)`
+//! simulation state.  Events are `FnOnce(&mut W, &mut Engine<W>)`
 //! closures; when an event fires it receives exclusive access to both the
 //! world and the engine (so it can schedule or cancel further events).
 //!
@@ -10,9 +10,28 @@
 //! * events scheduled for the same instant fire in scheduling order
 //!   (a stable FIFO tie-break via a monotonic sequence number), which is
 //!   what makes runs deterministic.
+//!
+//! # Event storage: a size-classed closure pool
+//!
+//! The original engine boxed every closure, which made the allocator a
+//! per-event cost on the hottest loop in the repository.  Closures now
+//! live in pooled buffers: [`schedule_at`](Engine::schedule_at) writes
+//! the closure into a recycled buffer of the smallest fitting size
+//! class (32–512 bytes, 16-byte aligned) and remembers two
+//! monomorphized shims — one that moves the closure out and calls it,
+//! one that drops it in place on cancellation.  Dispatch returns the
+//! buffer to the class free-list *before* invoking the closure (the
+//! value has already been moved out), so a self-rescheduling event
+//! reuses its own buffer.  Together with the recycled generational
+//! slots and the allocation-free in-place calendar compaction, the
+//! steady-state schedule/fire loop performs **zero heap allocations**
+//! (pinned by the `alloc-profile` test in `crates/bench`).  Closures
+//! too big or over-aligned for the pool fall back to the old `Box`
+//! path — correctness never depends on fitting a class.
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -33,9 +52,84 @@ impl EventHandle {
 
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
 
+/// Buffer size classes for pooled closures.  Most simulation events
+/// capture a handful of words (ids, times, small payload handles); the
+/// 512-byte ceiling covers everything the models schedule today with
+/// the `Box` fallback as the safety net.
+const CLASS_SIZES: [usize; 5] = [32, 64, 128, 256, 512];
+/// One alignment for every pooled buffer; closures needing more fall
+/// back to `Box`.
+const POOL_ALIGN: usize = 16;
+
+const fn class_of(size: usize, align: usize) -> Option<usize> {
+    if align > POOL_ALIGN {
+        return None;
+    }
+    let mut c = 0;
+    while c < CLASS_SIZES.len() {
+        if size <= CLASS_SIZES[c] {
+            return Some(c);
+        }
+        c += 1;
+    }
+    None
+}
+
+const fn class_layout(class: usize) -> Layout {
+    // CLASS_SIZES are nonzero multiples of POOL_ALIGN, so this cannot
+    // fail.
+    match Layout::from_size_align(CLASS_SIZES[class], POOL_ALIGN) {
+        Ok(l) => l,
+        Err(_) => panic!("bad class layout"),
+    }
+}
+
+/// A closure parked in a pooled buffer: the erased pointer plus the
+/// monomorphized shims that know the concrete type again.
+struct RawEvent<W> {
+    ptr: *mut u8,
+    class: u8,
+    /// Moves the closure out of `ptr`, recycles the buffer, calls it.
+    call: unsafe fn(*mut u8, u8, &mut W, &mut Engine<W>),
+    /// Drops the closure in place (cancellation / engine teardown).
+    drop_in_place: unsafe fn(*mut u8),
+}
+
+/// Reads the closure out of its pooled buffer, returns the buffer to
+/// the pool, then runs the closure — in that order, so an event that
+/// schedules its successor can be handed its own buffer back.
+///
+/// # Safety
+/// `ptr` must hold a valid, initialized `F` written by `schedule_at`,
+/// and ownership of both the value and the buffer transfers here.
+unsafe fn call_shim<W, F: FnOnce(&mut W, &mut Engine<W>)>(
+    ptr: *mut u8,
+    class: u8,
+    world: &mut W,
+    engine: &mut Engine<W>,
+) {
+    let f = ptr.cast::<F>().read();
+    engine.pool[class as usize].push(ptr);
+    f(world, engine);
+}
+
+/// # Safety
+/// `ptr` must hold a valid, initialized `F`; the value is dead after.
+unsafe fn drop_shim<F>(ptr: *mut u8) {
+    ptr.cast::<F>().drop_in_place();
+}
+
+/// How a scheduled closure is stored.
+enum EventBody<W> {
+    /// In a recycled size-classed buffer (the normal case).
+    Pooled(RawEvent<W>),
+    /// Heap-boxed: closures too large or over-aligned for the pool.
+    Boxed(EventFn<W>),
+}
+
 struct EventSlot<W> {
     gen: u32,
-    f: Option<EventFn<W>>,
+    body: Option<EventBody<W>>,
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
@@ -70,6 +164,10 @@ pub struct Engine<W> {
     /// [`Engine::set_compaction`]).  On by default; the differential
     /// suite turns it off to get the pure lazy-deletion reference.
     compaction: bool,
+    /// Per-size-class free lists of closure buffers.  Buffers cycle
+    /// schedule → fire/cancel → here → schedule; they are only ever
+    /// deallocated when the engine drops.
+    pool: [Vec<*mut u8>; CLASS_SIZES.len()],
     /// Root RNG; components should `fork` child streams from it.
     pub rng: SimRng,
 }
@@ -88,6 +186,7 @@ impl<W> Engine<W> {
             advances: 0,
             stale: 0,
             compaction: true,
+            pool: Default::default(),
             rng: SimRng::new(seed),
         }
     }
@@ -109,23 +208,44 @@ impl<W> Engine<W> {
     /// cancelled event otherwise costs an extra `O(log n)` pop later, and
     /// timeout-heavy workloads (retries, watchdogs) cancel nearly every
     /// event they schedule.  `QKey` ordering is total (time, seq), so
-    /// re-heapifying the live keys preserves dispatch order exactly.
+    /// dropping stale keys in place preserves dispatch order exactly.
+    /// `BinaryHeap::retain` filters and re-heapifies without leaving the
+    /// heap's own buffer — no allocation, unlike the old
+    /// `into_vec`/`collect`/`from` round-trip.
     fn maybe_compact(&mut self) {
         if !self.compaction || self.stale <= 64 || self.stale < self.heap.len() / 2 {
             return;
         }
-        let keys = std::mem::take(&mut self.heap).into_vec();
-        let live: Vec<Reverse<QKey>> = keys
-            .into_iter()
-            .filter(|Reverse(k)| {
-                self.slots
-                    .get(k.slot as usize)
-                    .is_some_and(|s| s.gen == k.gen)
-            })
-            .collect();
-        debug_assert_eq!(live.len(), self.live);
-        self.heap = BinaryHeap::from(live);
+        let Engine { heap, slots, .. } = self;
+        heap.retain(|Reverse(k)| slots.get(k.slot as usize).is_some_and(|s| s.gen == k.gen));
+        debug_assert_eq!(self.heap.len(), self.live);
         self.stale = 0;
+    }
+
+    /// Park a closure for later dispatch: into a pooled buffer when a
+    /// size class fits, into a `Box` otherwise.
+    fn park<F: FnOnce(&mut W, &mut Engine<W>) + 'static>(&mut self, f: F) -> EventBody<W> {
+        let Some(class) = class_of(std::mem::size_of::<F>(), std::mem::align_of::<F>()) else {
+            return EventBody::Boxed(Box::new(f));
+        };
+        let ptr = self.pool[class].pop().unwrap_or_else(|| {
+            let layout = class_layout(class);
+            // SAFETY: every class layout has nonzero size.
+            let p = unsafe { alloc(layout) };
+            if p.is_null() {
+                handle_alloc_error(layout);
+            }
+            p
+        });
+        // SAFETY: the buffer is unoccupied, at least `size_of::<F>()`
+        // bytes (class fit) and aligned to `POOL_ALIGN >= align_of::<F>()`.
+        unsafe { ptr.cast::<F>().write(f) };
+        EventBody::Pooled(RawEvent {
+            ptr,
+            class: class as u8,
+            call: call_shim::<W, F>,
+            drop_in_place: drop_shim::<F>,
+        })
     }
 
     /// Current simulated time.
@@ -147,14 +267,15 @@ impl<W> Engine<W> {
         f: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
     ) -> EventHandle {
         let at = at.max(self.now);
+        let body = self.park(f);
         let slot = if let Some(i) = self.free.pop() {
-            self.slots[i as usize].f = Some(Box::new(f));
+            self.slots[i as usize].body = Some(body);
             i
         } else {
             let i = self.slots.len() as u32;
             self.slots.push(EventSlot {
                 gen: 0,
-                f: Some(Box::new(f)),
+                body: Some(body),
             });
             i
         };
@@ -185,14 +306,24 @@ impl<W> Engine<W> {
     /// a harmless no-op.
     pub fn cancel(&mut self, h: EventHandle) -> bool {
         if let Some(slot) = self.slots.get_mut(h.slot as usize) {
-            if slot.gen == h.gen && slot.f.is_some() {
-                slot.f = None;
-                slot.gen = slot.gen.wrapping_add(1);
-                self.free.push(h.slot);
-                self.live -= 1;
-                self.stale += 1;
-                self.maybe_compact();
-                return true;
+            if slot.gen == h.gen {
+                if let Some(body) = slot.body.take() {
+                    slot.gen = slot.gen.wrapping_add(1);
+                    self.free.push(h.slot);
+                    self.live -= 1;
+                    self.stale += 1;
+                    match body {
+                        EventBody::Pooled(raw) => {
+                            // SAFETY: the buffer holds the closure written
+                            // by `park` and nothing has consumed it.
+                            unsafe { (raw.drop_in_place)(raw.ptr) };
+                            self.pool[raw.class as usize].push(raw.ptr);
+                        }
+                        EventBody::Boxed(f) => drop(f),
+                    }
+                    self.maybe_compact();
+                    return true;
+                }
             }
         }
         false
@@ -219,7 +350,7 @@ impl<W> Engine<W> {
                 self.stale = self.stale.saturating_sub(1);
                 continue;
             }
-            let Some(f) = slot.f.take() else {
+            let Some(body) = slot.body.take() else {
                 continue;
             };
             slot.gen = slot.gen.wrapping_add(1);
@@ -231,7 +362,12 @@ impl<W> Engine<W> {
             }
             self.now = key.time;
             self.fired += 1;
-            f(world, self);
+            match body {
+                // SAFETY: the buffer holds the closure written by `park`;
+                // the shim takes ownership of value and buffer.
+                EventBody::Pooled(raw) => unsafe { (raw.call)(raw.ptr, raw.class, world, self) },
+                EventBody::Boxed(f) => f(world, self),
+            }
             return true;
         }
     }
@@ -277,6 +413,30 @@ impl<W> Engine<W> {
     }
 }
 
+impl<W> Drop for Engine<W> {
+    fn drop(&mut self) {
+        // Pending pooled closures: drop the value, then free the buffer.
+        for slot in &mut self.slots {
+            if let Some(EventBody::Pooled(raw)) = slot.body.take() {
+                // SAFETY: the buffer still holds the closure written by
+                // `park`; after dropping it in place the buffer is dead.
+                unsafe {
+                    (raw.drop_in_place)(raw.ptr);
+                    dealloc(raw.ptr, class_layout(raw.class as usize));
+                }
+            }
+            // Boxed bodies drop with the slots vector.
+        }
+        for (class, list) in self.pool.iter_mut().enumerate() {
+            for ptr in list.drain(..) {
+                // SAFETY: free-list buffers are unoccupied allocations of
+                // exactly this class layout.
+                unsafe { dealloc(ptr, class_layout(class)) };
+            }
+        }
+    }
+}
+
 /// Differential-oracle surface for the gridmon-diff suite: the reference
 /// engine is the same machine with compaction off (pure lazy deletion, as
 /// the seed implementation behaved).
@@ -286,6 +446,14 @@ impl<W> Engine<W> {
         let mut e = Self::new(seed);
         e.set_compaction(false);
         e
+    }
+}
+
+#[cfg(test)]
+impl<W> Engine<W> {
+    /// Total buffers sitting in the class free lists (test probe).
+    fn free_pool_buffers(&self) -> usize {
+        self.pool.iter().map(Vec::len).sum()
     }
 }
 
@@ -522,6 +690,111 @@ mod tests {
         e.run_until(&mut w, SimTime(1000));
         assert!(e.popped < 200, "most stale keys never reached the heap top");
         assert_eq!(e.stale_keys(), 0);
+    }
+
+    #[test]
+    fn fired_event_buffer_is_recycled() {
+        let mut e = eng();
+        let mut w = Log::default();
+        assert_eq!(e.free_pool_buffers(), 0);
+        e.schedule_at(SimTime(1), |w: &mut Log, _| w.entries.push((1, "a")));
+        assert_eq!(e.free_pool_buffers(), 0, "pending closure occupies it");
+        e.run_until(&mut w, SimTime(10));
+        assert_eq!(e.free_pool_buffers(), 1, "buffer returned after firing");
+        // The next same-class schedule reuses it instead of allocating.
+        e.schedule_at(SimTime(20), |w: &mut Log, _| w.entries.push((20, "b")));
+        assert_eq!(e.free_pool_buffers(), 0);
+        e.run_until(&mut w, SimTime(30));
+        assert_eq!(e.free_pool_buffers(), 1);
+        assert_eq!(w.entries, vec![(1, "a"), (20, "b")]);
+    }
+
+    #[test]
+    fn self_rescheduling_chain_cycles_one_buffer() {
+        struct Tick {
+            count: u32,
+        }
+        fn tick(w: &mut Tick, eng: &mut Engine<Tick>) {
+            w.count += 1;
+            if w.count < 100 {
+                // A real capture, still within the smallest class.
+                let stamp = w.count as u64;
+                eng.schedule_in(SimDuration(1), move |w: &mut Tick, eng| {
+                    assert_eq!(u64::from(w.count), stamp);
+                    tick(w, eng);
+                });
+            }
+        }
+        let mut e: Engine<Tick> = Engine::new(0);
+        let mut w = Tick { count: 0 };
+        e.schedule_at(SimTime(0), tick);
+        e.run_to_completion(&mut w);
+        assert_eq!(w.count, 100);
+        // Dispatch recycles the buffer before invoking the closure, so
+        // the whole 100-event chain ran on a single buffer (plus reuse
+        // across the two closure types sharing the class).
+        assert!(
+            e.free_pool_buffers() <= 2,
+            "chain must recycle, not accumulate (got {})",
+            e.free_pool_buffers()
+        );
+    }
+
+    #[test]
+    fn oversize_closures_fall_back_to_box() {
+        let mut e = eng();
+        let mut w = Log::default();
+        let big = [7u64; 128]; // 1 KiB capture: over every size class
+        e.schedule_at(SimTime(5), move |w: &mut Log, _| {
+            assert!(big.iter().all(|&x| x == 7));
+            w.entries.push((5, "big"));
+        });
+        e.run_until(&mut w, SimTime(10));
+        assert_eq!(w.entries, vec![(5, "big")]);
+        assert_eq!(
+            e.free_pool_buffers(),
+            0,
+            "boxed events never touch the pool"
+        );
+    }
+
+    #[test]
+    fn cancel_drops_captured_state() {
+        use std::rc::Rc;
+        let mut e = eng();
+        let token = Rc::new(());
+        let captured = Rc::clone(&token);
+        let h = e.schedule_at(SimTime(10), move |_w: &mut Log, _| {
+            let _keep = &captured;
+        });
+        assert_eq!(Rc::strong_count(&token), 2);
+        assert!(e.cancel(h));
+        assert_eq!(Rc::strong_count(&token), 1, "cancel must drop the capture");
+        assert_eq!(e.free_pool_buffers(), 1, "cancelled buffer is recycled");
+    }
+
+    #[test]
+    fn dropping_engine_drops_pending_closures() {
+        use std::rc::Rc;
+        let token = Rc::new(());
+        {
+            let mut e = eng();
+            let small = Rc::clone(&token);
+            e.schedule_at(SimTime(10), move |_w: &mut Log, _| {
+                let _keep = &small;
+            });
+            let big_pad = [0u64; 128];
+            let boxed = Rc::clone(&token);
+            e.schedule_at(SimTime(20), move |_w: &mut Log, _| {
+                let _keep = (&boxed, &big_pad);
+            });
+            assert_eq!(Rc::strong_count(&token), 3);
+        }
+        assert_eq!(
+            Rc::strong_count(&token),
+            1,
+            "engine drop must release pooled and boxed captures"
+        );
     }
 
     #[test]

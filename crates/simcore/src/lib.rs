@@ -25,6 +25,8 @@
 pub mod cpu;
 pub mod engine;
 pub mod queueing;
+#[cfg(feature = "reference-kernel")]
+pub mod reference;
 pub mod rng;
 pub mod slab;
 pub mod stats;
